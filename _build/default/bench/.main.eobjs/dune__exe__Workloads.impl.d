@@ -1,0 +1,1 @@
+bench/workloads.ml: Boot Buffer Dynamic_compiler Editing_form Hyperlink Hyperprog Int32 Jcompiler List Minijava Printf Pstore Pvalue Rt Storage_form Store String Vm

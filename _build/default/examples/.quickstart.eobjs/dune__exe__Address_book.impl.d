@@ -1,0 +1,1 @@
+examples/address_book.ml: Browser Dynamic_compiler Format Hyperlink Hyperprog Hyperui Jcompiler List Minijava Printf Pstore Pvalue Rt Storage_form Store String Vm

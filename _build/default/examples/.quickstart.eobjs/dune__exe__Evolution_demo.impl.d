@@ -1,0 +1,1 @@
+examples/evolution_demo.ml: Array Boot Classfile Dynamic_compiler Evolution Hyperlink Hyperprog Int32 Jcompiler List Minijava Printf Pstore Pvalue Rt Storage_form Store String Vm

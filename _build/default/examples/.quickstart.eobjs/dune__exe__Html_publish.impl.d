@@ -1,0 +1,1 @@
+examples/html_publish.ml: Boot Dynamic_compiler Filename Html_export Hyperlink Hyperprog Jcompiler List Minijava Printf Pstore Pvalue Rt Storage_form Store String Vm

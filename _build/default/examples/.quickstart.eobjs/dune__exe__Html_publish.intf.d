@@ -1,0 +1,1 @@
+examples/html_publish.mli:

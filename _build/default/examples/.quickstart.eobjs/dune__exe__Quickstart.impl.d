@@ -1,0 +1,1 @@
+examples/quickstart.ml: Boot Dynamic_compiler Filename Format Hyperlink Hyperprog Jcompiler List Minijava Printf Pstore Pvalue Rt Storage_form Store String Sys Vm

@@ -1,0 +1,1 @@
+examples/task_tracker.ml: Boot Dynamic_compiler Filename Hyper_source Hyperprog Int32 Jcompiler Minijava Printf Pstore Pvalue Rt Store Sys Vm

@@ -1,0 +1,1 @@
+lib/browser/display_format.ml: Hashtbl List Minijava Pstore Rt

@@ -1,0 +1,1 @@
+lib/browser/display_format.mli: Minijava Pstore Rt

@@ -1,0 +1,1 @@
+lib/browser/graph.ml: Array Format Hashtbl Heap List Oid Option Pstore Pvalue Queue Roots Store String

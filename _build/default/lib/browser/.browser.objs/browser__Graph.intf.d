@@ -1,0 +1,1 @@
+lib/browser/graph.mli: Format Oid Pstore Store

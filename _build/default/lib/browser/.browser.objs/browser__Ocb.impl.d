@@ -1,0 +1,1 @@
+lib/browser/ocb.ml: Array Classfile Display_format Format Hashtbl Heap Int32 Jtype List Minijava Oid Option Printf Pstore Pvalue Reflect Rt Store String Vm

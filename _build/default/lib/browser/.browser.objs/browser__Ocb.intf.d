@@ -1,0 +1,1 @@
+lib/browser/ocb.mli: Display_format Minijava Oid Pstore Pvalue Rt

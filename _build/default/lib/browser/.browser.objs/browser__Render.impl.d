@@ -1,0 +1,1 @@
+lib/browser/render.ml: Buffer Graph List Minijava Ocb Oid Printf Pstore String

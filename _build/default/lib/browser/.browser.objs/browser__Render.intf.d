@@ -1,0 +1,1 @@
+lib/browser/render.mli: Ocb Oid Pstore Store

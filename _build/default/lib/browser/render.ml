@@ -1,0 +1,50 @@
+(* Text rendering of browser panels (the AWT substitution): each panel
+   becomes a box listing its rows, with sharing markers from Graph and
+   arrows on rows that can be opened. *)
+
+open Pstore
+
+let pad s n = if String.length s >= n then s else s ^ String.make (n - String.length s) ' '
+
+(* Render one panel.  [shared] marks oids referenced from multiple
+   places. *)
+let panel ?(shared = Oid.Set.empty) b p =
+  let rows = Ocb.rows b p in
+  let title = Printf.sprintf "Panel %d: %s" p.Ocb.panel_id (Ocb.entity_title b p.Ocb.entity) in
+  let label_width =
+    List.fold_left (fun acc r -> max acc (String.length r.Ocb.row_label)) 5 rows
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("+- " ^ title ^ " " ^ String.make (max 1 (56 - String.length title)) '-' ^ "\n");
+  List.iteri
+    (fun i r ->
+      let selected = p.Ocb.selected = Some i in
+      let marker =
+        match r.Ocb.row_value with
+        | Some (Ocb.E_object oid) when Oid.Set.mem oid shared -> " *shared*"
+        | _ -> ""
+      in
+      let arrow = if r.Ocb.row_value <> None then " ->" else "" in
+      let loc = if r.Ocb.row_location <> None then " [loc]" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "| %s %s : %s%s%s%s\n"
+           (if selected then ">" else " ")
+           (pad r.Ocb.row_label label_width) r.Ocb.row_display marker loc arrow))
+    rows;
+  Buffer.add_string buf ("+" ^ String.make 58 '-' ^ "\n");
+  Buffer.contents buf
+
+(* Render the whole browser: front-most panel first. *)
+let browser ?(max_panels = 4) b =
+  let shared = Graph.shared_objects (Ocb.vm b).Minijava.Rt.store in
+  let visible = List.filteri (fun i _ -> i < max_panels) (Ocb.panels b) in
+  String.concat "\n" (List.map (panel ~shared b) visible)
+
+(* A store census block (class name, instance count). *)
+let census store =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "store census:\n";
+  List.iter
+    (fun (cls, n) -> Buffer.add_string buf (Printf.sprintf "  %6d  %s\n" n cls))
+    (Graph.census store);
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/editor/basic_editor.ml: Buffer Format Int List Option String

@@ -1,0 +1,1 @@
+lib/editor/basic_editor.mli:

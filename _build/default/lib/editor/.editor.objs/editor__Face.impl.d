@@ -1,0 +1,1 @@
+lib/editor/face.ml: Format List String

@@ -1,0 +1,1 @@
+lib/editor/user_editor.ml: Basic_editor Dynamic_compiler Editing_form Face Hyperlink Hyperprog Jcompiler List Minijava Option Productions Pstore Rt String Token Window_editor

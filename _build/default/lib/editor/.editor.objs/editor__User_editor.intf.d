@@ -1,0 +1,1 @@
+lib/editor/user_editor.mli: Basic_editor Dynamic_compiler Editing_form Hyperlink Hyperprog Minijava Pstore Rt Window_editor

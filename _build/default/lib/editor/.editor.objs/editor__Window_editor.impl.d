@@ -1,0 +1,1 @@
+lib/editor/window_editor.ml: Basic_editor Buffer Face List String

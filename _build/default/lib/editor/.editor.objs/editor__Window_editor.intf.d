@@ -1,0 +1,1 @@
+lib/editor/window_editor.mli: Basic_editor Face

@@ -1,0 +1,285 @@
+(* The basic editor (Figure 10, bottom layer): stores and manipulates
+   text with embedded links.  It is generic in the link payload so the
+   layer can be replaced or reused independently, exactly as the paper's
+   layering intends; the hyper-program editor instantiates it with
+   Hyperprog.Hyperlink.t.
+
+   Invariants: there is always at least one line; each line's links are
+   sorted by offset, offsets in [0 .. length line].  A link sits between
+   characters; inserting text at or before a link's offset shifts it. *)
+
+exception Bad_position of string
+
+let bad_position fmt = Format.kasprintf (fun s -> raise (Bad_position s)) fmt
+
+type 'a link = {
+  payload : 'a;
+  label : string;
+}
+
+type 'a line = {
+  mutable text : string;
+  mutable links : (int * 'a link) list; (* sorted by offset *)
+}
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+let pos_compare a b =
+  match Int.compare a.line b.line with
+  | 0 -> Int.compare a.col b.col
+  | c -> c
+
+type 'a t = { mutable lines : 'a line list }
+
+type 'a clipboard = {
+  clip_lines : (string * (int * 'a link) list) list; (* >= 1 segment *)
+}
+
+let create () = { lines = [ { text = ""; links = [] } ] }
+
+let of_lines lines =
+  if lines = [] then create ()
+  else
+    {
+      lines =
+        List.map
+          (fun (text, links) ->
+            { text; links = List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) links })
+          lines;
+    }
+
+let lines ed = List.map (fun l -> (l.text, l.links)) ed.lines
+
+let line_count ed = List.length ed.lines
+
+let nth_line ed n =
+  match List.nth_opt ed.lines n with
+  | Some l -> l
+  | None -> bad_position "line %d out of range (%d lines)" n (line_count ed)
+
+let line_text ed n = (nth_line ed n).text
+let line_links ed n = (nth_line ed n).links
+
+let total_links ed = List.fold_left (fun acc l -> acc + List.length l.links) 0 ed.lines
+
+let check_pos ed { line; col } =
+  let l = nth_line ed line in
+  if col < 0 || col > String.length l.text then
+    bad_position "column %d out of range on line %d (length %d)" col line
+      (String.length l.text)
+
+let replace_line ed n f =
+  ed.lines <- List.mapi (fun i l -> if i = n then f l else l) ed.lines
+
+(* Split a list of lines at index n: (before, nth, after). *)
+let split_lines lines n =
+  let rec go i before = function
+    | [] -> bad_position "line %d out of range" n
+    | l :: rest -> if i = n then (List.rev before, l, rest) else go (i + 1) (l :: before) rest
+  in
+  go 0 [] lines
+
+(* -- insertion -------------------------------------------------------------- *)
+
+(* Insert text (which may contain newlines) at [pos]; returns the
+   position just after the inserted text. *)
+let insert_text ed pos s =
+  check_pos ed pos;
+  let before, l, after = split_lines ed.lines pos.line in
+  let head = String.sub l.text 0 pos.col in
+  let tail = String.sub l.text pos.col (String.length l.text - pos.col) in
+  let head_links = List.filter (fun (o, _) -> o < pos.col) l.links in
+  (* Links exactly at the insertion point stay before the inserted text. *)
+  let at_links = List.filter (fun (o, _) -> o = pos.col) l.links in
+  let tail_links =
+    List.filter_map
+      (fun (o, lk) -> if o > pos.col then Some (o - pos.col, lk) else None)
+      l.links
+  in
+  let segments = String.split_on_char '\n' s in
+  match segments with
+  | [] -> pos
+  | [ only ] ->
+    let shift = String.length only in
+    l.text <- head ^ only ^ tail;
+    l.links <-
+      head_links @ at_links
+      @ List.map (fun (o, lk) -> (o + pos.col + shift, lk)) tail_links;
+    { pos with col = pos.col + shift }
+  | first :: rest ->
+    let last = List.nth rest (List.length rest - 1) in
+    let middles = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+    let first_line =
+      { text = head ^ first; links = head_links @ at_links }
+    in
+    let middle_lines = List.map (fun t -> { text = t; links = [] }) middles in
+    let last_line =
+      {
+        text = last ^ tail;
+        links = List.map (fun (o, lk) -> (o + String.length last, lk)) tail_links;
+      }
+    in
+    ed.lines <- before @ [ first_line ] @ middle_lines @ [ last_line ] @ after;
+    { line = pos.line + List.length segments - 1; col = String.length last }
+
+let insert_link ed pos link =
+  check_pos ed pos;
+  replace_line ed pos.line (fun l ->
+      {
+        l with
+        links =
+          List.stable_sort
+            (fun (a, _) (b, _) -> Int.compare a b)
+            ((pos.col, link) :: l.links);
+      })
+
+(* -- deletion ----------------------------------------------------------------- *)
+
+(* Delete the range [from, to_); links strictly inside are removed, links
+   at the boundaries survive. *)
+let delete_range ed from to_ =
+  check_pos ed from;
+  check_pos ed to_;
+  if pos_compare from to_ > 0 then bad_position "inverted range";
+  if from.line = to_.line then begin
+    replace_line ed from.line (fun l ->
+        let removed = to_.col - from.col in
+        {
+          text =
+            String.sub l.text 0 from.col
+            ^ String.sub l.text to_.col (String.length l.text - to_.col);
+          links =
+            List.filter_map
+              (fun (o, lk) ->
+                if o <= from.col then Some (o, lk)
+                else if o < to_.col then None
+                else Some (o - removed, lk))
+              l.links;
+        })
+  end
+  else begin
+    let before, first, rest = split_lines ed.lines from.line in
+    let _, last, after = split_lines (first :: rest) (to_.line - from.line) in
+    let head = String.sub first.text 0 from.col in
+    let tail = String.sub last.text to_.col (String.length last.text - to_.col) in
+    let head_links = List.filter (fun (o, _) -> o <= from.col) first.links in
+    let tail_links =
+      List.filter_map
+        (fun (o, lk) -> if o >= to_.col then Some (o - to_.col + String.length head, lk) else None)
+        last.links
+    in
+    ed.lines <- before @ [ { text = head ^ tail; links = head_links @ tail_links } ] @ after
+  end
+
+(* Remove the first link at exactly [pos]; returns it. *)
+let remove_link_at ed pos =
+  check_pos ed pos;
+  let l = nth_line ed pos.line in
+  match List.partition (fun (o, _) -> o = pos.col) l.links with
+  | [], _ -> None
+  | (_, lk) :: extra, keep ->
+    replace_line ed pos.line (fun line ->
+        { line with links = List.map (fun (o, x) -> (o, x)) (extra @ keep) |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) });
+    Some lk
+
+let link_at ed pos =
+  let l = nth_line ed pos.line in
+  List.assoc_opt pos.col l.links
+
+(* -- clipboard ------------------------------------------------------------------ *)
+
+(* Copy the range as clipboard segments (text and links, positions made
+   relative to the range start). *)
+let copy ed from to_ =
+  check_pos ed from;
+  check_pos ed to_;
+  if pos_compare from to_ > 0 then bad_position "inverted range";
+  if from.line = to_.line then begin
+    let l = nth_line ed from.line in
+    let text = String.sub l.text from.col (to_.col - from.col) in
+    let links =
+      List.filter_map
+        (fun (o, lk) -> if o >= from.col && o < to_.col then Some (o - from.col, lk) else None)
+        l.links
+    in
+    { clip_lines = [ (text, links) ] }
+  end
+  else begin
+    let segment n ~from_col ~to_col =
+      let l = nth_line ed n in
+      let to_col = Option.value to_col ~default:(String.length l.text) in
+      let text = String.sub l.text from_col (to_col - from_col) in
+      let links =
+        List.filter_map
+          (fun (o, lk) -> if o >= from_col && o < to_col then Some (o - from_col, lk) else None)
+          l.links
+      in
+      (text, links)
+    in
+    let first = segment from.line ~from_col:from.col ~to_col:None in
+    let middles =
+      List.init (to_.line - from.line - 1) (fun i ->
+          segment (from.line + 1 + i) ~from_col:0 ~to_col:None)
+    in
+    let last = segment to_.line ~from_col:0 ~to_col:(Some to_.col) in
+    { clip_lines = (first :: middles) @ [ last ] }
+  end
+
+let cut ed from to_ =
+  let clip = copy ed from to_ in
+  delete_range ed from to_;
+  clip
+
+(* Paste clipboard segments at [pos]; returns the end position. *)
+let paste ed pos clip =
+  let texts = List.map fst clip.clip_lines in
+  let end_pos = insert_text ed pos (String.concat "\n" texts) in
+  List.iteri
+    (fun i (_, links) ->
+      let line = pos.line + i in
+      let base = if i = 0 then pos.col else 0 in
+      List.iter
+        (fun (o, lk) -> insert_link ed { line; col = base + o } lk)
+        links)
+    clip.clip_lines;
+  end_pos
+
+(* -- flat form -------------------------------------------------------------------- *)
+
+let to_flat ed =
+  let buf = Buffer.create 256 in
+  let links = ref [] in
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_char buf '\n';
+      let start = Buffer.length buf in
+      Buffer.add_string buf l.text;
+      List.iter (fun (o, lk) -> links := (start + o, lk) :: !links) l.links)
+    ed.lines;
+  (Buffer.contents buf, List.rev !links)
+
+let of_flat (text, flat_links) =
+  let line_texts = String.split_on_char '\n' text in
+  let starts =
+    let acc = ref 0 in
+    List.map
+      (fun t ->
+        let s = !acc in
+        acc := s + String.length t + 1;
+        (s, t))
+      line_texts
+  in
+  of_lines
+    (List.map
+       (fun (start, t) ->
+         let len = String.length t in
+         let links =
+           List.filter_map
+             (fun (pos, lk) -> if pos >= start && pos <= start + len then Some (pos - start, lk) else None)
+             flat_links
+         in
+         (t, links))
+       starts)

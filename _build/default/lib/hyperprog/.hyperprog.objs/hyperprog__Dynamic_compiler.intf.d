@@ -1,0 +1,1 @@
+lib/hyperprog/dynamic_compiler.mli: Jcompiler Minijava Oid Pstore Rt

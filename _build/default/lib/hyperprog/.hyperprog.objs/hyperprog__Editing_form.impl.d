@@ -1,0 +1,1 @@
+lib/hyperprog/editing_form.ml: Buffer Format Hyperlink Int List Storage_form String

@@ -1,0 +1,1 @@
+lib/hyperprog/editing_form.mli: Format Hyperlink Minijava Oid Pstore Rt

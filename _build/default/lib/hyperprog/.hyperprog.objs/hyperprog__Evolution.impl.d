@@ -1,0 +1,1 @@
+lib/hyperprog/evolution.ml: Classfile Dynamic_compiler Format List Minijava Printf Pstore Pvalue Rt Store String Vm

@@ -1,0 +1,1 @@
+lib/hyperprog/evolution.mli: Classfile Dynamic_compiler Minijava Rt

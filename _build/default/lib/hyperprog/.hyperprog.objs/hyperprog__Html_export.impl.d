@@ -1,0 +1,1 @@
+lib/hyperprog/html_export.ml: Buffer Editing_form Filename Format Hyperlink Int Jtype List Minijava Oid Printf Pstore Pvalue Registry Storage_form String Sys

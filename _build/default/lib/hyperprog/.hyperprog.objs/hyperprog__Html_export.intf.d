@@ -1,0 +1,1 @@
+lib/hyperprog/html_export.mli: Editing_form Hyperlink Minijava Pstore Rt

@@ -1,0 +1,1 @@
+lib/hyperprog/hyper_source.ml: Buffer Format Hashtbl Hyperlink Int Int32 Int64 Jcompiler Jtype List Minijava Oid Printf Pstore Pvalue Reflect Rt Storage_form Store String

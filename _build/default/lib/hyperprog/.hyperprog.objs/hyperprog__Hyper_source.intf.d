@@ -1,0 +1,1 @@
+lib/hyperprog/hyper_source.mli: Hyperlink Minijava Oid Pstore Rt

@@ -1,0 +1,1 @@
+lib/hyperprog/hyper_src.ml:

@@ -1,0 +1,1 @@
+lib/hyperprog/hyperlink.ml: Format Jtype Minijava Oid Pstore Pvalue Rt Store String

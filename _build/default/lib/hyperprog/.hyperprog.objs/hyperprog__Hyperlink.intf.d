@@ -1,0 +1,1 @@
+lib/hyperprog/hyperlink.mli: Format Jtype Minijava Oid Pstore Pvalue Rt

@@ -1,0 +1,1 @@
+lib/hyperprog/productions.ml: Ast Buffer Editing_form Format Hyperlink Int Jtype Lexer List Minijava Parser Printf Pstore Pvalue Rt Store String

@@ -1,0 +1,1 @@
+lib/hyperprog/productions.mli: Ast Editing_form Hyperlink Jtype Minijava Rt

@@ -1,0 +1,1 @@
+lib/hyperprog/registry.ml: Array Fun Hyper_src Int32 List Minijava Oid Pstore Pvalue Rt Storage_form Store String

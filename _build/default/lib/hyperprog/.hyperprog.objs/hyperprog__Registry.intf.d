@@ -1,0 +1,1 @@
+lib/hyperprog/registry.mli: Minijava Oid Pstore Pvalue Rt

@@ -1,0 +1,1 @@
+lib/hyperprog/storage_form.ml: Format Hyper_src Hyperlink Int Int32 Jtype List Minijava Pstore Pvalue Reflect Rt Store String Vm

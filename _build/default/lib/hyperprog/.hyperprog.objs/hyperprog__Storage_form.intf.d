@@ -1,0 +1,1 @@
+lib/hyperprog/storage_form.mli: Hyperlink Minijava Oid Pstore Pvalue Rt

@@ -1,0 +1,1 @@
+lib/hyperprog/textual_form.ml: Buffer Char Format Hyperlink Int Int32 Int64 Jtype Lexer List Minijava Printf Pstore Pvalue Registry Rt Storage_form Store String

@@ -1,0 +1,1 @@
+lib/hyperprog/textual_form.mli: Format Hyperlink Lexer Minijava Oid Pstore Pvalue Rt

@@ -1,0 +1,1 @@
+lib/hyperprog/transaction.ml: Boot Dynamic_compiler Evolution Minijava Pstore Rt Store

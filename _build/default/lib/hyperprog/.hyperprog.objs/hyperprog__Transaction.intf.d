@@ -1,0 +1,1 @@
+lib/hyperprog/transaction.mli: Dynamic_compiler Evolution Minijava Pstore Rt Store

@@ -1,0 +1,60 @@
+(** The DynamicCompiler (paper Section 4.3, Figure 9): translation of
+    hyper-programs to textual form, dynamic compilation, class loading,
+    and execution.
+
+    Two compilation mechanisms are provided, as in the paper: [Direct]
+    invokes the compiler in-process; [Forked] instantiates a fresh
+    compiler universe (the fork-a-JVM analog), marshalling sources across
+    and class files back; [Auto] tries [Direct] and falls back, like
+    Figure 9's try/catch. *)
+
+open Pstore
+open Minijava
+
+type mode =
+  | Direct
+  | Forked
+  | Auto
+
+val direct_path_broken : bool ref
+(** Test/benchmark hook: force the direct path to fail, modelling the
+    paper's "change in the Java implementation" scenario. *)
+
+val install : Rt.t -> unit
+(** Compile and load the [hyper.*] / [compiler.*] classes if absent,
+    create the registry, and register the DynamicCompiler natives.
+    Idempotent; call once per VM. *)
+
+val generate_textual_form : Rt.t -> Oid.t -> string
+(** Register the hyper-program (addHP) and generate its textual form. *)
+
+val compile_strings : ?mode:mode -> Rt.t -> names:string list -> string list -> Rt.rclass list
+(** Compile source strings and link the classes (Figure 9's
+    [compileClasses(String[], String[])]).  Every non-empty name in
+    [names] must be among the defined classes.
+    @raise Jcompiler.Compile_error on source errors.
+    @raise Rt.Jerror [NoClassDefFoundError] on a name mismatch. *)
+
+val compile_hyper_programs : ?mode:mode -> Rt.t -> Oid.t list -> Rt.rclass list
+(** Translate and compile a batch of hyper-programs
+    (Figure 9's [compileClasses(HyperProgram[])]). *)
+
+val compile_hyper_program : ?mode:mode -> Rt.t -> Oid.t -> Rt.rclass list
+
+val run_main : Rt.t -> cls:string -> string list -> unit
+(** Run a class's [main(String[])]. *)
+
+val go : ?mode:mode -> Rt.t -> Oid.t -> argv:string list -> string
+(** The Go button (Section 5.4.2): compile the hyper-program and run its
+    principal class's main method; returns the principal class name. *)
+
+val origin_uid_of_class : Rt.t -> string -> int option
+(** The registry uid of the hyper-program a class was compiled from. *)
+
+val hyper_program_of_class : Rt.t -> string -> Oid.t option
+(** The Section 6 hyper-code association: recover the hyper-program a
+    class was compiled from, if it is still alive. *)
+
+val explain_error : Rt.t -> Oid.t -> Jcompiler.error -> string
+(** Render a compile error in terms of the original hyper-program using
+    the textual form's source map. *)

@@ -1,0 +1,49 @@
+(** The hyper-program editing form (paper Section 5.2, Figure 11).
+
+    The form the editor works on: text split into lines, each hyper-link
+    positioned by a (line, offset) pair — optimised for local edits and
+    navigation.  Conversions to and from the storage form are exact
+    inverses (a qcheck property in the test suite). *)
+
+open Pstore
+open Minijava
+
+type link = {
+  link : Hyperlink.t;
+  label : string;
+  offset : int;  (** column within the line, in [0 .. length line] *)
+}
+
+type line = {
+  text : string;
+  links : link list;  (** sorted by offset *)
+}
+
+type t = {
+  lines : line list;
+  class_name : string;
+}
+
+val empty : t
+val line_count : t -> int
+val total_links : t -> int
+val sort_links : link list -> link list
+
+(** Flat representation: one text string with absolute link positions —
+    the shape shared with the storage form. *)
+type flat = {
+  text : string;
+  flat_links : (int * Hyperlink.t * string) list;  (** (absolute pos, link, label) *)
+}
+
+val to_flat : t -> flat
+val of_flat : class_name:string -> flat -> t
+
+val of_storage : Rt.t -> Oid.t -> t
+(** Load a storage-form hyper-program into the editing form. *)
+
+val to_storage : Rt.t -> t -> Oid.t
+(** Create a fresh storage-form instance from an editing form. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

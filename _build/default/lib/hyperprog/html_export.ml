@@ -1,0 +1,157 @@
+(* HTML publishing of hyper-programs (Section 6, Future Work — implemented
+   here): each hyper-program is rendered as an HTML page with its
+   hyper-links represented as URLs, as was done to publish the Napier88
+   compiler source.  Links into the store use a store:// URL scheme
+   carrying the oid, so a published page can be navigated alongside a
+   store dump. *)
+
+open Pstore
+open Minijava
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* The URL a hyper-link is rendered as. *)
+let link_url = function
+  | Hyperlink.L_object oid -> Printf.sprintf "store://object/%d" (Oid.to_int oid)
+  | Hyperlink.L_primitive v -> Printf.sprintf "store://value/%s" (escape (Pvalue.to_string v))
+  | Hyperlink.L_type ty -> Printf.sprintf "store://type/%s" (Jtype.descriptor ty)
+  | Hyperlink.L_static_method { cls; name; desc } ->
+    Printf.sprintf "store://method/%s.%s%s" cls name desc
+  | Hyperlink.L_instance_method { cls; name; desc } ->
+    Printf.sprintf "store://method/%s.%s%s" cls name desc
+  | Hyperlink.L_constructor { cls; desc } -> Printf.sprintf "store://constructor/%s%s" cls desc
+  | Hyperlink.L_static_field { cls; name } -> Printf.sprintf "store://field/%s.%s" cls name
+  | Hyperlink.L_instance_field { target; cls; name } ->
+    Printf.sprintf "store://field/%d/%s.%s" (Oid.to_int target) cls name
+  | Hyperlink.L_array_element { array; index } ->
+    Printf.sprintf "store://element/%d/%d" (Oid.to_int array) index
+
+let render_anchor link label =
+  Printf.sprintf "<a class=\"hyperlink\" href=\"%s\">%s</a>" (link_url link) (escape label)
+
+(* Render a hyper-program body: text with anchors spliced in at link
+   positions. *)
+let render_body (flat : Editing_form.flat) =
+  let expansions =
+    List.map
+      (fun (pos, link, label) -> (pos, render_anchor link label))
+      flat.Editing_form.flat_links
+    |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let text = flat.Editing_form.text in
+  let buf = Buffer.create (String.length text + 256) in
+  let rec go cursor = function
+    | [] -> Buffer.add_string buf (escape (String.sub text cursor (String.length text - cursor)))
+    | (pos, anchor) :: rest ->
+      Buffer.add_string buf (escape (String.sub text cursor (pos - cursor)));
+      Buffer.add_string buf anchor;
+      go pos rest
+  in
+  go 0 expansions;
+  Buffer.contents buf
+
+let page_style =
+  "body { font-family: monospace; background: #fdfdfd; }\n\
+   pre { border: 1px solid #ccc; padding: 1em; }\n\
+   a.hyperlink { background: #dde8ff; border: 1px solid #88a; border-radius: 3px;\n\
+  \  padding: 0 0.3em; text-decoration: none; }\n"
+
+(* A full HTML page for one hyper-program. *)
+let page ~title body =
+  Printf.sprintf
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>\n<style>\n%s</style></head>\n\
+     <body>\n<h1>%s</h1>\n<pre>%s</pre>\n</body></html>\n"
+    (escape title) page_style (escape title) body
+
+let export_form form =
+  let flat = Editing_form.to_flat form in
+  page ~title:form.Editing_form.class_name (render_body flat)
+
+let export vm hp_oid =
+  let flat =
+    {
+      Editing_form.text = Storage_form.text vm hp_oid;
+      flat_links =
+        List.map
+          (fun (s : Storage_form.link_spec) ->
+            (s.Storage_form.pos, s.Storage_form.link, s.Storage_form.label))
+          (Storage_form.links vm hp_oid);
+    }
+  in
+  page ~title:(Storage_form.class_name vm hp_oid) (render_body flat)
+
+(* An index page over several hyper-programs. *)
+let index_page (entries : (string * string) list) =
+  let items =
+    entries
+    |> List.map (fun (name, href) ->
+           Printf.sprintf "<li><a href=\"%s\">%s</a></li>" (escape href) (escape name))
+    |> String.concat "\n"
+  in
+  Printf.sprintf
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>Hyper-programs</title></head>\n\
+     <body><h1>Published hyper-programs</h1><ul>\n%s\n</ul></body></html>\n"
+    items
+
+(* Export every live registered hyper-program into a directory. *)
+let export_all vm ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let entries =
+    List.map
+      (fun (uid, hp_oid) ->
+        let name = Storage_form.class_name vm hp_oid in
+        let name = if name = "" then Printf.sprintf "hp%d" uid else name in
+        let file = Printf.sprintf "%s.html" name in
+        let oc = open_out (Filename.concat dir file) in
+        output_string oc (export vm hp_oid);
+        close_out oc;
+        (name, file))
+      (Registry.live_programs vm)
+  in
+  let oc = open_out (Filename.concat dir "index.html") in
+  output_string oc (index_page entries);
+  close_out oc;
+  List.map fst entries
+
+(* Plain-text printing (the paper's §6 "printing of hyper-programs is
+   hindered by the presence of hyper-links"): links become bracketed
+   footnote indices, with the link descriptions listed after the text. *)
+let plain_text vm hp_oid =
+  let text = Storage_form.text vm hp_oid in
+  let links = Storage_form.links vm hp_oid in
+  let buf = Buffer.create (String.length text + 256) in
+  let expansions =
+    List.mapi
+      (fun i (s : Storage_form.link_spec) -> (s.Storage_form.pos, Printf.sprintf "[%d]" (i + 1)))
+      links
+    |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let rec go cursor = function
+    | [] -> Buffer.add_substring buf text cursor (String.length text - cursor)
+    | (pos, marker) :: rest ->
+      Buffer.add_substring buf text cursor (pos - cursor);
+      Buffer.add_string buf marker;
+      go pos rest
+  in
+  go 0 expansions;
+  if links <> [] then begin
+    Buffer.add_string buf "---\n";
+    List.iteri
+      (fun i (s : Storage_form.link_spec) ->
+        Buffer.add_string buf
+          (Format.asprintf "[%d] %s = %a\n" (i + 1) s.Storage_form.label Hyperlink.pp
+             s.Storage_form.link))
+      links
+  end;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** HTML publishing of hyper-programs (paper Section 6).
+
+    Hyper-programs are rendered as HTML pages with the hyper-links
+    represented as URLs (a [store://] scheme carrying the target), as was
+    done to publish the Napier88 compiler source. *)
+
+open Minijava
+
+val escape : string -> string
+(** HTML-escape a text fragment. *)
+
+val link_url : Hyperlink.t -> string
+(** The URL a hyper-link is rendered as. *)
+
+val export_form : Editing_form.t -> string
+(** Render an editing-form hyper-program as a full HTML page. *)
+
+val export : Rt.t -> Pstore.Oid.t -> string
+(** Render a storage-form hyper-program as a full HTML page. *)
+
+val index_page : (string * string) list -> string
+(** An index page over (name, href) entries. *)
+
+val export_all : Rt.t -> dir:string -> string list
+(** Write one page per live registered hyper-program plus an index into
+    [dir]; returns the exported names. *)
+
+val plain_text : Rt.t -> Pstore.Oid.t -> string
+(** Plain-text printing: links become bracketed footnote indices with
+    their descriptions listed after the text. *)

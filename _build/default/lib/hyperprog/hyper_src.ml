@@ -1,0 +1,114 @@
+(* MiniJava sources of the hyper-programming runtime classes: the storage
+   form (Figures 4 and 6) and the DynamicCompiler interface (Figure 9).
+   They are compiled into any store that uses hyper-programming, so
+   hyper-program instances are ordinary persistent objects that generated
+   textual forms can reach through DynamicCompiler.getLink. *)
+
+let hyper_unit =
+  {|package hyper;
+import java.util.Vector;
+
+public class HyperProgram {
+  protected String theText;
+  protected Vector theLinks;
+  protected String className;
+  protected int uid;
+
+  public HyperProgram() {
+    theText = "";
+    theLinks = new Vector();
+    className = "";
+    uid = -1;
+  }
+
+  public HyperProgram(String text) {
+    theText = text;
+    theLinks = new Vector();
+    className = "";
+    uid = -1;
+  }
+
+  public HyperProgram(String text, Vector links) {
+    theText = text;
+    theLinks = links;
+    className = "";
+    uid = -1;
+  }
+
+  public String getTheText() { return theText; }
+  public Vector getTheLinks() { return theLinks; }
+  public String getClassName() { return className; }
+  public void setClassName(String name) { className = name; }
+  public int getUid() { return uid; }
+  public void setUid(int u) { uid = u; }
+  public void setTheText(String text) { theText = text; }
+
+  public String toString() {
+    return "HyperProgram(" + className + ", " + theLinks.size() + " links)";
+  }
+}
+
+public class HyperLinkHP {
+  protected Object hyperLinkObject;
+  protected String label;
+  protected int stringPos;
+  protected boolean isSpecial;
+  protected boolean isPrimitive;
+  protected int kindTag;
+  protected String className;
+  protected String memberName;
+  protected String descriptor;
+  protected int index;
+
+  public HyperLinkHP() {}
+
+  public HyperLinkHP(Object obj, String lbl, int pos, boolean special, boolean primitive) {
+    hyperLinkObject = obj;
+    label = lbl;
+    stringPos = pos;
+    isSpecial = special;
+    isPrimitive = primitive;
+  }
+
+  public Object getObject() { return hyperLinkObject; }
+  public String getLabel() { return label; }
+  public int getStringPos() { return stringPos; }
+  public boolean getIsSpecial() { return isSpecial; }
+  public boolean getIsPrimitive() { return isPrimitive; }
+  public int getKindTag() { return kindTag; }
+  public String getLinkClassName() { return className; }
+  public String getMemberName() { return memberName; }
+  public String getDescriptor() { return descriptor; }
+  public int getIndex() { return index; }
+
+  public String toString() { return "HyperLinkHP(" + label + ")"; }
+}
+
+public class Registry {
+  protected String password;
+  protected Object[] programs;
+  protected int count;
+}
+|}
+
+let compiler_unit =
+  {|package compiler;
+import hyper.HyperProgram;
+import hyper.HyperLinkHP;
+
+public class DynamicCompiler {
+  public static native HyperLinkHP getLink(String password, int hpIndex, int hlIndex);
+  public static native Class[] compileClasses(String[] classNames, String[] classDefns);
+  public static native Class compileClass(String className, String classDefn);
+  public static native Class[] compileClasses(HyperProgram[] hps);
+  public static native Class[] compileClass(HyperProgram hp);
+  public static native String generateTextualForm(HyperProgram hp);
+}
+|}
+
+let all_units = [ hyper_unit; compiler_unit ]
+
+let hyper_program_class = "hyper.HyperProgram"
+let hyper_link_class = "hyper.HyperLinkHP"
+let registry_class = "hyper.Registry"
+let dynamic_compiler_class = "compiler.DynamicCompiler"

@@ -1,0 +1,17 @@
+(** MiniJava sources of the hyper-programming runtime classes: the storage
+    form (paper Figures 4 and 6) and the DynamicCompiler class interface
+    (Figure 9).  Compiled into every store that uses hyper-programming by
+    {!Dynamic_compiler.install}. *)
+
+val hyper_unit : string
+(** Package [hyper]: [HyperProgram], [HyperLinkHP], [Registry]. *)
+
+val compiler_unit : string
+(** Package [compiler]: [DynamicCompiler] with its native methods. *)
+
+val all_units : string list
+
+val hyper_program_class : string
+val hyper_link_class : string
+val registry_class : string
+val dynamic_compiler_class : string

@@ -1,0 +1,52 @@
+(** Denotable hyper-links (paper Section 2, Table 1).
+
+    A hyper-link denotes either a value — an object, a primitive value, a
+    type, a method or a constructor — or a location that contains a value
+    — a static field, an instance field, or an array element.  Location
+    links give delayed binding: the program uses whatever the location
+    contains when it runs. *)
+
+open Pstore
+open Minijava
+
+type t =
+  | L_object of Oid.t  (** an object, array or string instance *)
+  | L_primitive of Pvalue.t  (** a primitive value *)
+  | L_type of Jtype.t  (** a class / interface / primitive / array type *)
+  | L_static_method of { cls : string; name : string; desc : string }
+  | L_instance_method of { cls : string; name : string; desc : string }
+  | L_constructor of { cls : string; desc : string }
+  | L_static_field of { cls : string; name : string }  (** location *)
+  | L_instance_field of { target : Oid.t; cls : string; name : string }  (** location *)
+  | L_array_element of { array : Oid.t; index : int }  (** location *)
+
+(** The Java syntactic productions of Table 1. *)
+type production =
+  | P_class_type
+  | P_primitive_type
+  | P_interface_type
+  | P_array_type
+  | P_primary
+  | P_literal
+  | P_field_access
+  | P_name
+  | P_array_access
+
+val production_name : production -> string
+
+val production_of : Jtype.class_env -> t -> production
+(** Table 1's mapping from hyper-link kind to its equivalent production.
+    Class types need the environment to distinguish interfaces. *)
+
+val default_label : Rt.t -> t -> string
+(** A short label for displaying the link as a button. *)
+
+val is_location : t -> bool
+(** Is this a location link (delayed binding) rather than a value link? *)
+
+val referenced_oids : t -> Oid.t list
+(** Oids the link pins in the store: a hyper-program keeps its
+    hyper-linked entities reachable. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+(* The hyper-program registry (Figure 7): a password-protected, persistent
+   vector of WEAK references to every hyper-program that has been
+   translated and compiled.
+
+   The weak references are the paper's JDK 1.2 plan, implemented here: a
+   registered hyper-program can still be garbage collected once no user
+   references remain, yet while it lives, compiled textual forms can reach
+   its hyper-linked entities through getLink.  Note that a live
+   hyper-program strongly references its HyperLinkHP instances, which
+   strongly reference the linked entities — so the entities stay reachable
+   as long as either the hyper-program or the compiled form's user keeps
+   them. *)
+
+open Pstore
+open Minijava
+
+let root_name = "hyper.registry"
+
+(* The password is "built into the system" (Section 4.2). *)
+let built_in_password = "passwd"
+
+let bad_password () =
+  Rt.jerror "java.lang.SecurityException" "wrong password for the hyper-program registry"
+
+let field vm oid name = Store.field Rt.(vm.store) oid (Rt.field_slot vm Hyper_src.registry_class name)
+
+let set_field vm oid name v =
+  Store.set_field Rt.(vm.store) oid (Rt.field_slot vm Hyper_src.registry_class name) v
+
+(* Get or create the registry object rooted at [root_name]. *)
+let ensure vm =
+  let store = Rt.(vm.store) in
+  match Store.root store root_name with
+  | Some (Pvalue.Ref oid) -> oid
+  | Some _ | None ->
+    let reg = Rt.alloc_object vm Hyper_src.registry_class in
+    let oid = match reg with Pvalue.Ref oid -> oid | _ -> assert false in
+    set_field vm oid "password" (Rt.jstring vm built_in_password);
+    let arr =
+      Store.alloc_array store "Ljava.lang.Object;" (Array.make 8 Pvalue.Null)
+    in
+    set_field vm oid "programs" (Pvalue.Ref arr);
+    set_field vm oid "count" (Pvalue.Int 0l);
+    Store.set_root store root_name (Pvalue.Ref oid);
+    oid
+
+let check_password vm password =
+  let reg = ensure vm in
+  match field vm reg "password" with
+  | Pvalue.Ref soid -> String.equal (Store.get_string Rt.(vm.store) soid) password
+  | _ -> false
+
+let count vm =
+  let reg = ensure vm in
+  match field vm reg "count" with
+  | Pvalue.Int n -> Int32.to_int n
+  | _ -> 0
+
+let programs_array vm reg =
+  match field vm reg "programs" with
+  | Pvalue.Ref arr -> arr
+  | _ -> Rt.jerror "java.lang.InternalError" "registry programs array missing"
+
+(* The weak cell at index i, if any. *)
+let weak_at vm idx =
+  let reg = ensure vm in
+  let arr = programs_array vm reg in
+  if idx < 0 || idx >= count vm then None
+  else
+    match Store.elem Rt.(vm.store) arr idx with
+    | Pvalue.Ref cell -> Some cell
+    | _ -> None
+
+(* The hyper-program at index i: Null if it has been garbage collected. *)
+let hp_at vm idx =
+  match weak_at vm idx with
+  | None -> Pvalue.Null
+  | Some cell -> (Store.get_weak Rt.(vm.store) cell).Pstore.Heap.target
+
+let grow vm reg needed =
+  let store = Rt.(vm.store) in
+  let arr = programs_array vm reg in
+  let len = Store.array_length store arr in
+  if needed > len then begin
+    let bigger = Store.alloc_array store "Ljava.lang.Object;" (Array.make (max needed (2 * len)) Pvalue.Null) in
+    for i = 0 to len - 1 do
+      Store.set_elem store bigger i (Store.elem store arr i)
+    done;
+    set_field vm reg "programs" (Pvalue.Ref bigger)
+  end
+
+(* Register a hyper-program (idempotent).  Returns its unique id — its
+   offset in the persistent vector, as in the paper. *)
+let add_hp vm ~password hp_oid =
+  if not (check_password vm password) then bad_password ();
+  let store = Rt.(vm.store) in
+  let existing = Storage_form.uid vm hp_oid in
+  let still_there =
+    existing >= 0
+    &&
+    match hp_at vm existing with
+    | Pvalue.Ref oid -> Oid.equal oid hp_oid
+    | _ -> false
+  in
+  if still_there then existing
+  else begin
+    let reg = ensure vm in
+    let n = count vm in
+    grow vm reg (n + 1);
+    let arr = programs_array vm reg in
+    let cell = Store.alloc_weak store (Pvalue.Ref hp_oid) in
+    Store.set_elem store arr n (Pvalue.Ref cell);
+    set_field vm reg "count" (Pvalue.Int (Int32.of_int (n + 1)));
+    Storage_form.set_uid vm hp_oid n;
+    n
+  end
+
+(* Retrieve a HyperLinkHP instance (the getLink of Figure 9). *)
+let get_link vm ~password ~hp ~link =
+  if not (check_password vm password) then bad_password ();
+  match hp_at vm hp with
+  | Pvalue.Ref hp_oid -> begin
+    let link_oids = Storage_form.link_oids vm hp_oid in
+    match List.nth_opt link_oids link with
+    | Some oid -> Pvalue.Ref oid
+    | None ->
+      Rt.jerror "java.lang.IndexOutOfBoundsException" "hyper-link %d of hyper-program %d" link
+        hp
+  end
+  | _ ->
+    Rt.jerror "java.lang.IllegalStateException"
+      "hyper-program %d has been garbage collected" hp
+
+(* Live registered programs: (uid, oid) pairs whose weak target survives. *)
+let live_programs vm =
+  List.init (count vm) (fun i ->
+      match hp_at vm i with
+      | Pvalue.Ref oid -> Some (i, oid)
+      | _ -> None)
+  |> List.filter_map Fun.id

@@ -1,0 +1,40 @@
+(** The hyper-program registry (paper Figure 7).
+
+    A password-protected, persistent vector of {e weak} references to
+    every hyper-program that has been translated for compilation.  The
+    weak references implement the paper's JDK 1.2 plan: a registered
+    hyper-program is still garbage collected once no user references
+    remain, but while it lives, compiled textual forms can retrieve its
+    hyper-linked entities through {!get_link}. *)
+
+open Pstore
+open Minijava
+
+val root_name : string
+(** The persistent root under which the registry lives. *)
+
+val built_in_password : string
+(** The password "built into the system" (paper Section 4.2). *)
+
+val ensure : Rt.t -> Oid.t
+(** Get or create the registry object. *)
+
+val check_password : Rt.t -> string -> bool
+
+val count : Rt.t -> int
+(** Number of uids ever allocated (including collected programs). *)
+
+val hp_at : Rt.t -> int -> Pvalue.t
+(** The hyper-program at an index; [Null] if it has been collected. *)
+
+val add_hp : Rt.t -> password:string -> Oid.t -> int
+(** Register a hyper-program (idempotent); returns its unique id — its
+    offset in the persistent vector, as in the paper.
+    @raise Rt.Jerror [java.lang.SecurityException] on a bad password. *)
+
+val get_link : Rt.t -> password:string -> hp:int -> link:int -> Pvalue.t
+(** Retrieve a [HyperLinkHP] instance (Figure 9's [getLink]).
+    @raise Rt.Jerror on bad password, collected program, or bad index. *)
+
+val live_programs : Rt.t -> (int * Oid.t) list
+(** Registered programs whose weak target is still alive. *)

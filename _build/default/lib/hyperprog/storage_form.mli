@@ -1,0 +1,49 @@
+(** The hyper-program storage form (paper Figures 4–6).
+
+    A storage-form hyper-program is a store-resident
+    [hyper.HyperProgram] instance: its text is a store string and its
+    links are [hyper.HyperLinkHP] instances held in a [java.util.Vector].
+    Compiled MiniJava code sees exactly the same objects through
+    [getTheText()] / [getTheLinks()]. *)
+
+open Pstore
+open Minijava
+
+exception Storage_error of string
+
+type link_spec = {
+  link : Hyperlink.t;
+  label : string;  (** the button text; not semantically significant *)
+  pos : int;  (** position within the storage-form text *)
+}
+
+val create : Rt.t -> class_name:string -> text:string -> links:link_spec list -> Oid.t
+(** Allocate a [hyper.HyperProgram] instance holding [text] and one
+    [hyper.HyperLinkHP] per link (sorted by position).  [class_name] is
+    the principal class (may be [""] to default to the first class). *)
+
+val make_link : Rt.t -> link_spec -> Pvalue.t
+(** Allocate a single [hyper.HyperLinkHP] instance. *)
+
+val read_link : Rt.t -> Oid.t -> link_spec
+(** Decode a [hyper.HyperLinkHP] instance back into a {!link_spec}. *)
+
+val link_flags : Rt.t -> Oid.t -> bool * bool
+(** The paper's [(isSpecial, isPrimitive)] display flags of a link. *)
+
+val text : Rt.t -> Oid.t -> string
+val set_text : Rt.t -> Oid.t -> string -> unit
+val class_name : Rt.t -> Oid.t -> string
+
+val uid : Rt.t -> Oid.t -> int
+(** The hyper-program's registry offset; -1 until registered. *)
+
+val set_uid : Rt.t -> Oid.t -> int -> unit
+
+val link_oids : Rt.t -> Oid.t -> Oid.t list
+(** Oids of the [HyperLinkHP] instances, in vector order. *)
+
+val links : Rt.t -> Oid.t -> link_spec list
+(** All links, decoded, in vector order. *)
+
+val is_hyper_program : Rt.t -> Oid.t -> bool

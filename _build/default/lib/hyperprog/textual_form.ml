@@ -1,0 +1,277 @@
+(* The textual form (Section 4.1, Figure 8): each hyper-link is replaced
+   by an equivalent textual denotation so any standard compiler can
+   compile the program.  Links to store objects become retrieval
+   expressions through the password-protected registry; links to methods,
+   fields, types and primitive values become plain source text. *)
+
+open Pstore
+open Minijava
+
+exception Textual_error of string
+
+let textual_error fmt = Format.kasprintf (fun s -> raise (Textual_error s)) fmt
+
+(* Java source syntax for a type (casts in retrieval expressions). *)
+let type_source ty = Jtype.to_string ty
+
+(* The source form of the runtime class of a store object, for casts. *)
+let cast_type vm oid =
+  match Store.get Rt.(vm.store) oid with
+  | Pstore.Heap.Record r -> r.Pstore.Heap.class_name
+  | Pstore.Heap.Str _ -> Jtype.string_class
+  | Pstore.Heap.Array a -> type_source (Jtype.of_descriptor a.Pstore.Heap.elem_type) ^ "[]"
+  | Pstore.Heap.Weak _ -> textual_error "cannot hyper-link a weak cell"
+
+(* Java literal text for a primitive value. *)
+let literal_source v =
+  match v with
+  | Pvalue.Bool b -> if b then "true" else "false"
+  | Pvalue.Byte n -> Printf.sprintf "(byte) %d" n
+  | Pvalue.Short n -> Printf.sprintf "(short) %d" n
+  | Pvalue.Char c ->
+    if c >= 32 && c < 127 && c <> Char.code '\'' && c <> Char.code '\\' then
+      Printf.sprintf "'%c'" (Char.chr c)
+    else Printf.sprintf "'\\u%04x'" c
+  | Pvalue.Int n -> Int32.to_string n
+  | Pvalue.Long n -> Int64.to_string n ^ "L"
+  | Pvalue.Float f -> Printf.sprintf "%.17gf" f
+  | Pvalue.Double f -> Printf.sprintf "%.17g" f
+  | Pvalue.Null -> "null"
+  | Pvalue.Ref _ -> textual_error "reference is not a primitive value"
+
+let get_link_call ~password ~hp_uid ~link_index =
+  Printf.sprintf "DynamicCompiler.getLink(\"%s\", %d, %d)" password hp_uid link_index
+
+(* The textual equivalent of one hyper-link (Section 4.2). *)
+let link_expression vm ~password ~hp_uid ~link_index (link : Hyperlink.t) =
+  let retrieval = get_link_call ~password ~hp_uid ~link_index in
+  match link with
+  | Hyperlink.L_static_method { cls; name; _ } ->
+    (* "fully qualified method name" — no store retrieval needed *)
+    Printf.sprintf "%s.%s" cls name
+  | Hyperlink.L_instance_method { name; _ } ->
+    (* spliced after a receiver expression and dot in the program text *)
+    name
+  | Hyperlink.L_constructor { cls; _ } -> cls
+  | Hyperlink.L_type ty -> type_source ty
+  | Hyperlink.L_primitive v -> literal_source v
+  | Hyperlink.L_object oid ->
+    Printf.sprintf "((%s) %s.getObject())" (cast_type vm oid) retrieval
+  | Hyperlink.L_static_field { cls; name } -> Printf.sprintf "%s.%s" cls name
+  | Hyperlink.L_instance_field { target; cls = _; name } ->
+    Printf.sprintf "((%s) %s.getObject()).%s" (cast_type vm target) retrieval name
+  | Hyperlink.L_array_element { array; index } ->
+    Printf.sprintf "((%s) %s.getObject())[%d]" (cast_type vm array) retrieval index
+
+(* Does this link kind need the registry at run time? *)
+let needs_retrieval = function
+  | Hyperlink.L_object _ | Hyperlink.L_instance_field _ | Hyperlink.L_array_element _ -> true
+  | Hyperlink.L_primitive _ | Hyperlink.L_type _ | Hyperlink.L_static_method _
+  | Hyperlink.L_instance_method _ | Hyperlink.L_constructor _ | Hyperlink.L_static_field _ ->
+    false
+
+(* Splice expansion strings into the storage-form text at their
+   positions.  Positions index the text *without* the links. *)
+let splice text (expansions : (int * string) list) =
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) expansions in
+  let buf = Buffer.create (String.length text + 64) in
+  let len = String.length text in
+  let rec go cursor = function
+    | [] -> Buffer.add_substring buf text cursor (len - cursor)
+    | (pos, expansion) :: rest ->
+      if pos < cursor || pos > len then textual_error "link position %d out of range" pos;
+      Buffer.add_substring buf text cursor (pos - cursor);
+      Buffer.add_string buf expansion;
+      go pos rest
+  in
+  go 0 sorted;
+  Buffer.contents buf
+
+(* Insert the DynamicCompiler import after any package declaration. *)
+let add_import text =
+  let import_line = "import compiler.DynamicCompiler;\n" in
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | first :: rest
+    when String.length (String.trim first) >= 7
+         && String.sub (String.trim first) 0 7 = "package" ->
+    String.concat "\n" ((first ^ "\n" ^ String.trim import_line) :: rest)
+  | _ -> import_line ^ text
+
+(* Generate the textual form of a registered hyper-program (its uid must
+   have been allocated by Registry.add_hp). *)
+let generate vm hp_oid =
+  let hp_uid = Storage_form.uid vm hp_oid in
+  if hp_uid < 0 then
+    textual_error "hyper-program is not registered; call Registry.add_hp first";
+  let text = Storage_form.text vm hp_oid in
+  let links = Storage_form.links vm hp_oid in
+  let expansions =
+    List.mapi
+      (fun link_index (spec : Storage_form.link_spec) ->
+        ( spec.Storage_form.pos,
+          link_expression vm ~password:Registry.built_in_password ~hp_uid ~link_index
+            spec.Storage_form.link ))
+      links
+  in
+  let body = splice text expansions in
+  if List.exists (fun spec -> needs_retrieval spec.Storage_form.link) links then
+    add_import body
+  else body
+
+(* ---------------------------------------------------------------------- *)
+(* Source maps: textual form -> hyper-program positions                    *)
+(*                                                                         *)
+(* The paper reports compile errors "in terms of the translated textual   *)
+(* form, which may not be comprehensible to the programmer" and plans to  *)
+(* display them in terms of the original hyper-program.  The source map   *)
+(* implements that plan: every character of the generated textual form is *)
+(* attributed either to a position in the original storage-form text, to  *)
+(* one of the hyper-links, or to the generated import header.             *)
+(* ---------------------------------------------------------------------- *)
+
+type origin =
+  | From_text of int (* offset in the storage-form text *)
+  | From_link of int (* index of the hyper-link whose expansion covers it *)
+  | From_header (* the generated import line *)
+
+type source_map = {
+  (* (start offset in textual form, length, origin at segment start);
+     sorted by start offset, contiguous. *)
+  segments : (int * int * origin) list;
+}
+
+(* Attribute a textual-form offset to its origin. *)
+let map_offset map offset =
+  let rec go = function
+    | [] -> From_header
+    | (start, len, origin) :: rest ->
+      if offset >= start && offset < start + len then begin
+        match origin with
+        | From_text base -> From_text (base + (offset - start))
+        | other -> other
+      end
+      else go rest
+  in
+  go map.segments
+
+(* Line/column <-> offset conversions over a text. *)
+let offset_of_pos text (pos : Lexer.pos) =
+  let rec find_line offset line =
+    if line >= pos.Lexer.line then offset
+    else
+      match String.index_from_opt text offset '\n' with
+      | Some nl -> find_line (nl + 1) (line + 1)
+      | None -> String.length text
+  in
+  let bol = find_line 0 1 in
+  min (String.length text) (bol + pos.Lexer.col - 1)
+
+let pos_of_offset text offset =
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < offset && c = '\n' then begin
+        incr line;
+        bol := i + 1
+      end)
+    text;
+  { Lexer.line = !line; col = offset - !bol + 1 }
+
+(* As [splice], but also produce the source map. *)
+let splice_mapped text (expansions : (int * string) list) =
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) expansions in
+  let buf = Buffer.create (String.length text + 64) in
+  let segments = ref [] in
+  let len = String.length text in
+  let emit_text orig_start n =
+    if n > 0 then begin
+      segments := (Buffer.length buf, n, From_text orig_start) :: !segments;
+      Buffer.add_substring buf text orig_start n
+    end
+  in
+  let rec go cursor idx = function
+    | [] -> emit_text cursor (len - cursor)
+    | (pos, expansion) :: rest ->
+      if pos < cursor || pos > len then textual_error "link position %d out of range" pos;
+      emit_text cursor (pos - cursor);
+      segments := (Buffer.length buf, String.length expansion, From_link idx) :: !segments;
+      Buffer.add_string buf expansion;
+      go pos (idx + 1) rest
+  in
+  go 0 0 sorted;
+  (Buffer.contents buf, { segments = List.rev !segments })
+
+let shift_map map by =
+  { segments = List.map (fun (s, l, o) -> (s + by, l, o)) map.segments }
+
+(* Generate the textual form together with its source map. *)
+let generate_mapped vm hp_oid =
+  let hp_uid = Storage_form.uid vm hp_oid in
+  if hp_uid < 0 then
+    textual_error "hyper-program is not registered; call Registry.add_hp first";
+  let text = Storage_form.text vm hp_oid in
+  let links = Storage_form.links vm hp_oid in
+  let expansions =
+    List.mapi
+      (fun link_index (spec : Storage_form.link_spec) ->
+        ( spec.Storage_form.pos,
+          link_expression vm ~password:Registry.built_in_password ~hp_uid ~link_index
+            spec.Storage_form.link ))
+      links
+  in
+  let body, map = splice_mapped text expansions in
+  if List.exists (fun spec -> needs_retrieval spec.Storage_form.link) links then begin
+    let with_import = add_import body in
+    (* add_import inserts a prefix (and possibly keeps a package line
+       first); the inserted length is the size difference, always at a
+       single point: after the package line or at offset 0. *)
+    let inserted = String.length with_import - String.length body in
+    let insertion_point =
+      (* find where the texts diverge *)
+      let rec go i =
+        if i >= String.length body then i
+        else if body.[i] = with_import.[i] then go (i + 1)
+        else i
+      in
+      go 0
+    in
+    let map =
+      {
+        segments =
+          List.map
+            (fun (s, l, o) -> if s >= insertion_point then (s + inserted, l, o) else (s, l, o))
+            map.segments;
+      }
+    in
+    ignore shift_map;
+    (with_import, map)
+  end
+  else (body, map)
+
+(* Explain a position in the textual form in hyper-program terms. *)
+type explained =
+  | In_text of Lexer.pos (* position within the hyper-program's own text *)
+  | In_link of int * string (* hyper-link index and label *)
+  | In_generated (* generated header *)
+
+let explain vm hp_oid map ~textual ~(pos : Lexer.pos) =
+  let offset = offset_of_pos textual pos in
+  match map_offset map offset with
+  | From_text orig ->
+    let text = Storage_form.text vm hp_oid in
+    In_text (pos_of_offset text orig)
+  | From_link idx ->
+    let links = Storage_form.links vm hp_oid in
+    let label =
+      match List.nth_opt links idx with
+      | Some spec -> spec.Storage_form.label
+      | None -> string_of_int idx
+    in
+    In_link (idx, label)
+  | From_header -> In_generated
+
+let pp_explained ppf = function
+  | In_text pos -> Format.fprintf ppf "at %a in the hyper-program" Lexer.pp_pos pos
+  | In_link (idx, label) -> Format.fprintf ppf "in hyper-link %d [%s]" idx label
+  | In_generated -> Format.pp_print_string ppf "in generated code"

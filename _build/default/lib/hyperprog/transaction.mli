@@ -1,0 +1,32 @@
+(** Transactions over the live system (paper Section 7).
+
+    A transaction runs its body against a fresh VM over the shared store.
+    On success the store keeps the effects and the transaction's VM
+    becomes the current one; on abort the store is restored to its
+    pre-transaction image — classes, data and hyper-programs revert
+    together — and a fresh VM is booted from the restored state. *)
+
+open Pstore
+open Minijava
+
+type 'a outcome =
+  | Committed of 'a * Rt.t  (** the result and the VM to continue with *)
+  | Aborted of exn * Rt.t  (** the failure and a VM over the restored store *)
+
+val fresh_vm : Store.t -> Rt.t
+(** Boot a VM for the store's current state, replacing earlier VMs' pins
+    and installing the hyper-programming runtime. *)
+
+val transact : Store.t -> (Rt.t -> 'a) -> 'a outcome
+
+val evolve :
+  ?converter:string ->
+  ?mode:Dynamic_compiler.mode ->
+  Store.t ->
+  class_name:string ->
+  new_source:string ->
+  unit ->
+  Evolution.result outcome
+(** The paper's live-evolution scenario: schema evolution in a separate
+    transaction; a failing recompilation or converter rolls back every
+    store effect. *)

@@ -1,0 +1,1 @@
+lib/hyperui/session.ml: Boot Browser Buffer Dynamic_compiler Editor Format Hyperlink Hyperprog Jtype List Minijava Option Printf Pstore Pvalue Rt String

@@ -1,0 +1,1 @@
+lib/hyperui/session.mli: Browser Dynamic_compiler Editor Hyperlink Hyperprog Minijava Pstore Rt Store

@@ -1,0 +1,1 @@
+lib/hyperui/shell.ml: Browser Buffer Editor Format Gc Hyper_source Hyperlink Hyperprog List Oid Option Printexc Printf Pstore Pvalue Session Storage_form Store String Sys Unix

@@ -1,0 +1,1 @@
+lib/hyperui/shell.mli:

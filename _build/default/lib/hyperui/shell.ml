@@ -1,0 +1,204 @@
+(* An interactive (and pipe-scriptable) shell over the hyper-programming
+   session: the terminal stand-in for the paper's Figure 12 user
+   interface.  Commands mirror the UI's gestures: type text, insert links
+   (using the .hp link-spec syntax), press buttons, browse, Compile /
+   Display Class / Go. *)
+
+open Pstore
+open Hyperprog
+
+let help_text =
+  {|commands:
+  edit [CLASS]             open a new editor (optionally naming the principal class)
+  type TEXT                insert TEXT at the cursor (use \n for newlines)
+  link SPEC                insert a hyper-link at the cursor (.hp spec, e.g. `link root x`,
+                           `link method Person.marry`, `link int 42`)
+  cursor LINE COL          move the cursor (0-based)
+  show                     render the front editor
+  press LINE COL           press the link button at a position (opens a browser panel)
+  browse [root NAME|@OID|class NAME]   open a browser panel (default: the roots panel)
+  panels                   render the browser panels
+  row N [value|loc]        insert a link to row N of the front panel into the editor
+  open N                   open row N of the front panel in a new panel
+  compile                  compile the front editor's hyper-program
+  display-class            compile and browse the principal class
+  go [ARGS...]             compile and run the principal class's main
+  save NAME                save the hyper-program under a persistent root
+  edit-class CLASS         open the hyper-program a class was compiled from
+  load NAME                load a hyper-program from a persistent root
+  roots | census | gc | stabilise
+  log                      show the session event log
+  help | quit
+|}
+
+let split_args line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && s.[i] = '\\' && s.[i + 1] = 'n' then begin
+      Buffer.add_char buf '\n';
+      go (i + 2)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let run ~store_path ~input ~echo =
+  let store =
+    if Sys.file_exists store_path then Store.open_file store_path
+    else begin
+      let s = Store.create () in
+      Store.set_backing s store_path;
+      s
+    end
+  in
+  let session = Session.create ~echo store in
+  let vm = Session.vm session in
+  let b = Session.browser session in
+  let say fmt = Printf.printf fmt in
+  let with_editor f =
+    match Session.front_editor session with
+    | Some ed -> f ed
+    | None -> say "no editor open (use `edit`)\n"
+  in
+  let quit = ref false in
+  let handle line =
+    match split_args line with
+    | [] -> ()
+    | "help" :: _ -> print_string help_text
+    | ("quit" | "exit") :: _ -> quit := true
+    | "edit" :: rest ->
+      let class_name = match rest with name :: _ -> name | [] -> "" in
+      let id, _ = Session.new_editor ~class_name session in
+      say "editor %d open\n" id
+    | "type" :: _ ->
+      let text = String.sub line 5 (String.length line - 5) in
+      with_editor (fun ed -> Editor.User_editor.type_text ed (unescape text))
+    | "link" :: _ ->
+      let spec = String.trim (String.sub line 4 (String.length line - 4)) in
+      with_editor (fun ed ->
+          match Hyper_source.parse_link vm spec with
+          | link -> begin
+            match Editor.User_editor.insert_link ed link with
+            | Ok () -> say "inserted %s\n" (Format.asprintf "%a" Hyperlink.pp link)
+            | Error e -> say "refused: %s\n" e
+          end
+          | exception Hyper_source.Format_error e -> say "bad link spec: %s\n" e)
+    | [ "cursor"; l; c ] ->
+      with_editor (fun ed ->
+          Editor.User_editor.move_cursor ed
+            { Editor.Basic_editor.line = int_of_string l; col = int_of_string c })
+    | "show" :: _ -> with_editor (fun ed -> print_string (Editor.User_editor.render ed))
+    | [ "press"; l; c ] -> begin
+      match
+        Session.press_link_button session
+          { Editor.Basic_editor.line = int_of_string l; col = int_of_string c }
+      with
+      | Ok panel -> say "opened %s\n" (Browser.Ocb.entity_title b panel.Browser.Ocb.entity)
+      | Error e -> say "press failed: %s\n" e
+    end
+    | [ "browse" ] -> ignore (Browser.Ocb.open_roots b)
+    | [ "browse"; "root"; name ] -> begin
+      match Store.root store name with
+      | Some (Pvalue.Ref oid) -> ignore (Browser.Ocb.open_object b oid)
+      | Some v -> say "%s = %s\n" name (Pvalue.to_string v)
+      | None -> say "no root %s\n" name
+    end
+    | [ "browse"; "class"; name ] -> ignore (Browser.Ocb.open_class b name)
+    | [ "browse"; target ] when String.length target > 1 && target.[0] = '@' ->
+      ignore
+        (Browser.Ocb.open_object b
+           (Oid.of_int (int_of_string (String.sub target 1 (String.length target - 1)))))
+    | "panels" :: _ -> print_string (Browser.Render.browser b)
+    | "row" :: n :: rest -> begin
+      let half =
+        match rest with
+        | "loc" :: _ -> Session.Location_half
+        | _ -> Session.Value_half
+      in
+      match Session.insert_link_from_row session ~half ~row:(int_of_string n) with
+      | Ok link -> say "inserted %s\n" (Format.asprintf "%a" Hyperlink.pp link)
+      | Error e -> say "failed: %s\n" e
+    end
+    | [ "open"; n ] -> begin
+      match Browser.Ocb.front b with
+      | Some panel -> begin
+        match Browser.Ocb.open_row b panel (int_of_string n) with
+        | Some p -> say "opened %s\n" (Browser.Ocb.entity_title b p.Browser.Ocb.entity)
+        | None -> say "row cannot be opened\n"
+      end
+      | None -> say "no panel open\n"
+    end
+    | "compile" :: _ -> begin
+      match Session.compile session with
+      | Editor.User_editor.Compiled classes -> say "compiled %s\n" (String.concat ", " classes)
+      | Editor.User_editor.Compile_failed msg -> say "error: %s\n" msg
+    end
+    | "display-class" :: _ -> begin
+      match Session.display_class session with
+      | Ok panel -> say "displaying %s\n" (Browser.Ocb.entity_title b panel.Browser.Ocb.entity)
+      | Error e -> say "error: %s\n" e
+    end
+    | "go" :: argv -> begin
+      match Session.go ~argv session with
+      | Ok principal ->
+        if not echo then print_string (Session.output session);
+        say "ran %s.main\n" principal
+      | Error e -> say "error: %s\n" e
+    end
+    | [ "save"; name ] ->
+      with_editor (fun ed ->
+          let hp = Editor.User_editor.save ed in
+          Store.set_root store name (Pvalue.Ref hp);
+          say "saved as root %s\n" name)
+    | [ "edit-class"; cls ] -> begin
+      match Session.edit_class session cls with
+      | Ok (id, _) -> say "opened hyper-program of %s in editor %d\n" cls id
+      | Error e -> say "%s\n" e
+    end
+    | [ "load"; name ] -> begin
+      match Store.root store name with
+      | Some (Pvalue.Ref hp) when Storage_form.is_hyper_program vm hp ->
+        let id, ed = Session.new_editor session in
+        Editor.User_editor.load ed hp;
+        say "loaded into editor %d\n" id
+      | _ -> say "root %s does not hold a hyper-program\n" name
+    end
+    | "roots" :: _ ->
+      List.iter
+        (fun name ->
+          let v = Option.value (Store.root store name) ~default:Pvalue.Null in
+          say "%-24s %s\n" name (Pvalue.to_string v))
+        (Store.root_names store)
+    | "census" :: _ -> print_string (Browser.Render.census store)
+    | "gc" :: _ ->
+      let stats = Store.gc store in
+      say "%s\n" (Format.asprintf "%a" Gc.pp_stats stats)
+    | "stabilise" :: _ | "stabilize" :: _ ->
+      Store.stabilise store;
+      say "stabilised (%d objects)\n" (Store.size store)
+    | "log" :: _ -> List.iter print_endline (Session.events session)
+    | cmd :: _ -> say "unknown command %s (try `help`)\n" cmd
+  in
+  let interactive = Unix.isatty (Unix.descr_of_in_channel input) in
+  (try
+     while not !quit do
+       if interactive then begin
+         print_string "hp> ";
+         flush stdout
+       end;
+       match input_line input with
+       | line -> handle line
+       | exception End_of_file -> quit := true
+     done
+   with e ->
+     Printf.eprintf "shell error: %s\n" (Printexc.to_string e));
+  Store.stabilise store

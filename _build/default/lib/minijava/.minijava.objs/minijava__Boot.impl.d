@@ -1,0 +1,1 @@
+lib/minijava/boot.ml: Jcompiler Linker Natives Pstore Rt Stdlib_src

@@ -1,0 +1,1 @@
+lib/minijava/boot.mli: Pstore Rt

@@ -1,0 +1,1 @@
+lib/minijava/bytecode.ml: Array Format List

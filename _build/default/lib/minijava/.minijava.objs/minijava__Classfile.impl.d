@@ -1,0 +1,1 @@
+lib/minijava/classfile.ml: Bytecode Codec Int32 Jtype List Pstore String

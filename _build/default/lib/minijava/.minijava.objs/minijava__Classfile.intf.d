@@ -1,0 +1,1 @@
+lib/minijava/classfile.mli: Bytecode Jtype

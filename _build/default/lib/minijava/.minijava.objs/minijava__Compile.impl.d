@@ -1,0 +1,1 @@
+lib/minijava/compile.ml: Array Ast Bytecode Classfile Jtype List Option Tast

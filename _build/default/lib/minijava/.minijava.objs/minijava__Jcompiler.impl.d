@@ -1,0 +1,1 @@
+lib/minijava/jcompiler.ml: Ast Classfile Compile Format Lexer Linker List Parser Rt Typecheck

@@ -1,0 +1,1 @@
+lib/minijava/jcompiler.mli: Classfile Format Jtype Lexer Rt

@@ -1,0 +1,1 @@
+lib/minijava/jtype.ml: Format List String

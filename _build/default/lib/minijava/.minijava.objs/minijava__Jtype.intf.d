@@ -1,0 +1,1 @@
+lib/minijava/jtype.mli: Format

@@ -1,0 +1,1 @@
+lib/minijava/lexer.ml: Array Buffer Char Format Int32 Int64 List String Token

@@ -1,0 +1,1 @@
+lib/minijava/linker.ml: Array Classfile Format Hashtbl Int Int32 Int64 Jtype List Pstore Pvalue Rt Store String

@@ -1,0 +1,1 @@
+lib/minijava/linker.mli: Classfile Jtype Pstore Rt

@@ -1,0 +1,1 @@
+lib/minijava/natives.ml: Array Char Classfile Float Hashtbl Heap Int32 Int64 Jtype List Option Printf Pstore Pvalue Reflect Rt Store String Unix Vm

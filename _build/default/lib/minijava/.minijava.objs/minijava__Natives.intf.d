@@ -1,0 +1,1 @@
+lib/minijava/natives.mli: Rt

@@ -1,0 +1,1 @@
+lib/minijava/parser.ml: Array Ast Format Int32 Int64 Lexer List String Token

@@ -1,0 +1,1 @@
+lib/minijava/pretty.ml: Ast Buffer Char Float Format List Printf String

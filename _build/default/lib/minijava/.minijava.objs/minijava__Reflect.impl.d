@@ -1,0 +1,1 @@
+lib/minijava/reflect.ml: Array Hashtbl Heap Int32 Int64 Jtype List Pstore Pvalue Rt Store String Vm

@@ -1,0 +1,1 @@
+lib/minijava/reflect.mli: Jtype Pstore Pvalue Rt

@@ -1,0 +1,1 @@
+lib/minijava/rt.ml: Array Buffer Bytecode Classfile Format Hashtbl Heap Jtype List Oid Option Pstore Pvalue Store String

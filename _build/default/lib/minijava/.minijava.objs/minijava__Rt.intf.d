@@ -1,0 +1,1 @@
+lib/minijava/rt.mli: Buffer Bytecode Classfile Format Hashtbl Jtype Oid Pstore Pvalue Store

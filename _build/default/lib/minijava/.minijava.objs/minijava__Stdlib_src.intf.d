@@ -1,0 +1,1 @@
+lib/minijava/stdlib_src.mli:

@@ -1,0 +1,1 @@
+lib/minijava/tast.mli: Ast Jtype

@@ -1,0 +1,1 @@
+lib/minijava/token.ml: Char Hashtbl Int32 Int64 List Printf

@@ -1,0 +1,1 @@
+lib/minijava/typecheck.ml: Ast Format Hashtbl Int32 Jtype Lexer List Option Printf String Tast

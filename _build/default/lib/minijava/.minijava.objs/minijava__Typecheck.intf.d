@@ -1,0 +1,1 @@
+lib/minijava/typecheck.mli: Ast Jtype Lexer Tast

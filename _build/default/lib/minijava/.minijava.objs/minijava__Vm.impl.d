@@ -1,0 +1,1 @@
+lib/minijava/vm.ml: Array Bool Bytecode Bytes Char Float Fun Hashtbl Heap Int32 Int64 Jtype List Oid Printf Pstore Pvalue Rt Store String

@@ -1,0 +1,1 @@
+lib/minijava/vm.mli: Pstore Pvalue Rt

@@ -1,0 +1,186 @@
+(** Abstract syntax of MiniJava.
+
+    Dotted names are kept unresolved ([E_name of string list]) because
+    Java name resolution is context sensitive; the type checker
+    disambiguates locals, fields, classes and packages.  Hyper-link
+    placeholders appear as [E_hyper]/[Te_hyper] nodes so a hyper-program
+    can be parsed directly for legality checking. *)
+
+type pos = Lexer.pos
+
+type prim =
+  | Pboolean
+  | Pbyte
+  | Pshort
+  | Pchar
+  | Pint
+  | Plong
+  | Pfloat
+  | Pdouble
+  | Pvoid
+
+type type_expr =
+  | Te_prim of prim
+  | Te_name of string list
+  | Te_array of type_expr
+  | Te_hyper of int
+
+type lit =
+  | L_int of int32
+  | L_long of int64
+  | L_float of float
+  | L_double of float
+  | L_bool of bool
+  | L_char of int
+  | L_string of string
+  | L_null
+
+type unop =
+  | Neg
+  | Not
+  | Bit_not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Bit_and
+  | Bit_or
+  | Bit_xor
+  | Shl
+  | Shr
+  | Ushr
+
+type expr = {
+  pos : pos;
+  desc : expr_desc;
+}
+
+and expr_desc =
+  | E_lit of lit
+  | E_name of string list
+  | E_this
+  | E_field of expr * string
+  | E_index of expr * expr
+  | E_call of expr * string * expr list (* receiver.m(args) *)
+  | E_call_name of string list * expr list (* m(args) or a.b.m(args) *)
+  | E_new of string list * expr list
+  | E_new_array of type_expr * expr list * int (* sized dims, then extra [] dims *)
+  | E_cast of type_expr * expr
+  | E_instanceof of expr * type_expr
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_assign of expr * expr
+  | E_op_assign of binop * expr * expr
+  | E_incr of { prefix : bool; up : bool; target : expr }
+  | E_cond of expr * expr * expr
+  | E_hyper of int
+  | E_call_hyper of int * expr list (* a hyper-link in method-name position *)
+  | E_new_hyper of int * expr list (* new <ctor-link>(args) *)
+
+type stmt = {
+  spos : pos;
+  sdesc : stmt_desc;
+}
+
+and stmt_desc =
+  | S_expr of expr
+  | S_local of type_expr * (string * expr option) list
+  | S_if of expr * stmt * stmt option
+  | S_while of expr * stmt
+  | S_do_while of stmt * expr
+  | S_for of for_init option * expr option * expr list * stmt
+  | S_switch of expr * switch_case list
+      (* cases in order; fall-through applies until break *)
+  | S_return of expr option
+  | S_throw of expr
+  | S_try of stmt list * catch_clause list
+  | S_block of stmt list
+  | S_break
+  | S_continue
+  | S_super of expr list (* explicit super(...) constructor call *)
+
+and for_init =
+  | Fi_local of type_expr * (string * expr option) list
+  | Fi_exprs of expr list
+
+and switch_case = {
+  case_labels : lit option list; (* [None] is the default label *)
+  case_body : stmt list;
+}
+
+and catch_clause = {
+  catch_type : type_expr;
+  catch_name : string;
+  catch_body : stmt list;
+}
+
+type modifiers = {
+  m_public : bool;
+  m_private : bool;
+  m_protected : bool;
+  m_static : bool;
+  m_final : bool;
+  m_abstract : bool;
+  m_native : bool;
+}
+
+val no_modifiers : modifiers
+
+type field_decl = {
+  fd_mods : modifiers;
+  fd_type : type_expr;
+  fd_name : string;
+  fd_init : expr option;
+  fd_pos : pos;
+}
+
+type method_decl = {
+  md_mods : modifiers;
+  md_ret : type_expr option; (* [None] for constructors *)
+  md_name : string;
+  md_params : (type_expr * string) list;
+  md_throws : string list list;
+  md_body : stmt list option; (* [None] for native / abstract methods *)
+  md_pos : pos;
+}
+
+type class_decl = {
+  cd_mods : modifiers;
+  cd_interface : bool;
+  cd_name : string;
+  cd_super : string list option;
+  cd_impls : string list list;
+  cd_fields : field_decl list;
+  cd_methods : method_decl list;
+  cd_pos : pos;
+}
+
+type comp_unit = {
+  cu_package : string list option;
+  cu_imports : string list list;
+  cu_classes : class_decl list;
+}
+
+val dotted : string list -> string
+(** Join a qualified-name path with dots. *)
+
+(* Positions of hyper-link placeholders and the syntactic role each one
+   plays, recorded during parsing for the legality check of Section 2. *)
+type hyper_role =
+  | Role_type (* ClassType / InterfaceType / PrimitiveType / ArrayType *)
+  | Role_primary (* Primary / Literal / FieldAccess target / ArrayAccess target *)
+  | Role_callee (* Name denoting a method *)
+  | Role_ctor (* Name denoting a constructor, after `new` *)
+
+val pp_hyper_role : Format.formatter -> hyper_role -> unit

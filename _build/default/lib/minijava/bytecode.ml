@@ -1,0 +1,196 @@
+(* The MiniJava stack bytecode.  Deliberately JVM-flavoured: classes are
+   compiled to method code arrays, serialised into class files, and linked
+   into a running VM by a class loader — the paper's compile / .class /
+   ClassLoader / newInstance pipeline. *)
+
+type const =
+  | Kint of int32
+  | Klong of int64
+  | Kfloat of float
+  | Kdouble of float
+  | Kbool of bool
+  | Kchar of int
+  | Kbyte of int
+  | Kshort of int
+  | Kstr of string
+  | Knull
+
+type numkind =
+  | Nint
+  | Nlong
+  | Nfloat
+  | Ndouble
+
+type cmpkind =
+  | Cmp_int
+  | Cmp_long
+  | Cmp_float
+  | Cmp_double
+  | Cmp_ref
+  | Cmp_bool
+
+type trunckind =
+  | Tbyte
+  | Tshort
+  | Tchar
+
+type cmpop =
+  | Ceq
+  | Cne
+  | Clt
+  | Cle
+  | Cgt
+  | Cge
+
+type instr =
+  | Const of const
+  | Load of int
+  | Store of int
+  | Dup
+  | Pop
+  | Add of numkind
+  | Sub of numkind
+  | Mul of numkind
+  | Div of numkind
+  | Rem of numkind
+  | Neg of numkind
+  | Band of numkind (* int/long only *)
+  | Bor of numkind
+  | Bxor of numkind
+  | Shl of numkind
+  | Shr of numkind
+  | Ushr of numkind
+  | Bnot of numkind
+  | Conv of numkind * numkind
+  | Trunc of trunckind (* wrap an int to byte/short/char storage range *)
+  | Not (* boolean *)
+  | Cmp of cmpop * cmpkind (* pushes a boolean *)
+  | Concat (* string + string *)
+  | To_string (* any value to its string form *)
+  | Get_static of string * string
+  | Put_static of string * string
+  | Get_field of string * string (* stack: obj -> value *)
+  | Put_field of string * string (* stack: obj value -> *)
+  | Array_load (* stack: arr idx -> value *)
+  | Array_store (* stack: arr idx value -> *)
+  | Array_len
+  | New_obj of string (* allocate with default fields, push ref *)
+  | New_array of string (* element-type descriptor; stack: len -> ref *)
+  | New_multi_array of string * int (* result descriptor, dim count *)
+  | Invoke_static of string * string * string (* class, name, desc *)
+  | Invoke_virtual of string * string * string
+  | Invoke_special of string * string (* constructor: class, desc *)
+  | Check_cast of string (* target type descriptor *)
+  | Instance_of of string
+  | Jump of int
+  | Jump_if_false of int
+  | Jump_if_true of int
+  | Ret
+  | Ret_val
+  | Throw (* stack: exception object -> (unwinds) *)
+  | Trap of string (* compiler-inserted runtime error *)
+
+(* An exception handler covering instructions [start, stop): when an
+   exception conforming to [desc] unwinds past a covered pc, the operand
+   stack is cleared, the exception object is stored in local [slot], and
+   execution continues at [target].  Handlers are matched first-to-last,
+   so nested try blocks list their handlers first. *)
+type handler = {
+  h_start : int;
+  h_stop : int;
+  h_target : int;
+  h_desc : string; (* catchable type descriptor *)
+  h_slot : int; (* local slot of the catch parameter *)
+}
+
+type code = {
+  max_locals : int;
+  instrs : instr array;
+  handlers : handler list;
+}
+
+let cmpop_name = function
+  | Ceq -> "eq"
+  | Cne -> "ne"
+  | Clt -> "lt"
+  | Cle -> "le"
+  | Cgt -> "gt"
+  | Cge -> "ge"
+
+let numkind_name = function
+  | Nint -> "i"
+  | Nlong -> "l"
+  | Nfloat -> "f"
+  | Ndouble -> "d"
+
+let pp_const ppf = function
+  | Kint n -> Format.fprintf ppf "int %ld" n
+  | Klong n -> Format.fprintf ppf "long %Ld" n
+  | Kfloat f -> Format.fprintf ppf "float %g" f
+  | Kdouble f -> Format.fprintf ppf "double %g" f
+  | Kbool b -> Format.fprintf ppf "bool %b" b
+  | Kchar c -> Format.fprintf ppf "char %d" c
+  | Kbyte b -> Format.fprintf ppf "byte %d" b
+  | Kshort s -> Format.fprintf ppf "short %d" s
+  | Kstr s -> Format.fprintf ppf "str %S" s
+  | Knull -> Format.pp_print_string ppf "null"
+
+let pp_instr ppf = function
+  | Const c -> Format.fprintf ppf "const %a" pp_const c
+  | Load n -> Format.fprintf ppf "load %d" n
+  | Store n -> Format.fprintf ppf "store %d" n
+  | Dup -> Format.pp_print_string ppf "dup"
+  | Pop -> Format.pp_print_string ppf "pop"
+  | Add k -> Format.fprintf ppf "%sadd" (numkind_name k)
+  | Sub k -> Format.fprintf ppf "%ssub" (numkind_name k)
+  | Mul k -> Format.fprintf ppf "%smul" (numkind_name k)
+  | Div k -> Format.fprintf ppf "%sdiv" (numkind_name k)
+  | Rem k -> Format.fprintf ppf "%srem" (numkind_name k)
+  | Neg k -> Format.fprintf ppf "%sneg" (numkind_name k)
+  | Band k -> Format.fprintf ppf "%sand" (numkind_name k)
+  | Bor k -> Format.fprintf ppf "%sor" (numkind_name k)
+  | Bxor k -> Format.fprintf ppf "%sxor" (numkind_name k)
+  | Shl k -> Format.fprintf ppf "%sshl" (numkind_name k)
+  | Shr k -> Format.fprintf ppf "%sshr" (numkind_name k)
+  | Ushr k -> Format.fprintf ppf "%sushr" (numkind_name k)
+  | Bnot k -> Format.fprintf ppf "%snot" (numkind_name k)
+  | Conv (a, b) -> Format.fprintf ppf "%s2%s" (numkind_name a) (numkind_name b)
+  | Trunc Tbyte -> Format.pp_print_string ppf "i2b"
+  | Trunc Tshort -> Format.pp_print_string ppf "i2s"
+  | Trunc Tchar -> Format.pp_print_string ppf "i2c"
+  | Not -> Format.pp_print_string ppf "not"
+  | Cmp (op, _) -> Format.fprintf ppf "cmp %s" (cmpop_name op)
+  | Concat -> Format.pp_print_string ppf "concat"
+  | To_string -> Format.pp_print_string ppf "tostring"
+  | Get_static (c, f) -> Format.fprintf ppf "getstatic %s.%s" c f
+  | Put_static (c, f) -> Format.fprintf ppf "putstatic %s.%s" c f
+  | Get_field (c, f) -> Format.fprintf ppf "getfield %s.%s" c f
+  | Put_field (c, f) -> Format.fprintf ppf "putfield %s.%s" c f
+  | Array_load -> Format.pp_print_string ppf "aload"
+  | Array_store -> Format.pp_print_string ppf "astore"
+  | Array_len -> Format.pp_print_string ppf "arraylen"
+  | New_obj c -> Format.fprintf ppf "new %s" c
+  | New_array d -> Format.fprintf ppf "newarray %s" d
+  | New_multi_array (d, n) -> Format.fprintf ppf "multianewarray %s %d" d n
+  | Invoke_static (c, m, d) -> Format.fprintf ppf "invokestatic %s.%s%s" c m d
+  | Invoke_virtual (c, m, d) -> Format.fprintf ppf "invokevirtual %s.%s%s" c m d
+  | Invoke_special (c, d) -> Format.fprintf ppf "invokespecial %s.<init>%s" c d
+  | Check_cast d -> Format.fprintf ppf "checkcast %s" d
+  | Instance_of d -> Format.fprintf ppf "instanceof %s" d
+  | Jump t -> Format.fprintf ppf "goto %d" t
+  | Jump_if_false t -> Format.fprintf ppf "iffalse %d" t
+  | Jump_if_true t -> Format.fprintf ppf "iftrue %d" t
+  | Ret -> Format.pp_print_string ppf "return"
+  | Ret_val -> Format.pp_print_string ppf "retval"
+  | Throw -> Format.pp_print_string ppf "athrow"
+  | Trap msg -> Format.fprintf ppf "trap %S" msg
+
+let pp_code ppf { max_locals; instrs; handlers } =
+  Format.fprintf ppf "@[<v>max_locals=%d@," max_locals;
+  Array.iteri (fun i instr -> Format.fprintf ppf "%4d: %a@," i pp_instr instr) instrs;
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "handler [%d,%d) -> %d catch %s in slot %d@," h.h_start h.h_stop
+        h.h_target h.h_desc h.h_slot)
+    handlers;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,480 @@
+(* Bytecode generation from the typed AST.
+
+   Stack-effect convention for stores (chosen so assignment expressions
+   need no stack juggling): Store, Put_static, Put_field and Array_store
+   all LEAVE the assigned value on the stack; statement contexts emit an
+   explicit Pop. *)
+
+type emitter = {
+  mutable code : Bytecode.instr array;
+  mutable len : int;
+  (* enclosing loops: (break patch sites, continue target or patch sites) *)
+  mutable loops : loop_ctx list;
+  (* exception handlers, innermost first (match priority) *)
+  mutable handlers : Bytecode.handler list;
+}
+
+and loop_ctx = {
+  lc_kind : loop_kind;
+  mutable break_sites : int list;
+  mutable continue_sites : int list;
+}
+
+(* break binds to the innermost loop OR switch; continue only to loops. *)
+and loop_kind =
+  | Lk_loop
+  | Lk_switch
+
+let create_emitter () =
+  { code = Array.make 64 Bytecode.Ret; len = 0; loops = []; handlers = [] }
+
+let emit em instr =
+  if em.len = Array.length em.code then begin
+    let bigger = Array.make (2 * em.len) Bytecode.Ret in
+    Array.blit em.code 0 bigger 0 em.len;
+    em.code <- bigger
+  end;
+  em.code.(em.len) <- instr;
+  em.len <- em.len + 1
+
+let here em = em.len
+
+(* Emit a jump with an unknown target; returns the patch site. *)
+let emit_patchable em make =
+  let site = em.len in
+  emit em (make (-1));
+  site
+
+let patch em site target =
+  em.code.(site) <-
+    (match em.code.(site) with
+    | Bytecode.Jump _ -> Bytecode.Jump target
+    | Bytecode.Jump_if_false _ -> Bytecode.Jump_if_false target
+    | Bytecode.Jump_if_true _ -> Bytecode.Jump_if_true target
+    | _ -> invalid_arg "patch: not a jump")
+
+let numkind_of_opkind = function
+  | Tast.Oint -> Bytecode.Nint
+  | Tast.Olong -> Bytecode.Nlong
+  | Tast.Ofloat -> Bytecode.Nfloat
+  | Tast.Odouble -> Bytecode.Ndouble
+  | Tast.Obool | Tast.Oref -> invalid_arg "numkind_of_opkind: not numeric"
+
+let cmpkind_of_opkind = function
+  | Tast.Oint -> Bytecode.Cmp_int
+  | Tast.Olong -> Bytecode.Cmp_long
+  | Tast.Ofloat -> Bytecode.Cmp_float
+  | Tast.Odouble -> Bytecode.Cmp_double
+  | Tast.Obool -> Bytecode.Cmp_bool
+  | Tast.Oref -> Bytecode.Cmp_ref
+
+let const_of_lit = function
+  | Ast.L_int n -> Bytecode.Kint n
+  | Ast.L_long n -> Bytecode.Klong n
+  | Ast.L_float f -> Bytecode.Kfloat f
+  | Ast.L_double f -> Bytecode.Kdouble f
+  | Ast.L_bool b -> Bytecode.Kbool b
+  | Ast.L_char c -> Bytecode.Kchar c
+  | Ast.L_string s -> Bytecode.Kstr s
+  | Ast.L_null -> Bytecode.Knull
+
+let cmpop_of_binop = function
+  | Ast.Eq -> Bytecode.Ceq
+  | Ast.Ne -> Bytecode.Cne
+  | Ast.Lt -> Bytecode.Clt
+  | Ast.Le -> Bytecode.Cle
+  | Ast.Gt -> Bytecode.Cgt
+  | Ast.Ge -> Bytecode.Cge
+  | _ -> invalid_arg "cmpop_of_binop"
+
+let rec array_elem_descriptor = function
+  | Jtype.Array elem -> Jtype.descriptor elem
+  | ty -> invalid_arg ("array_elem_descriptor: " ^ Jtype.to_string ty)
+
+and compile_expr em (tex : Tast.tex) =
+  match tex.Tast.node with
+  | Tast.T_lit lit -> emit em (Bytecode.Const (const_of_lit lit))
+  | Tast.T_local slot -> emit em (Bytecode.Load slot)
+  | Tast.T_this -> emit em (Bytecode.Load 0)
+  | Tast.T_static_get (c, f) -> emit em (Bytecode.Get_static (c, f))
+  | Tast.T_field_get (recv, c, f) ->
+    compile_expr em recv;
+    emit em (Bytecode.Get_field (c, f))
+  | Tast.T_index (arr, idx) ->
+    compile_expr em arr;
+    compile_expr em idx;
+    emit em Bytecode.Array_load
+  | Tast.T_array_len arr ->
+    compile_expr em arr;
+    emit em Bytecode.Array_len
+  | Tast.T_call (Tast.C_static (c, m, msig), args) ->
+    List.iter (compile_expr em) args;
+    emit em (Bytecode.Invoke_static (c, m, Jtype.msig_descriptor msig))
+  | Tast.T_call (Tast.C_virtual (recv, c, m, msig), args) ->
+    compile_expr em recv;
+    List.iter (compile_expr em) args;
+    emit em (Bytecode.Invoke_virtual (c, m, Jtype.msig_descriptor msig))
+  | Tast.T_new (cls, msig, args) ->
+    emit em (Bytecode.New_obj cls);
+    emit em Bytecode.Dup;
+    List.iter (compile_expr em) args;
+    emit em (Bytecode.Invoke_special (cls, Jtype.msig_descriptor msig))
+  | Tast.T_new_array (result_ty, sizes) -> begin
+    List.iter (compile_expr em) sizes;
+    match sizes with
+    | [ _ ] -> emit em (Bytecode.New_array (array_elem_descriptor result_ty))
+    | _ ->
+      emit em (Bytecode.New_multi_array (Jtype.descriptor result_ty, List.length sizes))
+  end
+  | Tast.T_cast (target, inner) ->
+    compile_expr em inner;
+    emit em (Bytecode.Check_cast (Jtype.descriptor target))
+  | Tast.T_conv (target, inner) -> begin
+    compile_expr em inner;
+    let src_kind = Tast.opkind_of_type inner.Tast.ty in
+    match target, src_kind with
+    | (Jtype.Byte | Jtype.Short | Jtype.Char | Jtype.Int), Tast.Oint -> begin
+      (* stays in the int kind; may need storage truncation *)
+      match target with
+      | Jtype.Byte -> emit em (Bytecode.Trunc Bytecode.Tbyte)
+      | Jtype.Short -> emit em (Bytecode.Trunc Bytecode.Tshort)
+      | Jtype.Char -> emit em (Bytecode.Trunc Bytecode.Tchar)
+      | _ -> ()
+    end
+    | _, (Tast.Oint | Tast.Olong | Tast.Ofloat | Tast.Odouble) -> begin
+      let src = numkind_of_opkind src_kind in
+      let dst_storage =
+        match target with
+        | Jtype.Byte | Jtype.Short | Jtype.Char | Jtype.Int -> Bytecode.Nint
+        | Jtype.Long -> Bytecode.Nlong
+        | Jtype.Float -> Bytecode.Nfloat
+        | Jtype.Double -> Bytecode.Ndouble
+        | _ -> invalid_arg "T_conv to non-numeric type"
+      in
+      if src <> dst_storage then emit em (Bytecode.Conv (src, dst_storage));
+      match target with
+      | Jtype.Byte -> emit em (Bytecode.Trunc Bytecode.Tbyte)
+      | Jtype.Short -> emit em (Bytecode.Trunc Bytecode.Tshort)
+      | Jtype.Char -> emit em (Bytecode.Trunc Bytecode.Tchar)
+      | _ -> ()
+    end
+    | _, (Tast.Obool | Tast.Oref) -> () (* identity conversions *)
+  end
+  | Tast.T_instanceof (inner, target) ->
+    compile_expr em inner;
+    emit em (Bytecode.Instance_of (Jtype.descriptor target))
+  | Tast.T_unop (op, kind, inner) -> begin
+    compile_expr em inner;
+    match op with
+    | Ast.Neg -> emit em (Bytecode.Neg (numkind_of_opkind kind))
+    | Ast.Not -> emit em Bytecode.Not
+    | Ast.Bit_not -> emit em (Bytecode.Bnot (numkind_of_opkind kind))
+  end
+  | Tast.T_binop (Ast.And, _, a, b) ->
+    (* a && b with short-circuit *)
+    compile_expr em a;
+    let site = emit_patchable em (fun t -> Bytecode.Jump_if_false t) in
+    compile_expr em b;
+    let done_site = emit_patchable em (fun t -> Bytecode.Jump t) in
+    patch em site (here em);
+    emit em (Bytecode.Const (Bytecode.Kbool false));
+    patch em done_site (here em)
+  | Tast.T_binop (Ast.Or, _, a, b) ->
+    compile_expr em a;
+    let site = emit_patchable em (fun t -> Bytecode.Jump_if_true t) in
+    compile_expr em b;
+    let done_site = emit_patchable em (fun t -> Bytecode.Jump t) in
+    patch em site (here em);
+    emit em (Bytecode.Const (Bytecode.Kbool true));
+    patch em done_site (here em)
+  | Tast.T_binop (op, kind, a, b) -> begin
+    compile_expr em a;
+    compile_expr em b;
+    match op with
+    | Ast.Add -> emit em (Bytecode.Add (numkind_of_opkind kind))
+    | Ast.Sub -> emit em (Bytecode.Sub (numkind_of_opkind kind))
+    | Ast.Mul -> emit em (Bytecode.Mul (numkind_of_opkind kind))
+    | Ast.Div -> emit em (Bytecode.Div (numkind_of_opkind kind))
+    | Ast.Mod -> emit em (Bytecode.Rem (numkind_of_opkind kind))
+    | Ast.Bit_and -> emit em (Bytecode.Band (numkind_of_opkind kind))
+    | Ast.Bit_or -> emit em (Bytecode.Bor (numkind_of_opkind kind))
+    | Ast.Bit_xor -> emit em (Bytecode.Bxor (numkind_of_opkind kind))
+    | Ast.Shl -> emit em (Bytecode.Shl (numkind_of_opkind kind))
+    | Ast.Shr -> emit em (Bytecode.Shr (numkind_of_opkind kind))
+    | Ast.Ushr -> emit em (Bytecode.Ushr (numkind_of_opkind kind))
+    | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      emit em (Bytecode.Cmp (cmpop_of_binop op, cmpkind_of_opkind kind))
+    | Ast.And | Ast.Or -> assert false
+  end
+  | Tast.T_concat (a, b) ->
+    compile_expr em a;
+    compile_expr em b;
+    emit em Bytecode.Concat
+  | Tast.T_to_string inner ->
+    compile_expr em inner;
+    emit em Bytecode.To_string
+  | Tast.T_assign (lv, rhs) -> compile_assign em lv rhs
+  | Tast.T_cond (c, t, e) ->
+    compile_expr em c;
+    let else_site = emit_patchable em (fun t -> Bytecode.Jump_if_false t) in
+    compile_expr em t;
+    let done_site = emit_patchable em (fun t -> Bytecode.Jump t) in
+    patch em else_site (here em);
+    compile_expr em e;
+    patch em done_site (here em)
+
+and compile_assign em lv rhs =
+  match lv with
+  | Tast.Lv_local slot ->
+    compile_expr em rhs;
+    emit em (Bytecode.Store slot)
+  | Tast.Lv_static (c, f) ->
+    compile_expr em rhs;
+    emit em (Bytecode.Put_static (c, f))
+  | Tast.Lv_field (recv, c, f) ->
+    compile_expr em recv;
+    compile_expr em rhs;
+    emit em (Bytecode.Put_field (c, f))
+  | Tast.Lv_index (arr, idx) ->
+    compile_expr em arr;
+    compile_expr em idx;
+    compile_expr em rhs;
+    emit em Bytecode.Array_store
+
+let push_loop ?(kind = Lk_loop) em =
+  let ctx = { lc_kind = kind; break_sites = []; continue_sites = [] } in
+  em.loops <- ctx :: em.loops;
+  ctx
+
+let pop_loop em ~break_target ~continue_target =
+  match em.loops with
+  | [] -> invalid_arg "pop_loop"
+  | ctx :: rest ->
+    em.loops <- rest;
+    List.iter (fun site -> patch em site break_target) ctx.break_sites;
+    List.iter (fun site -> patch em site continue_target) ctx.continue_sites
+
+let rec compile_stmt em (stmt : Tast.tstmt) =
+  match stmt with
+  | Tast.Ts_expr tex ->
+    compile_expr em tex;
+    if not (Jtype.equal tex.Tast.ty Jtype.Void) then emit em Bytecode.Pop
+  | Tast.Ts_local_init (slot, tex) ->
+    compile_expr em tex;
+    emit em (Bytecode.Store slot);
+    emit em Bytecode.Pop
+  | Tast.Ts_if (cond, then_, else_) ->
+    compile_expr em cond;
+    let else_site = emit_patchable em (fun t -> Bytecode.Jump_if_false t) in
+    List.iter (compile_stmt em) then_;
+    if else_ = [] then patch em else_site (here em)
+    else begin
+      let done_site = emit_patchable em (fun t -> Bytecode.Jump t) in
+      patch em else_site (here em);
+      List.iter (compile_stmt em) else_;
+      patch em done_site (here em)
+    end
+  | Tast.Ts_while (cond, body) ->
+    let cond_target = here em in
+    compile_expr em cond;
+    let exit_site = emit_patchable em (fun t -> Bytecode.Jump_if_false t) in
+    ignore (push_loop em);
+    List.iter (compile_stmt em) body;
+    emit em (Bytecode.Jump cond_target);
+    let break_target = here em in
+    patch em exit_site break_target;
+    pop_loop em ~break_target ~continue_target:cond_target
+  | Tast.Ts_for (init, cond, update, body) ->
+    List.iter (compile_stmt em) init;
+    let cond_target = here em in
+    let exit_site =
+      match cond with
+      | None -> None
+      | Some c ->
+        compile_expr em c;
+        Some (emit_patchable em (fun t -> Bytecode.Jump_if_false t))
+    in
+    ignore (push_loop em);
+    List.iter (compile_stmt em) body;
+    let continue_target = here em in
+    List.iter
+      (fun u ->
+        compile_expr em u;
+        if not (Jtype.equal u.Tast.ty Jtype.Void) then emit em Bytecode.Pop)
+      update;
+    emit em (Bytecode.Jump cond_target);
+    let break_target = here em in
+    Option.iter (fun site -> patch em site break_target) exit_site;
+    pop_loop em ~break_target ~continue_target
+  | Tast.Ts_do_while (body, cond) ->
+    let body_target = here em in
+    ignore (push_loop em);
+    List.iter (compile_stmt em) body;
+    let continue_target = here em in
+    compile_expr em cond;
+    emit em (Bytecode.Jump_if_true body_target);
+    let break_target = here em in
+    pop_loop em ~break_target ~continue_target
+  | Tast.Ts_switch (slot, scrut, groups) ->
+    compile_expr em scrut;
+    emit em (Bytecode.Store slot);
+    emit em Bytecode.Pop;
+    ignore (push_loop ~kind:Lk_switch em);
+    (* dispatch: compare the scrutinee against every label *)
+    let group_sites =
+      List.map
+        (fun group ->
+          List.map
+            (fun label ->
+              emit em (Bytecode.Load slot);
+              emit em (Bytecode.Const (Bytecode.Kint label));
+              emit em (Bytecode.Cmp (Bytecode.Ceq, Bytecode.Cmp_int));
+              emit_patchable em (fun t -> Bytecode.Jump_if_true t))
+            group.Tast.sg_labels)
+        groups
+    in
+    let default_site = emit_patchable em (fun t -> Bytecode.Jump t) in
+    let default_target = ref None in
+    List.iter2
+      (fun group sites ->
+        let target = here em in
+        List.iter (fun site -> patch em site target) sites;
+        if group.Tast.sg_default then default_target := Some target;
+        List.iter (compile_stmt em) group.Tast.sg_body)
+      groups group_sites;
+    let break_target = here em in
+    patch em default_site (Option.value !default_target ~default:break_target);
+    pop_loop em ~break_target ~continue_target:break_target
+  | Tast.Ts_throw tex ->
+    compile_expr em tex;
+    emit em Bytecode.Throw
+  | Tast.Ts_try (body, catches) ->
+    let try_start = here em in
+    List.iter (compile_stmt em) body;
+    let try_stop = here em in
+    let done_site = emit_patchable em (fun t -> Bytecode.Jump t) in
+    let catch_ends =
+      List.map
+        (fun c ->
+          let target = here em in
+          (* handlers are appended as encountered: inner try blocks were
+             compiled (and registered) before this one, giving them
+             match priority *)
+          em.handlers <-
+            em.handlers
+            @ [
+                {
+                  Bytecode.h_start = try_start;
+                  h_stop = try_stop;
+                  h_target = target;
+                  h_desc = Jtype.descriptor (Jtype.Class c.Tast.tc_class);
+                  h_slot = c.Tast.tc_slot;
+                };
+              ];
+          List.iter (compile_stmt em) c.Tast.tc_body;
+          emit_patchable em (fun t -> Bytecode.Jump t))
+        catches
+    in
+    let after = here em in
+    patch em done_site after;
+    List.iter (fun site -> patch em site after) catch_ends
+  | Tast.Ts_return None -> emit em Bytecode.Ret
+  | Tast.Ts_return (Some tex) ->
+    compile_expr em tex;
+    emit em Bytecode.Ret_val
+  | Tast.Ts_break -> begin
+    match em.loops with
+    | [] -> invalid_arg "break outside a loop"
+    | ctx :: _ ->
+      let site = emit_patchable em (fun t -> Bytecode.Jump t) in
+      ctx.break_sites <- site :: ctx.break_sites
+  end
+  | Tast.Ts_continue -> begin
+    (* continue skips enclosing switches and binds to the nearest loop *)
+    match List.find_opt (fun ctx -> ctx.lc_kind = Lk_loop) em.loops with
+    | None -> invalid_arg "continue outside a loop"
+    | Some ctx ->
+      let site = emit_patchable em (fun t -> Bytecode.Jump t) in
+      ctx.continue_sites <- site :: ctx.continue_sites
+  end
+  | Tast.Ts_super (super, msig, args) ->
+    emit em (Bytecode.Load 0);
+    List.iter (compile_expr em) args;
+    emit em (Bytecode.Invoke_special (super, Jtype.msig_descriptor msig))
+
+let compile_method (tm : Tast.tmethod) : Classfile.meth =
+  let code =
+    if tm.Tast.tm_native then None
+    else begin
+      let em = create_emitter () in
+      List.iter (compile_stmt em) tm.Tast.tm_body;
+      (* Fall-through epilogue: void methods return; non-void fall-through
+         is unreachable (the checker proved definite return) but gets a
+         trap so a checker bug cannot run off the end of the code array. *)
+      if Jtype.equal tm.Tast.tm_sig.Jtype.ret Jtype.Void then emit em Bytecode.Ret
+      else emit em (Bytecode.Trap "missing return");
+      Some
+        {
+          Bytecode.max_locals = tm.Tast.tm_max_locals;
+          instrs = Array.sub em.code 0 em.len;
+          handlers = em.handlers;
+        }
+    end
+  in
+  {
+    Classfile.m_name = tm.Tast.tm_name;
+    m_desc = Jtype.msig_descriptor tm.Tast.tm_sig;
+    m_static = tm.Tast.tm_static;
+    m_native = tm.Tast.tm_native;
+    m_abstract = (code = None && not tm.Tast.tm_native);
+    m_public = true;
+    m_code = code;
+  }
+
+let compile_class (tc : Tast.tclass) : Classfile.t =
+  let ci = tc.Tast.tc_info in
+  let fields =
+    List.map
+      (fun fi ->
+        {
+          Classfile.f_name = fi.Jtype.fi_name;
+          f_desc = Jtype.descriptor fi.Jtype.fi_type;
+          f_static = fi.Jtype.fi_static;
+          f_final = fi.Jtype.fi_final;
+          f_public = fi.Jtype.fi_public;
+        })
+      ci.Jtype.ci_fields
+  in
+  let compiled = List.map compile_method tc.Tast.tc_methods in
+  (* Interface method declarations (no bodies) are carried as abstract. *)
+  let declared_keys =
+    List.map (fun m -> (m.Classfile.m_name, m.Classfile.m_desc)) compiled
+  in
+  let missing =
+    List.filter_map
+      (fun mi ->
+        let desc = Jtype.msig_descriptor mi.Jtype.mi_sig in
+        if List.mem (mi.Jtype.mi_name, desc) declared_keys then None
+        else
+          Some
+            {
+              Classfile.m_name = mi.Jtype.mi_name;
+              m_desc = desc;
+              m_static = mi.Jtype.mi_static;
+              m_native = mi.Jtype.mi_native;
+              m_abstract = mi.Jtype.mi_abstract;
+              m_public = mi.Jtype.mi_public;
+              m_code = None;
+            })
+      ci.Jtype.ci_methods
+  in
+  {
+    Classfile.cf_name = ci.Jtype.ci_name;
+    cf_interface = ci.Jtype.ci_interface;
+    cf_abstract = ci.Jtype.ci_abstract;
+    cf_super = ci.Jtype.ci_super;
+    cf_interfaces = ci.Jtype.ci_interfaces;
+    cf_fields = fields;
+    cf_methods = compiled @ missing;
+    cf_source = tc.Tast.tc_source;
+  }

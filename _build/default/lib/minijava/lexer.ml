@@ -1,0 +1,392 @@
+(* Hand-written lexer for MiniJava.  Produces an array of positioned
+   tokens.  The hyper-link placeholder syntax is [#<n>]; it never occurs in
+   user-typed text (the editor inserts it when flattening a hyper-program
+   for a syntactic-legality check). *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+let pp_pos ppf { line; col } = Format.fprintf ppf "%d:%d" line col
+
+let no_pos = { line = 0; col = 0 }
+
+exception Lex_error of pos * string
+
+let lex_error pos fmt = Format.kasprintf (fun s -> raise (Lex_error (pos, s))) fmt
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let current_pos st = { line = st.line; col = st.pos - st.bol + 1 }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let skip_whitespace_and_comments st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      go ()
+    | Some '/' -> begin
+      match peek2 st with
+      | Some '/' ->
+        while peek st <> None && peek st <> Some '\n' do
+          advance st
+        done;
+        go ()
+      | Some '*' ->
+        let start = current_pos st in
+        advance st;
+        advance st;
+        let rec comment () =
+          match peek st, peek2 st with
+          | Some '*', Some '/' ->
+            advance st;
+            advance st
+          | Some _, _ ->
+            advance st;
+            comment ()
+          | None, _ -> lex_error start "unterminated comment"
+        in
+        comment ();
+        go ()
+      | Some _ | None -> ()
+    end
+    | Some _ | None -> ()
+  in
+  go ()
+
+let hex_value c =
+  if is_digit c then Char.code c - Char.code '0'
+  else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+  else Char.code c - Char.code 'A' + 10
+
+(* Consumes an escape body (the backslash has already been consumed) and
+   returns the escaped code unit. *)
+let read_escape st pos =
+  match peek st with
+  | Some 'n' ->
+    advance st;
+    10
+  | Some 't' ->
+    advance st;
+    9
+  | Some 'r' ->
+    advance st;
+    13
+  | Some 'b' ->
+    advance st;
+    8
+  | Some 'f' ->
+    advance st;
+    12
+  | Some '0' ->
+    advance st;
+    0
+  | Some '\\' ->
+    advance st;
+    Char.code '\\'
+  | Some '\'' ->
+    advance st;
+    Char.code '\''
+  | Some '"' ->
+    advance st;
+    Char.code '"'
+  | Some 'u' ->
+    advance st;
+    let acc = ref 0 in
+    for _ = 1 to 4 do
+      match peek st with
+      | Some c when is_hex_digit c ->
+        advance st;
+        acc := (!acc * 16) + hex_value c
+      | Some _ | None -> lex_error pos "bad unicode escape"
+    done;
+    !acc
+  | Some c -> lex_error pos "bad escape '\\%c'" c
+  | None -> lex_error pos "unterminated escape"
+
+let read_string st =
+  let pos = current_pos st in
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> lex_error pos "unterminated string"
+    | Some '"' -> advance st
+    | Some '\n' -> lex_error pos "newline in string literal"
+    | Some '\\' ->
+      advance st;
+      let code = read_escape st pos in
+      if code < 256 then Buffer.add_char buf (Char.chr code)
+      else begin
+        (* Encode a BMP code point as UTF-8 so strings stay byte strings. *)
+        Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+      end;
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Token.String_lit (Buffer.contents buf)
+
+let read_char st =
+  let pos = current_pos st in
+  advance st (* opening quote *);
+  let code =
+    match peek st with
+    | None -> lex_error pos "unterminated char literal"
+    | Some '\\' ->
+      advance st;
+      read_escape st pos
+    | Some c ->
+      advance st;
+      Char.code c
+  in
+  (match peek st with
+  | Some '\'' -> advance st
+  | Some _ | None -> lex_error pos "unterminated char literal");
+  Token.Char_lit code
+
+let read_number st =
+  let pos = current_pos st in
+  let start = st.pos in
+  let consume_digits () =
+    while
+      match peek st with
+      | Some c -> is_digit c
+      | None -> false
+    do
+      advance st
+    done
+  in
+  (* Hex literals. *)
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    let hstart = st.pos in
+    while
+      match peek st with
+      | Some c -> is_hex_digit c
+      | None -> false
+    do
+      advance st
+    done;
+    let digits = String.sub st.src hstart (st.pos - hstart) in
+    if String.length digits = 0 then lex_error pos "empty hex literal";
+    match peek st with
+    | Some ('l' | 'L') ->
+      advance st;
+      Token.Long_lit (Int64.of_string ("0x" ^ digits))
+    | Some _ | None -> Token.Int_lit (Int64.to_int32 (Int64.of_string ("0x" ^ digits)))
+  end
+  else begin
+    consume_digits ();
+    let is_float = ref false in
+    (match peek st, peek2 st with
+    | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      consume_digits ()
+    | Some '.', (Some _ | None) -> () (* field access like 1.toString is not Java; leave dot *)
+    | (Some _ | None), _ -> ());
+    (match peek st with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with
+      | Some ('+' | '-') -> advance st
+      | Some _ | None -> ());
+      consume_digits ()
+    | Some _ | None -> ());
+    let text = String.sub st.src start (st.pos - start) in
+    match peek st with
+    | Some ('l' | 'L') when not !is_float ->
+      advance st;
+      Token.Long_lit (Int64.of_string text)
+    | Some ('f' | 'F') ->
+      advance st;
+      Token.Float_lit (float_of_string text)
+    | Some ('d' | 'D') ->
+      advance st;
+      Token.Double_lit (float_of_string text)
+    | Some _ | None ->
+      if !is_float then Token.Double_lit (float_of_string text)
+      else begin
+        match Int32.of_string_opt text with
+        | Some n -> Token.Int_lit n
+        | None -> lex_error pos "integer literal %s out of range" text
+      end
+  end
+
+let read_hyperlink st =
+  let pos = current_pos st in
+  advance st (* '#' *);
+  (match peek st with
+  | Some '<' -> advance st
+  | Some _ | None -> lex_error pos "expected '<' after '#'");
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c -> is_digit c
+    | None -> false
+  do
+    advance st
+  done;
+  if st.pos = start then lex_error pos "expected digits in hyper-link token";
+  let n = int_of_string (String.sub st.src start (st.pos - start)) in
+  (match peek st with
+  | Some '>' -> advance st
+  | Some _ | None -> lex_error pos "expected '>' closing hyper-link token");
+  Token.Hyperlink n
+
+let next_token st =
+  skip_whitespace_and_comments st;
+  let pos = current_pos st in
+  let simple tok = advance st; tok in
+  let tok =
+    match peek st with
+    | None -> Token.Eof
+    | Some c when is_ident_start c ->
+      let start = st.pos in
+      while
+        match peek st with
+        | Some c -> is_ident_char c
+        | None -> false
+      do
+        advance st
+      done;
+      let word = String.sub st.src start (st.pos - start) in
+      (match Token.of_keyword word with
+      | Some kw -> kw
+      | None -> Token.Ident word)
+    | Some c when is_digit c -> read_number st
+    | Some '"' -> read_string st
+    | Some '\'' -> read_char st
+    | Some '#' -> read_hyperlink st
+    | Some '(' -> simple Token.Lparen
+    | Some ')' -> simple Token.Rparen
+    | Some '{' -> simple Token.Lbrace
+    | Some '}' -> simple Token.Rbrace
+    | Some '[' -> simple Token.Lbracket
+    | Some ']' -> simple Token.Rbracket
+    | Some ';' -> simple Token.Semi
+    | Some ',' -> simple Token.Comma
+    | Some '.' -> simple Token.Dot
+    | Some '?' -> simple Token.Question
+    | Some ':' -> simple Token.Colon
+    | Some '~' -> simple Token.Tilde
+    | Some '+' -> begin
+      advance st;
+      match peek st with
+      | Some '+' -> simple Token.Plus_plus
+      | Some '=' -> simple Token.Plus_eq
+      | Some _ | None -> Token.Plus
+    end
+    | Some '-' -> begin
+      advance st;
+      match peek st with
+      | Some '-' -> simple Token.Minus_minus
+      | Some '=' -> simple Token.Minus_eq
+      | Some _ | None -> Token.Minus
+    end
+    | Some '*' -> begin
+      advance st;
+      match peek st with
+      | Some '=' -> simple Token.Star_eq
+      | Some _ | None -> Token.Star
+    end
+    | Some '/' -> begin
+      advance st;
+      match peek st with
+      | Some '=' -> simple Token.Slash_eq
+      | Some _ | None -> Token.Slash
+    end
+    | Some '%' -> begin
+      advance st;
+      match peek st with
+      | Some '=' -> simple Token.Percent_eq
+      | Some _ | None -> Token.Percent
+    end
+    | Some '=' -> begin
+      advance st;
+      match peek st with
+      | Some '=' -> simple Token.Eq
+      | Some _ | None -> Token.Assign
+    end
+    | Some '!' -> begin
+      advance st;
+      match peek st with
+      | Some '=' -> simple Token.Ne
+      | Some _ | None -> Token.Bang
+    end
+    | Some '<' -> begin
+      advance st;
+      match peek st with
+      | Some '=' -> simple Token.Le
+      | Some '<' -> simple Token.Shl
+      | Some _ | None -> Token.Lt
+    end
+    | Some '>' -> begin
+      advance st;
+      match peek st with
+      | Some '=' -> simple Token.Ge
+      | Some '>' -> begin
+        advance st;
+        match peek st with
+        | Some '>' -> simple Token.Ushr
+        | Some _ | None -> Token.Shr
+      end
+      | Some _ | None -> Token.Gt
+    end
+    | Some '&' -> begin
+      advance st;
+      match peek st with
+      | Some '&' -> simple Token.And_and
+      | Some _ | None -> Token.Amp
+    end
+    | Some '|' -> begin
+      advance st;
+      match peek st with
+      | Some '|' -> simple Token.Or_or
+      | Some _ | None -> Token.Bar
+    end
+    | Some '^' -> simple Token.Caret
+    | Some c -> lex_error pos "unexpected character '%c'" c
+  in
+  (tok, pos)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let (tok, _) as entry = next_token st in
+    match tok with
+    | Token.Eof -> List.rev (entry :: acc)
+    | _ -> go (entry :: acc)
+  in
+  Array.of_list (go [])

@@ -1,0 +1,19 @@
+(** Hand-written lexer for MiniJava.
+
+    Hyper-link placeholders use the out-of-band syntax [#<n>]; the editor
+    inserts them when flattening a hyper-program for a syntactic-legality
+    check (Section 2 of the paper). *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+val pp_pos : Format.formatter -> pos -> unit
+val no_pos : pos
+
+exception Lex_error of pos * string
+
+val tokenize : string -> (Token.t * pos) array
+(** Tokenize a whole source string; the last element is always [Eof].
+    @raise Lex_error on malformed input. *)

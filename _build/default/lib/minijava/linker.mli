@@ -1,0 +1,44 @@
+(** The class loader: links batches of class files into a running VM.
+
+    Batches are ordered by the extends/implements relation; every defined
+    class is also written to the store's blob table, making classes
+    persistent — a reopened store relinks them without recompiling.
+
+    Redefinition (the fresh-class-loader analog and the mechanism behind
+    schema evolution) swaps a loaded class, rebuilds the instance layouts
+    of its loaded subclasses, and reconstructs every store instance IN
+    PLACE — oids are preserved, so references and hyper-links stay
+    valid. *)
+
+exception Link_error of string
+
+val class_blob_prefix : string
+val order_blob : string
+
+val sort_batch : Classfile.t list -> Classfile.t list
+(** Topological sort by the in-batch extends/implements relation.
+    @raise Link_error on inheritance cycles. *)
+
+val load_batch : ?persist:bool -> Rt.t -> Classfile.t list -> Rt.rclass list
+(** Define a batch; superclasses and interfaces outside the batch must
+    already be loaded.  [persist] (default true) writes the class files
+    to the store.
+    @raise Link_error on missing dependencies.
+    @raise Rt.Jerror [LinkageError] on duplicate definitions. *)
+
+val load_class : ?persist:bool -> Rt.t -> Classfile.t -> Rt.rclass
+
+val load_or_redefine_batch : ?persist:bool -> Rt.t -> Classfile.t list -> Rt.rclass list
+(** As {!load_batch}, but classes already loaded are redefined: subclass
+    layouts are rebuilt and store instances reconstructed in place,
+    copying fields by name with safe numeric widenings and defaulting the
+    rest. *)
+
+val migrate_value : Rt.t -> Pstore.Pvalue.t -> Jtype.t -> Pstore.Pvalue.t
+val rebuild_layout : Rt.t -> Rt.rclass -> unit
+
+val relink_persisted : Rt.t -> Rt.rclass list
+(** Relink every class persisted in the store, in original definition
+    order (used when reopening a store). *)
+
+val persist_class : Rt.t -> Classfile.t -> unit

@@ -1,0 +1,7 @@
+(** Native method implementations for the bootstrap classes — the JNI
+    analog.  Covers [java.lang.Object], [String] internals, [System]
+    output and time, [Math], [Integer.parseInt], and the core-reflection
+    natives of [Class] / [Method] / [Field] / [Constructor]. *)
+
+val install : Rt.t -> unit
+(** Register every bootstrap native in the VM's native registry. *)

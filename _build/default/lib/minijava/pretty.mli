@@ -1,0 +1,21 @@
+(** Pretty-printer from the MiniJava AST back to source text.
+
+    Used by the parser round-trip property tests and by schema evolution,
+    which rewrites class sources and recompiles them.  Expressions are
+    printed fully parenthesised so the output re-parses unambiguously. *)
+
+val prim_name : Ast.prim -> string
+val escape_string : string -> string
+
+val pp_type : Format.formatter -> Ast.type_expr -> unit
+val pp_lit : Format.formatter -> Ast.lit -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_class : Format.formatter -> Ast.class_decl -> unit
+val pp_unit : Format.formatter -> Ast.comp_unit -> unit
+
+val unit_to_string : Ast.comp_unit -> string
+val class_to_string : Ast.class_decl -> string
+val expr_to_string : Ast.expr -> string
+val type_to_string : Ast.type_expr -> string
+val stmt_to_string : Ast.stmt -> string

@@ -1,0 +1,523 @@
+(* The bootstrap runtime library, written in MiniJava itself.  Like the
+   Napier88 system the paper describes, as much as possible is implemented
+   in the language; only the essentials (I/O, reflection hooks, string
+   internals) are native.  These sources are compiled by the system's own
+   compiler when a fresh store is booted, and the resulting class files
+   are persisted so later sessions relink without recompiling. *)
+
+let java_lang =
+  {|package java.lang;
+
+public class Object {
+  public Object() {}
+  public native int hashCode();
+  public native Class getClass();
+  public native String toString();
+  public boolean equals(Object other) { return this == other; }
+}
+
+public class String {
+  public native int length();
+  public native char charAt(int index);
+  public native String substring(int begin, int end);
+  public native String concat(String other);
+  public native int indexOf(String sub);
+  public native boolean startsWith(String prefix);
+  public native boolean endsWith(String suffix);
+  public native boolean equals(Object other);
+  public native int hashCode();
+  public native int compareTo(String other);
+  public native int lastIndexOf(String sub);
+  public native String trim();
+  public native String toUpperCase();
+  public native String toLowerCase();
+  public native String replace(char oldChar, char newChar);
+  public boolean isEmpty() { return length() == 0; }
+  public String toString() { return this; }
+  public static native String valueOf(int v);
+  public static native String valueOf(long v);
+  public static native String valueOf(double v);
+  public static native String valueOf(boolean v);
+  public static native String valueOf(char v);
+  public static native String valueOf(Object v);
+}
+
+public class System {
+  public static native void println(String s);
+  public static native void print(String s);
+  public static native long currentTimeMillis();
+  public static native void gc();
+}
+
+public class Math {
+  public static native double sqrt(double x);
+  public static native double floor(double x);
+  public static native double ceil(double x);
+  public static native double pow(double x, double y);
+  public static int abs(int x) { if (x < 0) { return -x; } return x; }
+  public static long abs(long x) { if (x < 0L) { return -x; } return x; }
+  public static double abs(double x) { if (x < 0.0) { return -x; } return x; }
+  public static int max(int a, int b) { if (a > b) { return a; } return b; }
+  public static int min(int a, int b) { if (a < b) { return a; } return b; }
+  public static long max(long a, long b) { if (a > b) { return a; } return b; }
+  public static long min(long a, long b) { if (a < b) { return a; } return b; }
+  public static double max(double a, double b) { if (a > b) { return a; } return b; }
+  public static double min(double a, double b) { if (a < b) { return a; } return b; }
+}
+
+public class Class {
+  private String name;
+  public native String getName();
+  public native Object newInstance();
+  public static native Class forName(String className);
+  public native java.lang.reflect.Method getMethod(String methodName);
+  public native java.lang.reflect.Method[] getMethods();
+  public native java.lang.reflect.Field getField(String fieldName);
+  public native java.lang.reflect.Field[] getFields();
+  public native java.lang.reflect.Constructor[] getConstructors();
+  public native Class getSuperclass();
+  public native boolean isInterface();
+  public String toString() { return "class " + name; }
+}
+
+public class Integer {
+  private int value;
+  public Integer(int v) { value = v; }
+  public int intValue() { return value; }
+  public static Integer valueOf(int v) { return new Integer(v); }
+  public static native int parseInt(String s);
+  public String toString() { return String.valueOf(value); }
+  public boolean equals(Object other) {
+    if (other instanceof Integer) { return ((Integer) other).intValue() == value; }
+    return false;
+  }
+  public int hashCode() { return value; }
+}
+
+public class Long {
+  private long value;
+  public Long(long v) { value = v; }
+  public long longValue() { return value; }
+  public static Long valueOf(long v) { return new Long(v); }
+  public String toString() { return String.valueOf(value); }
+  public boolean equals(Object other) {
+    if (other instanceof Long) { return ((Long) other).longValue() == value; }
+    return false;
+  }
+}
+
+public class Double {
+  private double value;
+  public Double(double v) { value = v; }
+  public double doubleValue() { return value; }
+  public static Double valueOf(double v) { return new Double(v); }
+  public String toString() { return String.valueOf(value); }
+  public boolean equals(Object other) {
+    if (other instanceof Double) { return ((Double) other).doubleValue() == value; }
+    return false;
+  }
+}
+
+public class Boolean {
+  private boolean value;
+  public Boolean(boolean v) { value = v; }
+  public boolean booleanValue() { return value; }
+  public static Boolean valueOf(boolean v) { return new Boolean(v); }
+  public String toString() { return String.valueOf(value); }
+}
+
+public class Character {
+  private char value;
+  public Character(char v) { value = v; }
+  public char charValue() { return value; }
+  public static Character valueOf(char v) { return new Character(v); }
+  public String toString() { return String.valueOf(value); }
+}
+
+public class Throwable {
+  private String message;
+  public Throwable() { message = null; }
+  public Throwable(String msg) { message = msg; }
+  public String getMessage() { return message; }
+  public String toString() {
+    String name = getClass().getName();
+    if (message == null) { return name; }
+    return name + ": " + message;
+  }
+}
+
+public class Exception extends Throwable {
+  public Exception() { super(); }
+  public Exception(String msg) { super(msg); }
+}
+
+public class RuntimeException extends Exception {
+  public RuntimeException() { super(); }
+  public RuntimeException(String msg) { super(msg); }
+}
+
+public class Error extends Throwable {
+  public Error() { super(); }
+  public Error(String msg) { super(msg); }
+}
+
+public class NullPointerException extends RuntimeException {
+  public NullPointerException() { super(); }
+  public NullPointerException(String msg) { super(msg); }
+}
+
+public class ArithmeticException extends RuntimeException {
+  public ArithmeticException() { super(); }
+  public ArithmeticException(String msg) { super(msg); }
+}
+
+public class ClassCastException extends RuntimeException {
+  public ClassCastException() { super(); }
+  public ClassCastException(String msg) { super(msg); }
+}
+
+public class IllegalArgumentException extends RuntimeException {
+  public IllegalArgumentException() { super(); }
+  public IllegalArgumentException(String msg) { super(msg); }
+}
+
+public class IllegalStateException extends RuntimeException {
+  public IllegalStateException() { super(); }
+  public IllegalStateException(String msg) { super(msg); }
+}
+
+public class IndexOutOfBoundsException extends RuntimeException {
+  public IndexOutOfBoundsException() { super(); }
+  public IndexOutOfBoundsException(String msg) { super(msg); }
+}
+
+public class ArrayIndexOutOfBoundsException extends IndexOutOfBoundsException {
+  public ArrayIndexOutOfBoundsException() { super(); }
+  public ArrayIndexOutOfBoundsException(String msg) { super(msg); }
+}
+
+public class StringIndexOutOfBoundsException extends IndexOutOfBoundsException {
+  public StringIndexOutOfBoundsException() { super(); }
+  public StringIndexOutOfBoundsException(String msg) { super(msg); }
+}
+
+public class ArrayStoreException extends RuntimeException {
+  public ArrayStoreException() { super(); }
+  public ArrayStoreException(String msg) { super(msg); }
+}
+
+public class NegativeArraySizeException extends RuntimeException {
+  public NegativeArraySizeException() { super(); }
+  public NegativeArraySizeException(String msg) { super(msg); }
+}
+
+public class NumberFormatException extends IllegalArgumentException {
+  public NumberFormatException() { super(); }
+  public NumberFormatException(String msg) { super(msg); }
+}
+
+public class SecurityException extends RuntimeException {
+  public SecurityException() { super(); }
+  public SecurityException(String msg) { super(msg); }
+}
+
+public class ClassNotFoundException extends Exception {
+  public ClassNotFoundException() { super(); }
+  public ClassNotFoundException(String msg) { super(msg); }
+}
+
+public class NoSuchMethodException extends Exception {
+  public NoSuchMethodException() { super(); }
+  public NoSuchMethodException(String msg) { super(msg); }
+}
+
+public class NoSuchFieldException extends Exception {
+  public NoSuchFieldException() { super(); }
+  public NoSuchFieldException(String msg) { super(msg); }
+}
+
+public class LinkageError extends Error {
+  public LinkageError() { super(); }
+  public LinkageError(String msg) { super(msg); }
+}
+
+public class NoClassDefFoundError extends LinkageError {
+  public NoClassDefFoundError() { super(); }
+  public NoClassDefFoundError(String msg) { super(msg); }
+}
+
+public class IncompatibleClassChangeError extends LinkageError {
+  public IncompatibleClassChangeError() { super(); }
+  public IncompatibleClassChangeError(String msg) { super(msg); }
+}
+
+public class NoSuchFieldError extends IncompatibleClassChangeError {
+  public NoSuchFieldError() { super(); }
+  public NoSuchFieldError(String msg) { super(msg); }
+}
+
+public class NoSuchMethodError extends IncompatibleClassChangeError {
+  public NoSuchMethodError() { super(); }
+  public NoSuchMethodError(String msg) { super(msg); }
+}
+
+public class AbstractMethodError extends IncompatibleClassChangeError {
+  public AbstractMethodError() { super(); }
+  public AbstractMethodError(String msg) { super(msg); }
+}
+
+public class InstantiationError extends IncompatibleClassChangeError {
+  public InstantiationError() { super(); }
+  public InstantiationError(String msg) { super(msg); }
+}
+
+public class UnsatisfiedLinkError extends LinkageError {
+  public UnsatisfiedLinkError() { super(); }
+  public UnsatisfiedLinkError(String msg) { super(msg); }
+}
+
+public class VirtualMachineError extends Error {
+  public VirtualMachineError() { super(); }
+  public VirtualMachineError(String msg) { super(msg); }
+}
+
+public class InternalError extends VirtualMachineError {
+  public InternalError() { super(); }
+  public InternalError(String msg) { super(msg); }
+}
+
+public class StackOverflowError extends VirtualMachineError {
+  public StackOverflowError() { super(); }
+  public StackOverflowError(String msg) { super(msg); }
+}
+
+public class StringBuffer {
+  private String content;
+  public StringBuffer() { content = ""; }
+  public StringBuffer(String initial) { content = initial; }
+  public StringBuffer append(String s) { content = content + s; return this; }
+  public StringBuffer append(int v) { content = content + v; return this; }
+  public StringBuffer append(long v) { content = content + v; return this; }
+  public StringBuffer append(double v) { content = content + v; return this; }
+  public StringBuffer append(boolean v) { content = content + v; return this; }
+  public StringBuffer append(char v) { content = content + v; return this; }
+  public StringBuffer append(Object o) { content = content + String.valueOf(o); return this; }
+  public int length() { return content.length(); }
+  public StringBuffer reverse() {
+    String reversed = "";
+    for (int i = content.length() - 1; i >= 0; i = i - 1) {
+      reversed = reversed + content.charAt(i);
+    }
+    content = reversed;
+    return this;
+  }
+  public String toString() { return content; }
+}
+|}
+
+let java_lang_reflect =
+  {|package java.lang.reflect;
+
+public class Method {
+  private String declClass;
+  private String name;
+  private String descriptor;
+  public native String getName();
+  public native Class getDeclaringClass();
+  public native Object invoke(Object receiver, Object[] args);
+  public String toString() { return declClass + "." + name + descriptor; }
+}
+
+public class Field {
+  private String declClass;
+  private String name;
+  private String descriptor;
+  public native String getName();
+  public native Class getDeclaringClass();
+  public native Object get(Object receiver);
+  public native void set(Object receiver, Object value);
+  public String toString() { return declClass + "." + name; }
+}
+
+public class Constructor {
+  private String declClass;
+  private String name;
+  private String descriptor;
+  public native Class getDeclaringClass();
+  public native Object newInstance(Object[] args);
+  public String toString() { return "new " + declClass + descriptor; }
+}
+|}
+
+let java_util =
+  {|package java.util;
+
+public interface Enumeration {
+  boolean hasMoreElements();
+  Object nextElement();
+}
+
+public class VectorEnumeration implements Enumeration {
+  private Vector vector;
+  private int index;
+  public VectorEnumeration(Vector v) { vector = v; index = 0; }
+  public boolean hasMoreElements() { return index < vector.size(); }
+  public Object nextElement() {
+    Object o = vector.elementAt(index);
+    index = index + 1;
+    return o;
+  }
+}
+
+public class Vector {
+  private Object[] data;
+  private int count;
+
+  public Vector() { data = new Object[8]; count = 0; }
+
+  public Vector(int capacity) {
+    int c = capacity;
+    if (c < 1) { c = 1; }
+    data = new Object[c];
+    count = 0;
+  }
+
+  public int size() { return count; }
+  public boolean isEmpty() { return count == 0; }
+  public int capacity() { return data.length; }
+
+  private void ensure(int needed) {
+    if (needed > data.length) {
+      int newCap = data.length * 2;
+      if (newCap < needed) { newCap = needed; }
+      Object[] bigger = new Object[newCap];
+      for (int i = 0; i < count; i = i + 1) { bigger[i] = data[i]; }
+      data = bigger;
+    }
+  }
+
+  public void addElement(Object obj) {
+    ensure(count + 1);
+    data[count] = obj;
+    count = count + 1;
+  }
+
+  public Object elementAt(int index) { return data[index]; }
+
+  public void setElementAt(Object obj, int index) { data[index] = obj; }
+
+  public void insertElementAt(Object obj, int index) {
+    ensure(count + 1);
+    for (int i = count; i > index; i = i - 1) { data[i] = data[i - 1]; }
+    data[index] = obj;
+    count = count + 1;
+  }
+
+  public void removeElementAt(int index) {
+    for (int i = index; i < count - 1; i = i + 1) { data[i] = data[i + 1]; }
+    count = count - 1;
+    data[count] = null;
+  }
+
+  public int indexOf(Object obj) {
+    for (int i = 0; i < count; i = i + 1) {
+      if (obj == null) {
+        if (data[i] == null) { return i; }
+      } else {
+        if (obj.equals(data[i])) { return i; }
+      }
+    }
+    return -1;
+  }
+
+  public boolean contains(Object obj) { return indexOf(obj) >= 0; }
+
+  public boolean removeElement(Object obj) {
+    int idx = indexOf(obj);
+    if (idx < 0) { return false; }
+    removeElementAt(idx);
+    return true;
+  }
+
+  public void removeAllElements() {
+    for (int i = 0; i < count; i = i + 1) { data[i] = null; }
+    count = 0;
+  }
+
+  public Enumeration elements() { return new VectorEnumeration(this); }
+
+  public Object firstElement() { return data[0]; }
+  public Object lastElement() { return data[count - 1]; }
+
+  public String toString() {
+    String s = "[";
+    for (int i = 0; i < count; i = i + 1) {
+      if (i > 0) { s = s + ", "; }
+      s = s + String.valueOf(data[i]);
+    }
+    return s + "]";
+  }
+}
+
+public class Hashtable {
+  private Object[] keys;
+  private Object[] values;
+  private int count;
+
+  public Hashtable() { keys = new Object[16]; values = new Object[16]; count = 0; }
+
+  public int size() { return count; }
+
+  private int find(Object key) {
+    for (int i = 0; i < count; i = i + 1) {
+      if (key.equals(keys[i])) { return i; }
+    }
+    return -1;
+  }
+
+  public Object get(Object key) {
+    int idx = find(key);
+    if (idx < 0) { return null; }
+    return values[idx];
+  }
+
+  public Object put(Object key, Object value) {
+    int idx = find(key);
+    if (idx >= 0) {
+      Object old = values[idx];
+      values[idx] = value;
+      return old;
+    }
+    if (count == keys.length) {
+      Object[] nk = new Object[count * 2];
+      Object[] nv = new Object[count * 2];
+      for (int i = 0; i < count; i = i + 1) { nk[i] = keys[i]; nv[i] = values[i]; }
+      keys = nk;
+      values = nv;
+    }
+    keys[count] = key;
+    values[count] = value;
+    count = count + 1;
+    return null;
+  }
+
+  public Object remove(Object key) {
+    int idx = find(key);
+    if (idx < 0) { return null; }
+    Object old = values[idx];
+    for (int i = idx; i < count - 1; i = i + 1) {
+      keys[i] = keys[i + 1];
+      values[i] = values[i + 1];
+    }
+    count = count - 1;
+    keys[count] = null;
+    values[count] = null;
+    return old;
+  }
+
+  public boolean containsKey(Object key) { return find(key) >= 0; }
+}
+|}
+
+(* All bootstrap units, compiled together as one batch. *)
+let all_units = [ java_lang; java_lang_reflect; java_util ]

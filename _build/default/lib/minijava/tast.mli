@@ -1,0 +1,96 @@
+(** Typed abstract syntax: the output of the type checker and the input
+    of the bytecode compiler.  All names are resolved (locals to slots,
+    fields to their declaring class, calls to a signature), all implicit
+    conversions are explicit [T_conv] nodes, and string concatenation is
+    lowered to [T_concat]/[T_to_string]. *)
+
+type opkind =
+  | Oint
+  | Olong
+  | Ofloat
+  | Odouble
+  | Obool
+  | Oref
+
+val opkind_of_type : Jtype.t -> opkind
+(** @raise Invalid_argument on [Void]. *)
+
+type tex = {
+  ty : Jtype.t;
+  node : tnode;
+}
+
+and tnode =
+  | T_lit of Ast.lit
+  | T_local of int
+  | T_this
+  | T_static_get of string * string (* class, field *)
+  | T_field_get of tex * string * string (* receiver, class, field *)
+  | T_index of tex * tex
+  | T_array_len of tex
+  | T_call of callee * tex list
+  | T_new of string * Jtype.msig * tex list
+  | T_new_array of Jtype.t * tex list (* result type, sized dims *)
+  | T_cast of Jtype.t * tex (* runtime-checked reference cast *)
+  | T_conv of Jtype.t * tex (* numeric conversion (explicit or implicit) *)
+  | T_instanceof of tex * Jtype.t
+  | T_unop of Ast.unop * opkind * tex
+  | T_binop of Ast.binop * opkind * tex * tex
+  | T_concat of tex * tex
+  | T_to_string of tex (* any value to its string form *)
+  | T_assign of lvalue * tex (* the whole expression evaluates to the rhs *)
+  | T_cond of tex * tex * tex
+
+and callee =
+  | C_static of string * string * Jtype.msig (* class, method, sig *)
+  | C_virtual of tex * string * string * Jtype.msig (* receiver, declared class, method, sig *)
+
+and lvalue =
+  | Lv_local of int
+  | Lv_static of string * string
+  | Lv_field of tex * string * string
+  | Lv_index of tex * tex
+
+type tstmt =
+  | Ts_expr of tex
+  | Ts_local_init of int * tex
+  | Ts_if of tex * tstmt list * tstmt list
+  | Ts_while of tex * tstmt list
+  | Ts_do_while of tstmt list * tex
+  | Ts_for of tstmt list * tex option * tex list * tstmt list
+  | Ts_switch of int * tex * switch_group list
+      (* scrutinee temp slot, scrutinee, case groups in order *)
+  | Ts_return of tex option
+  | Ts_throw of tex
+  | Ts_try of tstmt list * tcatch list
+  | Ts_break
+  | Ts_continue
+  | Ts_super of string * Jtype.msig * tex list (* super-class name *)
+
+and switch_group = {
+  sg_labels : int32 list;
+  sg_default : bool;
+  sg_body : tstmt list; (* falls through to the next group *)
+}
+
+and tcatch = {
+  tc_slot : int; (* local slot of the catch parameter *)
+  tc_class : string; (* catchable class *)
+  tc_body : tstmt list;
+}
+
+type tmethod = {
+  tm_class : string;
+  tm_name : string; (* "<init>" for constructors, "<clinit>" for statics *)
+  tm_sig : Jtype.msig;
+  tm_static : bool;
+  tm_native : bool;
+  tm_max_locals : int;
+  tm_body : tstmt list;
+}
+
+type tclass = {
+  tc_info : Jtype.class_info;
+  tc_methods : tmethod list;
+  tc_source : string option; (* association back to the source program *)
+}

@@ -1,0 +1,257 @@
+(* Lexical tokens of MiniJava, including the hyper-link placeholder token
+   [Hyperlink n] which lets the editor parse a hyper-program directly for
+   syntactically-legal link insertion (Section 2 of the paper). *)
+
+type t =
+  | Ident of string
+  | Int_lit of int32
+  | Long_lit of int64
+  | Float_lit of float
+  | Double_lit of float
+  | Char_lit of int
+  | String_lit of string
+  | Hyperlink of int
+  (* keywords *)
+  | Kabstract
+  | Kboolean
+  | Kbreak
+  | Kbyte
+  | Kchar
+  | Kclass
+  | Kcase
+  | Kcontinue
+  | Kdefault
+  | Kdo
+  | Kdouble
+  | Kelse
+  | Kextends
+  | Kfalse
+  | Kfinal
+  | Kfloat
+  | Kfor
+  | Kif
+  | Kimplements
+  | Kimport
+  | Kinstanceof
+  | Kint
+  | Kinterface
+  | Klong
+  | Knative
+  | Knew
+  | Knull
+  | Kpackage
+  | Kprivate
+  | Kprotected
+  | Kpublic
+  | Kreturn
+  | Kshort
+  | Kstatic
+  | Ksuper
+  | Kswitch
+  | Kthis
+  | Kthrow
+  | Kthrows
+  | Ktry
+  | Kcatch
+  | Kfinally
+  | Ktrue
+  | Kvoid
+  | Kwhile
+  (* punctuation and operators *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And_and
+  | Or_or
+  | Bang
+  | Amp
+  | Bar
+  | Caret
+  | Tilde
+  | Shl
+  | Shr
+  | Ushr
+  | Plus_plus
+  | Minus_minus
+  | Plus_eq
+  | Minus_eq
+  | Star_eq
+  | Slash_eq
+  | Percent_eq
+  | Question
+  | Colon
+  | Eof
+
+let keywords =
+  [
+    ("abstract", Kabstract);
+    ("boolean", Kboolean);
+    ("break", Kbreak);
+    ("byte", Kbyte);
+    ("char", Kchar);
+    ("class", Kclass);
+    ("case", Kcase);
+    ("continue", Kcontinue);
+    ("default", Kdefault);
+    ("do", Kdo);
+    ("double", Kdouble);
+    ("else", Kelse);
+    ("extends", Kextends);
+    ("false", Kfalse);
+    ("final", Kfinal);
+    ("float", Kfloat);
+    ("for", Kfor);
+    ("if", Kif);
+    ("implements", Kimplements);
+    ("import", Kimport);
+    ("instanceof", Kinstanceof);
+    ("int", Kint);
+    ("interface", Kinterface);
+    ("long", Klong);
+    ("native", Knative);
+    ("new", Knew);
+    ("null", Knull);
+    ("package", Kpackage);
+    ("private", Kprivate);
+    ("protected", Kprotected);
+    ("public", Kpublic);
+    ("return", Kreturn);
+    ("short", Kshort);
+    ("static", Kstatic);
+    ("super", Ksuper);
+    ("switch", Kswitch);
+    ("this", Kthis);
+    ("throw", Kthrow);
+    ("try", Ktry);
+    ("catch", Kcatch);
+    ("finally", Kfinally);
+    ("throws", Kthrows);
+    ("true", Ktrue);
+    ("void", Kvoid);
+    ("while", Kwhile);
+  ]
+
+let keyword_table =
+  let table = Hashtbl.create 64 in
+  List.iter (fun (name, tok) -> Hashtbl.replace table name tok) keywords;
+  table
+
+let of_keyword name = Hashtbl.find_opt keyword_table name
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit n -> Int32.to_string n
+  | Long_lit n -> Int64.to_string n ^ "L"
+  | Float_lit f -> string_of_float f ^ "f"
+  | Double_lit f -> string_of_float f
+  | Char_lit c ->
+    if c >= 32 && c < 127 then Printf.sprintf "'%c'" (Char.chr c)
+    else Printf.sprintf "'\\u%04x'" c
+  | String_lit s -> Printf.sprintf "%S" s
+  | Hyperlink n -> Printf.sprintf "#<%d>" n
+  | Kabstract -> "abstract"
+  | Kboolean -> "boolean"
+  | Kbreak -> "break"
+  | Kbyte -> "byte"
+  | Kchar -> "char"
+  | Kclass -> "class"
+  | Kcase -> "case"
+  | Kcontinue -> "continue"
+  | Kdefault -> "default"
+  | Kdo -> "do"
+  | Kdouble -> "double"
+  | Kelse -> "else"
+  | Kextends -> "extends"
+  | Kfalse -> "false"
+  | Kfinal -> "final"
+  | Kfloat -> "float"
+  | Kfor -> "for"
+  | Kif -> "if"
+  | Kimplements -> "implements"
+  | Kimport -> "import"
+  | Kinstanceof -> "instanceof"
+  | Kint -> "int"
+  | Kinterface -> "interface"
+  | Klong -> "long"
+  | Knative -> "native"
+  | Knew -> "new"
+  | Knull -> "null"
+  | Kpackage -> "package"
+  | Kprivate -> "private"
+  | Kprotected -> "protected"
+  | Kpublic -> "public"
+  | Kreturn -> "return"
+  | Kshort -> "short"
+  | Kstatic -> "static"
+  | Ksuper -> "super"
+  | Kswitch -> "switch"
+  | Kthis -> "this"
+  | Kthrow -> "throw"
+  | Ktry -> "try"
+  | Kcatch -> "catch"
+  | Kfinally -> "finally"
+  | Kthrows -> "throws"
+  | Ktrue -> "true"
+  | Kvoid -> "void"
+  | Kwhile -> "while"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Dot -> "."
+  | Assign -> "="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And_and -> "&&"
+  | Or_or -> "||"
+  | Bang -> "!"
+  | Amp -> "&"
+  | Bar -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Ushr -> ">>>"
+  | Plus_plus -> "++"
+  | Minus_minus -> "--"
+  | Plus_eq -> "+="
+  | Minus_eq -> "-="
+  | Star_eq -> "*="
+  | Slash_eq -> "/="
+  | Percent_eq -> "%="
+  | Question -> "?"
+  | Colon -> ":"
+  | Eof -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

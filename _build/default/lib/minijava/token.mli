@@ -1,0 +1,108 @@
+(** Lexical tokens of MiniJava, including the hyper-link placeholder
+    token [Hyperlink n] that lets the editor parse a hyper-program
+    directly for syntactically-legal link insertion (paper Section 2). *)
+
+type t =
+  | Ident of string
+  | Int_lit of int32
+  | Long_lit of int64
+  | Float_lit of float
+  | Double_lit of float
+  | Char_lit of int
+  | String_lit of string
+  | Hyperlink of int
+  (* keywords *)
+  | Kabstract
+  | Kboolean
+  | Kbreak
+  | Kbyte
+  | Kchar
+  | Kclass
+  | Kcase
+  | Kcontinue
+  | Kdefault
+  | Kdo
+  | Kdouble
+  | Kelse
+  | Kextends
+  | Kfalse
+  | Kfinal
+  | Kfloat
+  | Kfor
+  | Kif
+  | Kimplements
+  | Kimport
+  | Kinstanceof
+  | Kint
+  | Kinterface
+  | Klong
+  | Knative
+  | Knew
+  | Knull
+  | Kpackage
+  | Kprivate
+  | Kprotected
+  | Kpublic
+  | Kreturn
+  | Kshort
+  | Kstatic
+  | Ksuper
+  | Kswitch
+  | Kthis
+  | Kthrow
+  | Kthrows
+  | Ktry
+  | Kcatch
+  | Kfinally
+  | Ktrue
+  | Kvoid
+  | Kwhile
+  (* punctuation and operators *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And_and
+  | Or_or
+  | Bang
+  | Amp
+  | Bar
+  | Caret
+  | Tilde
+  | Shl
+  | Shr
+  | Ushr
+  | Plus_plus
+  | Minus_minus
+  | Plus_eq
+  | Minus_eq
+  | Star_eq
+  | Slash_eq
+  | Percent_eq
+  | Question
+  | Colon
+  | Eof
+
+val keywords : (string * t) list
+(** Keyword spelling/token pairs, also used by the syntax highlighter. *)
+
+val of_keyword : string -> t option
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/pstore/codec.mli: Format

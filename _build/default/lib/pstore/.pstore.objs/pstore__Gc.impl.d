@@ -1,0 +1,1 @@
+lib/pstore/gc.ml: Format Heap List Oid Pvalue Roots Stack

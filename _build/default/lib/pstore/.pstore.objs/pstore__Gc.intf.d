@@ -1,0 +1,1 @@
+lib/pstore/gc.mli: Format Heap Oid Roots

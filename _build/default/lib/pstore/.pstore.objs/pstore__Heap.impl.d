@@ -1,0 +1,1 @@
+lib/pstore/heap.ml: Array Format List Oid Pvalue Seq

@@ -1,0 +1,1 @@
+lib/pstore/heap.mli: Oid Pvalue

@@ -1,0 +1,1 @@
+lib/pstore/image.ml: Codec Format Hashtbl Heap Int32 Int64 List Oid Pvalue Roots String Sys

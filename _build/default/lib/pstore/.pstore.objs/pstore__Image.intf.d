@@ -1,0 +1,1 @@
+lib/pstore/image.mli: Hashtbl Heap Roots

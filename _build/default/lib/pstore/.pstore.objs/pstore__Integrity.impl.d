@@ -1,0 +1,1 @@
+lib/pstore/integrity.ml: Array Format Heap List Oid Pvalue Roots Store

@@ -1,0 +1,1 @@
+lib/pstore/integrity.mli: Format Oid Store

@@ -1,0 +1,1 @@
+lib/pstore/oid.ml: Format Hashtbl Int Map Set

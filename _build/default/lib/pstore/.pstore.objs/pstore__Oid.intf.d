@@ -1,0 +1,1 @@
+lib/pstore/oid.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/pstore/pvalue.ml: Bool Char Codec Float Format Int Int32 Int64 Oid

@@ -1,0 +1,1 @@
+lib/pstore/pvalue.mli: Codec Format Oid

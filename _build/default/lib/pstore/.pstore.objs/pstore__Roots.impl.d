@@ -1,0 +1,1 @@
+lib/pstore/roots.ml: Hashtbl List Pvalue String

@@ -1,0 +1,1 @@
+lib/pstore/roots.mli: Oid Pvalue

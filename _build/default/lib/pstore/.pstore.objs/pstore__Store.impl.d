@@ -1,0 +1,1 @@
+lib/pstore/store.ml: Gc Hashtbl Heap Image List Oid Pvalue Roots String

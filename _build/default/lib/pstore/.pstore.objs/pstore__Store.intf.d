@@ -1,0 +1,1 @@
+lib/pstore/store.mli: Gc Heap Oid Pvalue Roots

@@ -1,0 +1,49 @@
+(** Binary encoding primitives used by the store image format and the
+    MiniJava class-file format.  All multi-byte integers are little-endian;
+    strings are length-prefixed. *)
+
+type writer
+type reader
+
+exception Decode_error of string
+
+val decode_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Decode_error} with a formatted message. *)
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val reader : string -> reader
+val remaining : reader -> int
+val at_end : reader -> bool
+
+val put_u8 : writer -> int -> unit
+val put_bool : writer -> bool -> unit
+val put_i32 : writer -> int32 -> unit
+val put_int : writer -> int -> unit
+val put_i64 : writer -> int64 -> unit
+val put_f64 : writer -> float -> unit
+val put_string : writer -> string -> unit
+val put_list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+val put_array : writer -> (writer -> 'a -> unit) -> 'a array -> unit
+val put_option : writer -> (writer -> 'a -> unit) -> 'a option -> unit
+
+val put_bytes : writer -> string -> unit
+(** Raw bytes, no length prefix. *)
+
+val get_bytes : reader -> int -> string
+(** Raw bytes, no length prefix. *)
+
+val get_u8 : reader -> int
+val get_bool : reader -> bool
+val get_i32 : reader -> int32
+val get_int : reader -> int
+val get_i64 : reader -> int64
+val get_f64 : reader -> float
+val get_string : reader -> string
+val get_list : reader -> (reader -> 'a) -> 'a list
+val get_array : reader -> (reader -> 'a) -> 'a array
+val get_option : reader -> (reader -> 'a) -> 'a option
+
+val crc32 : string -> int32
+(** CRC-32 checksum (IEEE 802.3 polynomial) of a byte string. *)

@@ -1,0 +1,20 @@
+(** Reachability-based garbage collection with weak-reference semantics.
+
+    Weak cells are traced as heap objects, but their targets are not: a
+    live weak cell whose target is otherwise unreachable is cleared to
+    [Null] and the target is swept. *)
+
+type stats = {
+  live : int;  (** objects remaining after the sweep *)
+  swept : int;  (** objects reclaimed *)
+  weak_cleared : int;  (** weak cells whose target died this cycle *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val collect : ?extra_roots:Oid.t list -> Heap.t -> Roots.t -> stats
+(** Run a full mark–sweep cycle.  [extra_roots] pins additional objects
+    (e.g. those referenced by a running VM). *)
+
+val reachable : ?extra_roots:Oid.t list -> Heap.t -> Roots.t -> Oid.Set.t
+(** The set of strongly reachable oids, without sweeping. *)

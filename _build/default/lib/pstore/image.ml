@@ -1,0 +1,157 @@
+(* Stabilisation: the whole store (heap, roots, blobs) is serialised into a
+   single image, checksummed, and written atomically (temp file + rename).
+   Oids are preserved verbatim so hyper-links survive a close/reopen.
+
+   Blobs are named byte strings used by higher layers for non-object state;
+   the MiniJava runtime stores its compiled class files there, which is what
+   makes classes persistent. *)
+
+exception Image_error of string
+
+let image_error fmt = Format.kasprintf (fun s -> raise (Image_error s)) fmt
+
+let magic = "HPJSTORE"
+let version = 1
+
+type contents = {
+  heap : Heap.t;
+  roots : Roots.t;
+  blobs : (string, string) Hashtbl.t;
+}
+
+let encode_entry w entry =
+  let open Codec in
+  match entry with
+  | Heap.Record r ->
+    put_u8 w 0;
+    put_string w r.Heap.class_name;
+    put_array w Pvalue.encode r.Heap.fields
+  | Heap.Array a ->
+    put_u8 w 1;
+    put_string w a.Heap.elem_type;
+    put_array w Pvalue.encode a.Heap.elems
+  | Heap.Str s ->
+    put_u8 w 2;
+    put_string w s
+  | Heap.Weak cell ->
+    put_u8 w 3;
+    Pvalue.encode w cell.Heap.target
+
+let decode_entry r =
+  let open Codec in
+  match get_u8 r with
+  | 0 ->
+    let class_name = get_string r in
+    let fields = get_array r Pvalue.decode in
+    Heap.Record { Heap.class_name; fields }
+  | 1 ->
+    let elem_type = get_string r in
+    let elems = get_array r Pvalue.decode in
+    Heap.Array { Heap.elem_type; elems }
+  | 2 -> Heap.Str (get_string r)
+  | 3 -> Heap.Weak { Heap.target = Pvalue.decode r }
+  | n -> Codec.decode_error "Image: invalid entry kind %d" n
+
+let encode { heap; roots; blobs } =
+  let open Codec in
+  let w = writer () in
+  put_bytes w magic;
+  put_u8 w version;
+  put_i64 w (Int64.of_int (Heap.next_oid heap));
+  (* Heap entries, sorted by oid for deterministic images. *)
+  let entries =
+    Heap.fold (fun oid entry acc -> (oid, entry) :: acc) heap []
+    |> List.sort (fun (a, _) (b, _) -> Oid.compare a b)
+  in
+  put_int w (List.length entries);
+  List.iter
+    (fun (oid, entry) ->
+      put_i64 w (Int64.of_int (Oid.to_int oid));
+      encode_entry w entry)
+    entries;
+  let root_bindings =
+    Roots.fold (fun name v acc -> (name, v) :: acc) roots []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  put_int w (List.length root_bindings);
+  List.iter
+    (fun (name, v) ->
+      put_string w name;
+      Pvalue.encode w v)
+    root_bindings;
+  let blob_bindings =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) blobs []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  put_int w (List.length blob_bindings);
+  List.iter
+    (fun (k, v) ->
+      put_string w k;
+      put_string w v)
+    blob_bindings;
+  let body = contents w in
+  let tail = writer () in
+  put_i32 tail (crc32 body);
+  body ^ Codec.contents tail
+
+let decode data =
+  let open Codec in
+  if String.length data < String.length magic + 1 + 4 then image_error "truncated image";
+  let body = String.sub data 0 (String.length data - 4) in
+  let crc_reader = reader (String.sub data (String.length data - 4) 4) in
+  let stored_crc = get_i32 crc_reader in
+  let actual_crc = crc32 body in
+  if not (Int32.equal stored_crc actual_crc) then
+    image_error "checksum mismatch: stored %ld, computed %ld" stored_crc actual_crc;
+  let r = reader body in
+  let file_magic = get_bytes r (String.length magic) in
+  if not (String.equal file_magic magic) then image_error "bad magic %S" file_magic;
+  let file_version = get_u8 r in
+  if file_version <> version then image_error "unsupported image version %d" file_version;
+  let next = Int64.to_int (get_i64 r) in
+  let heap = Heap.create () in
+  let n_entries = get_int r in
+  for _ = 1 to n_entries do
+    let oid = Oid.of_int (Int64.to_int (get_i64 r)) in
+    Heap.insert heap oid (decode_entry r)
+  done;
+  Heap.set_next_oid heap next;
+  let roots = Roots.create () in
+  let n_roots = get_int r in
+  for _ = 1 to n_roots do
+    let name = get_string r in
+    Roots.set roots name (Pvalue.decode r)
+  done;
+  let blobs = Hashtbl.create 16 in
+  let n_blobs = get_int r in
+  for _ = 1 to n_blobs do
+    let k = get_string r in
+    let v = get_string r in
+    Hashtbl.replace blobs k v
+  done;
+  if not (at_end r) then image_error "%d trailing bytes after image" (remaining r);
+  { heap; roots; blobs }
+
+let save path contents =
+  let data = encode contents in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc data;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data =
+    try really_input_string ic len
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  decode data

@@ -1,0 +1,26 @@
+(** Stabilisation: whole-store snapshots.
+
+    The heap, named roots and blob table are serialised into a single
+    checksummed image and written atomically.  Oids are preserved, so
+    hyper-links (which capture oids) survive a close/reopen cycle. *)
+
+exception Image_error of string
+
+type contents = {
+  heap : Heap.t;
+  roots : Roots.t;
+  blobs : (string, string) Hashtbl.t;
+      (** named byte strings for non-object state, e.g. compiled class files *)
+}
+
+val encode : contents -> string
+(** Serialise to bytes (deterministic: entries sorted by oid). *)
+
+val decode : string -> contents
+(** @raise Image_error on checksum mismatch, bad magic or truncation.
+    @raise Codec.Decode_error on malformed payloads. *)
+
+val save : string -> contents -> unit
+(** Atomic write: temp file then rename. *)
+
+val load : string -> contents

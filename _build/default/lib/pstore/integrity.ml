@@ -1,0 +1,67 @@
+(* Referential-integrity checking.  The paper's store contract is "roots,
+   reachability and referential integrity": no reachable object may contain
+   a dangling reference.  We verify the whole heap (not just the reachable
+   part) so that corruption is caught as early as possible. *)
+
+type violation =
+  | Dangling_ref of { holder : Oid.t option; slot : string; target : Oid.t }
+  | Bad_root of { name : string; target : Oid.t }
+
+let pp_violation ppf = function
+  | Dangling_ref { holder; slot; target } ->
+    let pp_holder ppf = function
+      | Some oid -> Oid.pp ppf oid
+      | None -> Format.pp_print_string ppf "<root>"
+    in
+    Format.fprintf ppf "dangling reference: %a.%s -> %a" pp_holder holder slot Oid.pp target
+  | Bad_root { name; target } ->
+    Format.fprintf ppf "root %S -> dangling %a" name Oid.pp target
+
+let check_values heap holder values acc =
+  let check_one i acc v =
+    match v with
+    | Pvalue.Ref target when not (Heap.is_live heap target) ->
+      Dangling_ref { holder = Some holder; slot = string_of_int i; target } :: acc
+    | _ -> acc
+  in
+  let acc = ref acc in
+  Array.iteri (fun i v -> acc := check_one i !acc v) values;
+  !acc
+
+let check store =
+  let heap = Store.heap store in
+  let violations = ref [] in
+  Heap.iter
+    (fun oid entry ->
+      match entry with
+      | Heap.Record r -> violations := check_values heap oid r.Heap.fields !violations
+      | Heap.Array a -> violations := check_values heap oid a.Heap.elems !violations
+      | Heap.Weak cell -> begin
+        (* A weak target may be cleared but must never dangle between GCs
+           only if GC has not yet run; a dangling weak target is reported
+           as a violation because reads would crash. *)
+        match cell.Heap.target with
+        | Pvalue.Ref target when not (Heap.is_live heap target) ->
+          violations :=
+            Dangling_ref { holder = Some oid; slot = "weak-target"; target } :: !violations
+        | _ -> ()
+      end
+      | Heap.Str _ -> ())
+    heap;
+  Roots.iter
+    (fun name v ->
+      match v with
+      | Pvalue.Ref target when not (Heap.is_live heap target) ->
+        violations := Bad_root { name; target } :: !violations
+      | _ -> ())
+    (Store.roots store);
+  List.rev !violations
+
+let check_exn store =
+  match check store with
+  | [] -> ()
+  | violations ->
+    let msg =
+      Format.asprintf "@[<v>%a@]" (Format.pp_print_list pp_violation) violations
+    in
+    raise (Heap.Heap_error ("integrity violation:\n" ^ msg))

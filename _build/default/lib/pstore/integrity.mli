@@ -1,0 +1,15 @@
+(** Referential-integrity checking.
+
+    Verifies that no object or root contains a reference to a dead oid. *)
+
+type violation =
+  | Dangling_ref of { holder : Oid.t option; slot : string; target : Oid.t }
+  | Bad_root of { name : string; target : Oid.t }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Store.t -> violation list
+(** All violations found in the store (empty list means the store is sound). *)
+
+val check_exn : Store.t -> unit
+(** @raise Heap.Heap_error if any violation is found. *)

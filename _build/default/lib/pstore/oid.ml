@@ -1,0 +1,25 @@
+(* Persistent object identifiers.  Identity is the heart of a persistent
+   store: hyper-links denote objects by oid, and stabilisation preserves
+   oids so links survive a store close/reopen cycle. *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+
+let to_int oid = oid
+let of_int n =
+  if n < 0 then invalid_arg "Oid.of_int: negative";
+  n
+
+let pp ppf oid = Format.fprintf ppf "@@%d" oid
+let to_string oid = Format.asprintf "%a" pp oid
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)

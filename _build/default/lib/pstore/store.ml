@@ -1,0 +1,137 @@
+(* The store facade: a heap, named roots, and a blob table, with
+   stabilisation to a backing file.  This plays the role PJama plays in the
+   paper: the environment in which programs are composed, stored and
+   executed.
+
+   The store is also where higher layers register "pins": transient strong
+   roots contributed by a running VM (static fields, stack frames) that the
+   garbage collector must honour even though they are not named roots. *)
+
+type t = {
+  heap : Heap.t;
+  roots : Roots.t;
+  blobs : (string, string) Hashtbl.t;
+  mutable backing : string option;
+  mutable pins : (unit -> Oid.t list) list;
+  mutable stabilise_count : int;
+  mutable gc_count : int;
+}
+
+let create () =
+  {
+    heap = Heap.create ();
+    roots = Roots.create ();
+    blobs = Hashtbl.create 16;
+    backing = None;
+    pins = [];
+    stabilise_count = 0;
+    gc_count = 0;
+  }
+
+let heap store = store.heap
+let roots store = store.roots
+
+let backing store = store.backing
+let set_backing store path = store.backing <- Some path
+
+(* -- roots --------------------------------------------------------------- *)
+
+let set_root store name v = Roots.set store.roots name v
+let root store name = Roots.find store.roots name
+let remove_root store name = Roots.remove store.roots name
+let root_names store = Roots.names store.roots
+
+(* -- allocation & access ------------------------------------------------- *)
+
+let alloc_record store class_name fields = Heap.alloc_record store.heap class_name fields
+let alloc_array store elem_type elems = Heap.alloc_array store.heap elem_type elems
+let alloc_string store s = Heap.alloc_string store.heap s
+let alloc_weak store target = Heap.alloc_weak store.heap target
+
+let get store oid = Heap.get store.heap oid
+let find store oid = Heap.find store.heap oid
+let is_live store oid = Heap.is_live store.heap oid
+let class_of store oid = Heap.class_of store.heap oid
+let get_record store oid = Heap.get_record store.heap oid
+let get_array store oid = Heap.get_array store.heap oid
+let get_string store oid = Heap.get_string store.heap oid
+let get_weak store oid = Heap.get_weak store.heap oid
+let field store oid idx = Heap.field store.heap oid idx
+let set_field store oid idx v = Heap.set_field store.heap oid idx v
+let elem store oid idx = Heap.elem store.heap oid idx
+let set_elem store oid idx v = Heap.set_elem store.heap oid idx v
+let array_length store oid = Heap.array_length store.heap oid
+let size store = Heap.size store.heap
+
+(* Interned string allocation would be possible, but Java semantics gives
+   distinct identity to non-literal strings; we allocate fresh. *)
+let string_value store = function
+  | Pvalue.Ref oid -> Heap.get_string store.heap oid
+  | v ->
+    raise (Heap.Heap_error ("expected a string reference, got " ^ Pvalue.to_string v))
+
+(* -- blobs --------------------------------------------------------------- *)
+
+let set_blob store key data = Hashtbl.replace store.blobs key data
+let blob store key = Hashtbl.find_opt store.blobs key
+let remove_blob store key = Hashtbl.remove store.blobs key
+let blob_keys store =
+  Hashtbl.fold (fun k _ acc -> k :: acc) store.blobs [] |> List.sort String.compare
+
+(* -- pins (transient strong roots) --------------------------------------- *)
+
+let add_pin store f = store.pins <- f :: store.pins
+
+let pinned_oids store = List.concat_map (fun f -> f ()) store.pins
+
+(* -- GC & stabilisation -------------------------------------------------- *)
+
+let gc store =
+  store.gc_count <- store.gc_count + 1;
+  Gc.collect ~extra_roots:(pinned_oids store) store.heap store.roots
+
+let reachable store = Gc.reachable ~extra_roots:(pinned_oids store) store.heap store.roots
+
+let contents store =
+  { Image.heap = store.heap; roots = store.roots; blobs = store.blobs }
+
+let stabilise ?path store =
+  let path =
+    match path, store.backing with
+    | Some p, _ ->
+      store.backing <- Some p;
+      p
+    | None, Some p -> p
+    | None, None -> invalid_arg "Store.stabilise: no backing file"
+  in
+  store.stabilise_count <- store.stabilise_count + 1;
+  Image.save path (contents store)
+
+let of_contents ?backing { Image.heap; roots; blobs } =
+  { heap; roots; blobs; backing; pins = []; stabilise_count = 0; gc_count = 0 }
+
+let open_file path = of_contents ~backing:path (Image.load path)
+
+let stats store =
+  (Heap.size store.heap, store.gc_count, store.stabilise_count)
+
+(* -- transactions ---------------------------------------------------------- *)
+
+let clear_pins store = store.pins <- []
+
+(* Run [f] with whole-store rollback: on an exception the heap, roots and
+   blobs are restored to their state at entry (oids included) and the
+   exception is returned.  The snapshot is a full store image, so the
+   cost is O(store size) — the price of the paper's "separate transaction
+   while the system is live" without a write-ahead log. *)
+let with_rollback store f =
+  let snapshot = Image.encode (contents store) in
+  match f () with
+  | result -> Ok result
+  | exception e ->
+    let restored = Image.decode snapshot in
+    Heap.replace_all store.heap ~from:restored.Image.heap;
+    Roots.replace_all store.roots ~from:restored.Image.roots;
+    Hashtbl.reset store.blobs;
+    Hashtbl.iter (Hashtbl.replace store.blobs) restored.Image.blobs;
+    Error e

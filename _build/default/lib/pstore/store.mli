@@ -1,0 +1,94 @@
+(** The persistent store facade (the paper's PJama analog).
+
+    A store is a heap of objects, a set of named roots, and a blob table,
+    with stabilisation to a backing file.  Programs (hyper-programs, class
+    files) live in the same store as the data they manipulate. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, empty, unbacked store. *)
+
+val open_file : string -> t
+(** Recover a store from a stabilised image.
+    @raise Image.Image_error on a corrupt image. *)
+
+val heap : t -> Heap.t
+val roots : t -> Roots.t
+
+val backing : t -> string option
+val set_backing : t -> string -> unit
+
+(** {1 Named roots} *)
+
+val set_root : t -> string -> Pvalue.t -> unit
+val root : t -> string -> Pvalue.t option
+val remove_root : t -> string -> unit
+val root_names : t -> string list
+
+(** {1 Allocation and access} *)
+
+val alloc_record : t -> string -> Pvalue.t array -> Oid.t
+val alloc_array : t -> string -> Pvalue.t array -> Oid.t
+val alloc_string : t -> string -> Oid.t
+val alloc_weak : t -> Pvalue.t -> Oid.t
+
+val get : t -> Oid.t -> Heap.entry
+val find : t -> Oid.t -> Heap.entry option
+val is_live : t -> Oid.t -> bool
+val class_of : t -> Oid.t -> string
+val get_record : t -> Oid.t -> Heap.record
+val get_array : t -> Oid.t -> Heap.arr
+val get_string : t -> Oid.t -> string
+val get_weak : t -> Oid.t -> Heap.weak_cell
+val field : t -> Oid.t -> int -> Pvalue.t
+val set_field : t -> Oid.t -> int -> Pvalue.t -> unit
+val elem : t -> Oid.t -> int -> Pvalue.t
+val set_elem : t -> Oid.t -> int -> Pvalue.t -> unit
+val array_length : t -> Oid.t -> int
+val size : t -> int
+
+val string_value : t -> Pvalue.t -> string
+(** Dereference a value expected to be a string reference.
+    @raise Heap.Heap_error otherwise. *)
+
+(** {1 Blobs}
+
+    Named byte strings for non-object state; the MiniJava runtime keeps its
+    compiled class files here, making classes persistent. *)
+
+val set_blob : t -> string -> string -> unit
+val blob : t -> string -> string option
+val remove_blob : t -> string -> unit
+val blob_keys : t -> string list
+
+(** {1 Pins}
+
+    Transient strong roots contributed by a running VM (static fields,
+    stack frames).  The GC honours them in addition to named roots. *)
+
+val add_pin : t -> (unit -> Oid.t list) -> unit
+val pinned_oids : t -> Oid.t list
+
+(** {1 Garbage collection and stabilisation} *)
+
+val gc : t -> Gc.stats
+val reachable : t -> Oid.Set.t
+
+val stabilise : ?path:string -> t -> unit
+(** Write the whole store atomically to [path] (or the backing file).
+    @raise Invalid_argument if neither is available. *)
+
+val stats : t -> int * int * int
+(** [(live_objects, gc_count, stabilise_count)]. *)
+
+(** {1 Transactions} *)
+
+val clear_pins : t -> unit
+(** Drop all registered pins (used when discarding the VM that installed
+    them, e.g. on transaction abort). *)
+
+val with_rollback : t -> (unit -> 'a) -> ('a, exn) result
+(** Run [f] with whole-store rollback: on an exception the heap, roots
+    and blobs are restored to their state at entry (oids included).
+    Costs one full store snapshot. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Boot Hyperprog Jcompiler Minijava Pstore Pvalue Rt Store String Vm

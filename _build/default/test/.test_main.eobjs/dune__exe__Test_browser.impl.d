@@ -1,0 +1,1 @@
+test/test_browser.ml: Alcotest Browser Display_format Graph Helpers List Minijava Ocb Oid Pstore Pvalue Render Rt Store Vm

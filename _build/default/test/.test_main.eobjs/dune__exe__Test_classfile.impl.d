@@ -1,0 +1,1 @@
+test/test_classfile.ml: Alcotest Classfile Helpers Jcompiler Jtype List Minijava Pstore Rt

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Codec Float Helpers Int32 Int64 List Pstore QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dynamic_compiler.ml: Alcotest Dynamic_compiler Fun Helpers Hyperprog List Minijava Pstore Pvalue Rt Storage_form Store Vm

@@ -1,0 +1,1 @@
+test/test_editor.ml: Alcotest Basic_editor Editing_form Editor Face Helpers Hyperlink Hyperprog Jtype List Minijava Printf Pstore QCheck2 QCheck_alcotest Rt Store String User_editor Window_editor

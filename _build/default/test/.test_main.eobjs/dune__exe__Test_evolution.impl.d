@@ -1,0 +1,1 @@
+test/test_evolution.ml: Alcotest Classfile Dynamic_compiler Evolution Helpers Hyperlink Hyperprog List Minijava Pstore Pvalue Rt Storage_form Store String Vm

@@ -1,0 +1,1 @@
+test/test_forms.ml: Alcotest Editing_form Format Helpers Hyperlink Hyperprog Int32 Jtype List Minijava Printf Pstore Pvalue QCheck2 QCheck_alcotest Rt Storage_form Store String Vm

@@ -1,0 +1,1 @@
+test/test_fuzz_eval.ml: Array Helpers Int32 Int64 List Minijava Printf QCheck2 QCheck_alcotest String

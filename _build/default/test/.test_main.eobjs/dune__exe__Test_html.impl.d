@@ -1,0 +1,1 @@
+test/test_html.ml: Alcotest Array Editing_form Filename Fun Helpers Html_export Hyperlink Hyperprog Jtype List Minijava Oid Printf Pstore Pvalue Registry Rt Store Sys

@@ -1,0 +1,1 @@
+test/test_hyper_source.ml: Alcotest Dynamic_compiler Format Helpers Hyper_source Hyperlink Hyperprog List Minijava Oid Printf Pstore Pvalue Storage_form Store Vm

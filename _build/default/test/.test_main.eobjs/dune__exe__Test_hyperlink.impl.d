@@ -1,0 +1,1 @@
+test/test_hyperlink.ml: Alcotest Editing_form Format Helpers Hyperlink Hyperprog Jtype List Minijava Oid Productions Pstore Pvalue Rt Store String

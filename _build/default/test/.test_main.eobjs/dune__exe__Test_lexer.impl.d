@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Array Helpers Int32 Lexer List Minijava Token

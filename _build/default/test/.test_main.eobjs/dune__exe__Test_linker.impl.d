@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Array Boot Classfile Filename Fun Helpers Jcompiler Linker List Minijava Option Pstore Pvalue Rt Store Sys Vm

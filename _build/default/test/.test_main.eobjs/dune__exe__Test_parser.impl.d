@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Char Helpers Hyperprog Int32 Int64 Lexer List Minijava Parser Pretty Printexc QCheck2 QCheck_alcotest

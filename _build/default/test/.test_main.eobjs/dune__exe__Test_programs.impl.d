@@ -1,0 +1,1 @@
+test/test_programs.ml: Boot Filename Fun Helpers Minijava Option Pstore Pvalue Store Sys Vm

@@ -1,0 +1,1 @@
+test/test_pstore.ml: Alcotest Array Bytes Char Codec Filename Fun Gc Hashtbl Heap Helpers Image Integrity List Oid Printf Pstore Pvalue QCheck2 QCheck_alcotest Store Sys

@@ -1,0 +1,1 @@
+test/test_reflect.ml: Helpers Jtype List Minijava Pstore Pvalue Reflect Rt

@@ -1,0 +1,1 @@
+test/test_registry.ml: Boot Dynamic_compiler Filename Fun Gc Helpers Hyperprog List Minijava Printf Pstore Pvalue Registry Rt Storage_form Store Sys Vm

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Browser Editor Filename Format Fun Helpers Hyperlink Hyperprog Hyperui List Minijava Oid Option Pstore Pvalue Rt Store String Sys Vm

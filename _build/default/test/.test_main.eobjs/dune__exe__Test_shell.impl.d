@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Boot Filename Fun Helpers Hyperprog Hyperui Minijava Option Pstore Pvalue Store Sys Unix Vm

@@ -1,0 +1,1 @@
+test/test_sourcemap.ml: Alcotest Browser Editor Helpers Hyperlink Hyperprog Hyperui List Minijava Printf Pstore Pvalue Registry Rt Storage_form Store String Textual_form

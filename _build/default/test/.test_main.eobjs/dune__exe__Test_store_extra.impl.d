@@ -1,0 +1,1 @@
+test/test_store_extra.ml: Alcotest Browser Char Filename Fun Gc Helpers Integrity List Printf Pstore Pvalue Store String Sys

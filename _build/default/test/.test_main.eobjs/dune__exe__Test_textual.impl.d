@@ -1,0 +1,1 @@
+test/test_textual.ml: Alcotest Dynamic_compiler Helpers Hyperlink Hyperprog Jtype Minijava Pstore Pvalue Rt Storage_form Store String Textual_form Vm

@@ -1,0 +1,1 @@
+test/test_transaction.ml: Alcotest Browser Evolution Helpers Hyperprog Integrity List Minijava Option Printexc Pstore Pvalue Rt Store Transaction Vm

@@ -1,0 +1,103 @@
+(* Class files: encode/decode round trips over real compiled classes,
+   descriptors, class_info projection, batches. *)
+
+open Minijava
+open Helpers
+
+let compile_sources sources =
+  let _store, vm = fresh_vm () in
+  Jcompiler.compile_units ~env:(Rt.class_env vm) sources
+
+let classfiles_equal (a : Classfile.t) (b : Classfile.t) =
+  (* Structural equality is safe: no functions or cycles inside. *)
+  a = b
+
+let roundtrip_all_bootstrap_classes () =
+  let _store, vm = fresh_vm () in
+  List.iter
+    (fun name ->
+      let rc = Rt.get_class vm name in
+      let cf = rc.Rt.rc_classfile in
+      let decoded = Classfile.decode (Classfile.encode cf) in
+      check_bool ("roundtrip " ^ name) true (classfiles_equal cf decoded))
+    vm.Rt.load_order
+
+let roundtrip_compiled_person () =
+  let cfs = compile_sources [ person_source ] in
+  List.iter
+    (fun cf ->
+      let decoded = Classfile.decode (Classfile.encode cf) in
+      check_bool "roundtrip" true (classfiles_equal cf decoded))
+    cfs
+
+let batch_roundtrip () =
+  let cfs = compile_sources [ person_source ] in
+  let decoded = Classfile.decode_batch (Classfile.encode_batch cfs) in
+  check_int "batch size" (List.length cfs) (List.length decoded);
+  List.iter2 (fun a b -> check_bool "equal" true (classfiles_equal a b)) cfs decoded
+
+let source_association () =
+  (* "being able to enforce associations from executable programs to
+     source programs" — the class file carries its source. *)
+  let cfs = compile_sources [ person_source ] in
+  List.iter
+    (fun cf -> check_bool "source present" true (cf.Classfile.cf_source = Some person_source))
+    cfs
+
+let class_info_projection () =
+  let cfs = compile_sources [ person_source ] in
+  let cf = List.find (fun cf -> cf.Classfile.cf_name = "Person") cfs in
+  let ci = Classfile.to_class_info cf in
+  check_output "name" "Person" ci.Jtype.ci_name;
+  check_bool "super" true (ci.Jtype.ci_super = Some Jtype.object_class);
+  check_int "fields" 2 (List.length ci.Jtype.ci_fields);
+  check_bool "has marry" true
+    (List.exists
+       (fun m -> m.Jtype.mi_name = "marry" && m.Jtype.mi_static)
+       ci.Jtype.ci_methods);
+  check_bool "has ctor" true
+    (List.exists (fun m -> m.Jtype.mi_name = "<init>") ci.Jtype.ci_methods)
+
+let descriptor_roundtrips () =
+  let types =
+    [
+      Jtype.Boolean; Jtype.Byte; Jtype.Short; Jtype.Char; Jtype.Int; Jtype.Long; Jtype.Float;
+      Jtype.Double; Jtype.Void; Jtype.Class "a.b.C"; Jtype.Array Jtype.Int;
+      Jtype.Array (Jtype.Array (Jtype.Class "X"));
+    ]
+  in
+  List.iter
+    (fun ty ->
+      check_bool (Jtype.to_string ty) true
+        (Jtype.equal ty (Jtype.of_descriptor (Jtype.descriptor ty))))
+    types;
+  let msig = { Jtype.params = [ Jtype.Int; Jtype.Class "P"; Jtype.Array Jtype.Double ]; ret = Jtype.Void } in
+  let desc = Jtype.msig_descriptor msig in
+  check_output "msig descriptor" "(ILP;[D)V" desc;
+  check_bool "msig roundtrip" true (Jtype.msig_of_descriptor desc = msig);
+  (match Jtype.of_descriptor "Q" with
+  | _ -> Alcotest.fail "expected Bad_descriptor"
+  | exception Jtype.Bad_descriptor _ -> ());
+  match Jtype.of_descriptor "II" with
+  | _ -> Alcotest.fail "expected Bad_descriptor on trailing bytes"
+  | exception Jtype.Bad_descriptor _ -> ()
+
+let corrupt_classfile_rejected () =
+  let cfs = compile_sources [ person_source ] in
+  let data = Classfile.encode (List.hd cfs) in
+  match Classfile.decode ("XXXX" ^ data) with
+  | _ -> Alcotest.fail "expected decode error"
+  | exception Pstore.Codec.Decode_error _ -> ()
+
+let suite =
+  [
+    test "all bootstrap class files round trip" roundtrip_all_bootstrap_classes;
+    test "compiled Person round trips" roundtrip_compiled_person;
+    test "batch round trip" batch_roundtrip;
+    test "executable-to-source association" source_association;
+    test "class_info projection" class_info_projection;
+    test "type and signature descriptors" descriptor_roundtrips;
+    test "corrupt class file rejected" corrupt_classfile_rejected;
+  ]
+
+let props = []

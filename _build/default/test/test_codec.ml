@@ -1,0 +1,138 @@
+(* Codec: binary primitives, round trips, CRC-32, error handling. *)
+
+open Pstore
+open Helpers
+
+let roundtrip_ints () =
+  let w = Codec.writer () in
+  Codec.put_i32 w 0l;
+  Codec.put_i32 w Int32.min_int;
+  Codec.put_i32 w Int32.max_int;
+  Codec.put_i32 w (-1l);
+  Codec.put_i64 w Int64.min_int;
+  Codec.put_i64 w Int64.max_int;
+  Codec.put_i64 w 0x0102030405060708L;
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check int32) "zero" 0l (Codec.get_i32 r);
+  Alcotest.(check int32) "min" Int32.min_int (Codec.get_i32 r);
+  Alcotest.(check int32) "max" Int32.max_int (Codec.get_i32 r);
+  Alcotest.(check int32) "-1" (-1l) (Codec.get_i32 r);
+  Alcotest.(check int64) "min64" Int64.min_int (Codec.get_i64 r);
+  Alcotest.(check int64) "max64" Int64.max_int (Codec.get_i64 r);
+  Alcotest.(check int64) "bytes" 0x0102030405060708L (Codec.get_i64 r);
+  check_bool "exhausted" true (Codec.at_end r)
+
+let roundtrip_strings () =
+  let w = Codec.writer () in
+  Codec.put_string w "";
+  Codec.put_string w "hello";
+  Codec.put_string w (String.make 10000 'x');
+  Codec.put_string w "embedded \x00 nul";
+  let r = Codec.reader (Codec.contents w) in
+  check_output "empty" "" (Codec.get_string r);
+  check_output "hello" "hello" (Codec.get_string r);
+  check_int "long" 10000 (String.length (Codec.get_string r));
+  check_output "nul" "embedded \x00 nul" (Codec.get_string r)
+
+let roundtrip_floats () =
+  let w = Codec.writer () in
+  List.iter (Codec.put_f64 w) [ 0.; -0.; 1.5; Float.max_float; Float.min_float; infinity; neg_infinity ];
+  let r = Codec.reader (Codec.contents w) in
+  List.iter
+    (fun expected -> Alcotest.(check (float 0.)) "f64" expected (Codec.get_f64 r))
+    [ 0.; -0.; 1.5; Float.max_float; Float.min_float; infinity; neg_infinity ];
+  (* NaN round-trips bit-exactly. *)
+  let w2 = Codec.writer () in
+  Codec.put_f64 w2 Float.nan;
+  let r2 = Codec.reader (Codec.contents w2) in
+  check_bool "nan" true (Float.is_nan (Codec.get_f64 r2))
+
+let roundtrip_containers () =
+  let w = Codec.writer () in
+  Codec.put_list w Codec.put_int [ 1; 2; 3 ];
+  Codec.put_array w Codec.put_string [| "a"; "b" |];
+  Codec.put_option w Codec.put_int None;
+  Codec.put_option w Codec.put_int (Some 42);
+  Codec.put_bool w true;
+  Codec.put_bool w false;
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Codec.get_list r Codec.get_int);
+  Alcotest.(check (array string)) "array" [| "a"; "b" |] (Codec.get_array r Codec.get_string);
+  Alcotest.(check (option int)) "none" None (Codec.get_option r Codec.get_int);
+  Alcotest.(check (option int)) "some" (Some 42) (Codec.get_option r Codec.get_int);
+  check_bool "true" true (Codec.get_bool r);
+  check_bool "false" false (Codec.get_bool r)
+
+let truncated_input_fails () =
+  let w = Codec.writer () in
+  Codec.put_i64 w 1L;
+  let data = Codec.contents w in
+  let r = Codec.reader (String.sub data 0 4) in
+  (match Codec.get_i64 r with
+  | _ -> Alcotest.fail "expected decode error"
+  | exception Codec.Decode_error _ -> ());
+  let r2 = Codec.reader "\xff\xff\xff\x7f" in
+  (match Codec.get_string r2 with
+  | _ -> Alcotest.fail "expected decode error on oversized string length"
+  | exception Codec.Decode_error _ -> ())
+
+let bad_bool_fails () =
+  let r = Codec.reader "\x07" in
+  match Codec.get_bool r with
+  | _ -> Alcotest.fail "expected decode error"
+  | exception Codec.Decode_error _ -> ()
+
+let crc32_known_values () =
+  (* Standard test vector: crc32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int32) "vector" 0xCBF43926l (Codec.crc32 "123456789");
+  Alcotest.(check int32) "empty" 0l (Codec.crc32 "");
+  check_bool "differs" true (Codec.crc32 "a" <> Codec.crc32 "b")
+
+let suite =
+  [
+    test "integer round trips" roundtrip_ints;
+    test "string round trips" roundtrip_strings;
+    test "float round trips" roundtrip_floats;
+    test "container round trips" roundtrip_containers;
+    test "truncated input fails cleanly" truncated_input_fails;
+    test "invalid boolean byte fails" bad_bool_fails;
+    test "crc32 known values" crc32_known_values;
+  ]
+
+(* Property: any sequence of puts reads back identically. *)
+let prop_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      list
+        (oneof
+           [
+             map (fun n -> `I32 n) int32;
+             map (fun n -> `I64 n) int64;
+             map (fun s -> `Str s) string;
+             map (fun b -> `Bool b) bool;
+             map (fun n -> `U8 (abs n mod 256)) int;
+           ]))
+  in
+  QCheck2.Test.make ~name:"codec round-trips arbitrary put sequences" ~count:200 gen
+    (fun items ->
+      let w = Codec.writer () in
+      List.iter
+        (function
+          | `I32 n -> Codec.put_i32 w n
+          | `I64 n -> Codec.put_i64 w n
+          | `Str s -> Codec.put_string w s
+          | `Bool b -> Codec.put_bool w b
+          | `U8 n -> Codec.put_u8 w n)
+        items;
+      let r = Codec.reader (Codec.contents w) in
+      List.for_all
+        (function
+          | `I32 n -> Codec.get_i32 r = n
+          | `I64 n -> Codec.get_i64 r = n
+          | `Str s -> Codec.get_string r = s
+          | `Bool b -> Codec.get_bool r = b
+          | `U8 n -> Codec.get_u8 r = n)
+        items
+      && Codec.at_end r)
+
+let props = [ QCheck_alcotest.to_alcotest prop_roundtrip ]

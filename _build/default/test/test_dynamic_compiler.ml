@@ -1,0 +1,165 @@
+(* The DynamicCompiler (Figure 9): direct vs forked compilation, the
+   try-direct-then-fork fallback, Java-level entry points, and Go. *)
+
+open Pstore
+open Minijava
+open Hyperprog
+open Helpers
+
+let run_marry mode () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, vangelis, _ = marry_example vm in
+  ignore (Dynamic_compiler.compile_hyper_program ~mode vm hp);
+  Vm.run_main vm ~cls:"MarryExample" [];
+  let spouse = Vm.call_virtual vm ~recv:vangelis ~name:"getSpouse" ~desc:"()LPerson;" [] in
+  check_output "married" "mary"
+    (Rt.ocaml_string vm
+       (Vm.call_virtual vm ~recv:spouse ~name:"getName" ~desc:"()Ljava.lang.String;" []))
+
+let auto_falls_back_when_direct_breaks () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, vangelis, _ = marry_example vm in
+  Dynamic_compiler.direct_path_broken := true;
+  Fun.protect
+    ~finally:(fun () -> Dynamic_compiler.direct_path_broken := false)
+    (fun () ->
+      (* Auto mode must fall back to the forked mechanism (Figure 9's
+         catch-and-fork). *)
+      ignore (Dynamic_compiler.compile_hyper_program ~mode:Dynamic_compiler.Auto vm hp);
+      Vm.run_main vm ~cls:"MarryExample" [];
+      let spouse = Vm.call_virtual vm ~recv:vangelis ~name:"getSpouse" ~desc:"()LPerson;" [] in
+      check_bool "married via fork" true (spouse <> Pvalue.Null))
+
+let direct_mode_fails_when_broken () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  Dynamic_compiler.direct_path_broken := true;
+  Fun.protect
+    ~finally:(fun () -> Dynamic_compiler.direct_path_broken := false)
+    (fun () ->
+      match Dynamic_compiler.compile_hyper_program ~mode:Dynamic_compiler.Direct vm hp with
+      | _ -> Alcotest.fail "expected direct invocation to fail"
+      | exception Failure _ -> ())
+
+let compile_errors_propagate () =
+  (* Source errors are NOT swallowed by the fallback. *)
+  let _store, vm = fresh_hyper_vm () in
+  let hp =
+    Storage_form.create vm ~class_name:"Bad" ~text:"class Bad { this is not java }" ~links:[]
+  in
+  expect_compile_error (fun () -> ignore (Dynamic_compiler.compile_hyper_program vm hp))
+
+let go_runs_principal_class () =
+  let _store, vm = fresh_hyper_vm () in
+  let text =
+    "public class First {\n  public static void main(String[] args) { System.println(\"first runs\"); }\n}\n\
+     class Second { }\n"
+  in
+  let hp = Storage_form.create vm ~class_name:"" ~text ~links:[] in
+  let principal = Dynamic_compiler.go vm hp ~argv:[] in
+  check_output "principal is first class" "First" principal;
+  check_output "ran" "first runs\n" (Rt.take_output vm)
+
+let go_honours_declared_principal () =
+  let _store, vm = fresh_hyper_vm () in
+  let text =
+    "class A { public static void main(String[] args) { System.println(\"A\"); } }\n\
+     public class B { public static void main(String[] args) { System.println(\"B\"); } }\n"
+  in
+  let hp = Storage_form.create vm ~class_name:"B" ~text ~links:[] in
+  let principal = Dynamic_compiler.go vm hp ~argv:[] in
+  check_output "declared principal" "B" principal;
+  check_output "B ran" "B\n" (Rt.take_output vm)
+
+let compile_strings_checks_names () =
+  let _store, vm = fresh_hyper_vm () in
+  expect_jerror "java.lang.NoClassDefFoundError" (fun () ->
+      ignore (Dynamic_compiler.compile_strings vm ~names:[ "Expected" ] [ "class Actual { }" ]))
+
+let java_level_compile_class () =
+  (* Linguistic reflection from inside MiniJava: a running program
+     generates source, calls the compiler, loads the class, and
+     instantiates it through core reflection — the full Section 4 loop,
+     all within compiled code. *)
+  let _store, vm = fresh_hyper_vm () in
+  compile_into vm
+    [
+      {|import compiler.DynamicCompiler;
+public class Generator {
+  public static String run() {
+    String src = "public class Generated { public String hello() { return \"made at run time\"; } }";
+    Class c = DynamicCompiler.compileClass("Generated", src);
+    Object obj = c.newInstance();
+    java.lang.reflect.Method m = c.getMethod("hello");
+    return (String) m.invoke(obj, null);
+  }
+}
+|};
+    ];
+  let result = Vm.call_static vm ~cls:"Generator" ~name:"run" ~desc:"()Ljava.lang.String;" [] in
+  check_output "generated code ran" "made at run time" (Rt.ocaml_string vm result);
+  check_bool "class is loaded" true (Rt.is_loaded vm "Generated")
+
+let java_level_compile_hyper_program () =
+  (* compileClasses(HyperProgram[]) from MiniJava (Figure 9). *)
+  let _store, vm = fresh_hyper_vm () in
+  let hp, vangelis, _ = marry_example vm in
+  Store.set_root vm.Rt.store "hp" (Pvalue.Ref hp);
+  compile_into vm
+    [
+      "import compiler.DynamicCompiler;\nimport hyper.HyperProgram;\n\
+       public class Driver {\n\
+      \  public static String run(HyperProgram hp) {\n\
+      \    Class[] classes = DynamicCompiler.compileClass(hp);\n\
+      \    return classes[0].getName();\n\
+      \  }\n\
+       }";
+    ];
+  let result =
+    Vm.call_static vm ~cls:"Driver" ~name:"run" ~desc:"(Lhyper.HyperProgram;)Ljava.lang.String;"
+      [ Pvalue.Ref hp ]
+  in
+  check_output "compiled from Java" "MarryExample" (Rt.ocaml_string vm result);
+  Vm.run_main vm ~cls:"MarryExample" [];
+  let spouse = Vm.call_virtual vm ~recv:vangelis ~name:"getSpouse" ~desc:"()LPerson;" [] in
+  check_bool "effect observed" true (spouse <> Pvalue.Null)
+
+let forked_universe_is_isolated () =
+  (* The forked compilation must not leak definitions into the parent
+     beyond the requested classes. *)
+  let _store, vm = fresh_hyper_vm () in
+  let before = List.length vm.Rt.load_order in
+  ignore
+    (Dynamic_compiler.compile_strings ~mode:Dynamic_compiler.Forked vm ~names:[ "Solo" ]
+       [ "class Solo { }" ]);
+  check_int "exactly one new class" (before + 1) (List.length vm.Rt.load_order);
+  check_bool "Solo loaded" true (Rt.is_loaded vm "Solo")
+
+let recompilation_replaces_class () =
+  let _store, vm = fresh_hyper_vm () in
+  let text1 = "public class R { public static void main(String[] args) { System.println(\"v1\"); } }" in
+  let hp1 = Storage_form.create vm ~class_name:"R" ~text:text1 ~links:[] in
+  ignore (Dynamic_compiler.go vm hp1 ~argv:[]);
+  check_output "v1" "v1\n" (Rt.take_output vm);
+  let text2 = "public class R { public static void main(String[] args) { System.println(\"v2\"); } }" in
+  let hp2 = Storage_form.create vm ~class_name:"R" ~text:text2 ~links:[] in
+  ignore (Dynamic_compiler.go vm hp2 ~argv:[]);
+  check_output "v2 replaced v1" "v2\n" (Rt.take_output vm)
+
+let suite =
+  [
+    test "direct compilation runs MarryExample" (run_marry Dynamic_compiler.Direct);
+    test "forked compilation runs MarryExample" (run_marry Dynamic_compiler.Forked);
+    test "auto falls back when direct breaks" auto_falls_back_when_direct_breaks;
+    test "direct mode fails when broken" direct_mode_fails_when_broken;
+    test "source errors propagate" compile_errors_propagate;
+    test "Go runs the first class by default" go_runs_principal_class;
+    test "Go honours the declared principal class" go_honours_declared_principal;
+    test "compileClasses checks expected names" compile_strings_checks_names;
+    test "linguistic reflection from MiniJava" java_level_compile_class;
+    test "compileClass(HyperProgram) from MiniJava" java_level_compile_hyper_program;
+    test "forked universe is isolated" forked_universe_is_isolated;
+    test "recompilation replaces the class" recompilation_replaces_class;
+  ]
+
+let props = []

@@ -1,0 +1,287 @@
+(* Differential fuzzing of the whole compiler pipeline: random int/long/
+   boolean expression trees are (a) evaluated by a tiny OCaml reference
+   interpreter with Java semantics and (b) compiled by the real pipeline
+   and run on the VM; the results must agree.  This catches mistakes
+   anywhere in lexing, parsing, checking, bytecode generation and the
+   interpreter's arithmetic. *)
+
+open Helpers
+
+(* -- a reference expression language ------------------------------------- *)
+
+type iexpr =
+  | Lit of int32
+  | Add of iexpr * iexpr
+  | Sub of iexpr * iexpr
+  | Mul of iexpr * iexpr
+  | Div of iexpr * iexpr (* guarded: divisor forced non-zero *)
+  | Rem of iexpr * iexpr
+  | Neg of iexpr
+  | Band of iexpr * iexpr
+  | Bor of iexpr * iexpr
+  | Bxor of iexpr * iexpr
+  | Shl of iexpr * iexpr
+  | Shr of iexpr * iexpr
+  | Ushr of iexpr * iexpr
+  | Bnot of iexpr
+  | Cond of bexpr * iexpr * iexpr
+  | To_long_and_back of iexpr (* (int)(long) round trip with long add *)
+
+and bexpr =
+  | Blit of bool
+  | Lt of iexpr * iexpr
+  | Le of iexpr * iexpr
+  | Eq of iexpr * iexpr
+  | Ne of iexpr * iexpr
+  | And of bexpr * bexpr
+  | Or of bexpr * bexpr
+  | Not of bexpr
+
+(* Reference evaluation with Java's 32-bit wrap-around semantics. *)
+let rec eval_i (e : iexpr) : int32 =
+  match e with
+  | Lit n -> n
+  | Add (a, b) -> Int32.add (eval_i a) (eval_i b)
+  | Sub (a, b) -> Int32.sub (eval_i a) (eval_i b)
+  | Mul (a, b) -> Int32.mul (eval_i a) (eval_i b)
+  | Div (a, b) ->
+    let d = eval_i b in
+    if Int32.equal d 0l then 0l else Int32.div (eval_i a) d
+  | Rem (a, b) ->
+    let d = eval_i b in
+    if Int32.equal d 0l then 0l else Int32.rem (eval_i a) d
+  | Neg a -> Int32.neg (eval_i a)
+  | Band (a, b) -> Int32.logand (eval_i a) (eval_i b)
+  | Bor (a, b) -> Int32.logor (eval_i a) (eval_i b)
+  | Bxor (a, b) -> Int32.logxor (eval_i a) (eval_i b)
+  | Shl (a, b) -> Int32.shift_left (eval_i a) (Int32.to_int (eval_i b) land 31)
+  | Shr (a, b) -> Int32.shift_right (eval_i a) (Int32.to_int (eval_i b) land 31)
+  | Ushr (a, b) -> Int32.shift_right_logical (eval_i a) (Int32.to_int (eval_i b) land 31)
+  | Bnot a -> Int32.lognot (eval_i a)
+  | Cond (c, t, e) -> if eval_b c then eval_i t else eval_i e
+  | To_long_and_back a ->
+    Int64.to_int32 (Int64.add (Int64.of_int32 (eval_i a)) 1_000_000_000_000L)
+
+and eval_b (e : bexpr) : bool =
+  match e with
+  | Blit b -> b
+  | Lt (a, b) -> Int32.compare (eval_i a) (eval_i b) < 0
+  | Le (a, b) -> Int32.compare (eval_i a) (eval_i b) <= 0
+  | Eq (a, b) -> Int32.equal (eval_i a) (eval_i b)
+  | Ne (a, b) -> not (Int32.equal (eval_i a) (eval_i b))
+  | And (a, b) -> eval_b a && eval_b b
+  | Or (a, b) -> eval_b a || eval_b b
+  | Not a -> not (eval_b a)
+
+(* Render as Java source.  Division is guarded against zero in-source so
+   the compiled program computes the same value as the reference. *)
+let rec java_i (e : iexpr) : string =
+  match e with
+  | Lit n ->
+    (* Int32.min_int has no negative literal form in Java either *)
+    if Int32.compare n 0l < 0 then Printf.sprintf "(0 - %ld)" (Int32.neg n) else Int32.to_string n
+  | Add (a, b) -> bin a "+" b
+  | Sub (a, b) -> bin a "-" b
+  | Mul (a, b) -> bin a "*" b
+  | Div (a, b) -> guarded_div a "/" b
+  | Rem (a, b) -> guarded_div a "%" b
+  | Neg a -> Printf.sprintf "(-%s)" (java_i a)
+  | Band (a, b) -> bin a "&" b
+  | Bor (a, b) -> bin a "|" b
+  | Bxor (a, b) -> bin a "^" b
+  | Shl (a, b) -> bin a "<<" b
+  | Shr (a, b) -> bin a ">>" b
+  | Ushr (a, b) -> bin a ">>>" b
+  | Bnot a -> Printf.sprintf "(~%s)" (java_i a)
+  | Cond (c, t, e) -> Printf.sprintf "(%s ? %s : %s)" (java_b c) (java_i t) (java_i e)
+  | To_long_and_back a ->
+    Printf.sprintf "((int) ((long) %s + 1000000000000L))" (java_i a)
+
+and guarded_div a op b =
+  (* matches the reference: division by zero yields 0 *)
+  Printf.sprintf "(%s == 0 ? 0 : (%s %s %s))" (java_i b) (java_i a) op (java_i b)
+
+and bin a op b = Printf.sprintf "(%s %s %s)" (java_i a) op (java_i b)
+
+and java_b (e : bexpr) : string =
+  match e with
+  | Blit b -> string_of_bool b
+  | Lt (a, b) -> Printf.sprintf "(%s < %s)" (java_i a) (java_i b)
+  | Le (a, b) -> Printf.sprintf "(%s <= %s)" (java_i a) (java_i b)
+  | Eq (a, b) -> Printf.sprintf "(%s == %s)" (java_i a) (java_i b)
+  | Ne (a, b) -> Printf.sprintf "(%s != %s)" (java_i a) (java_i b)
+  | And (a, b) -> Printf.sprintf "(%s && %s)" (java_b a) (java_b b)
+  | Or (a, b) -> Printf.sprintf "(%s || %s)" (java_b a) (java_b b)
+  | Not a -> Printf.sprintf "(!%s)" (java_b a)
+
+(* -- generators ------------------------------------------------------------- *)
+
+let gen_bexpr_at depth : bexpr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let ints = fix
+    (fun self d ->
+      if d = 0 then map (fun n -> Lit (Int32.of_int n)) (int_range (-100) 100)
+      else map2 (fun a b -> Add (a, b)) (self (d - 1)) (self (d - 1)))
+    (min depth 2)
+  in
+  if depth = 0 then map (fun b -> Blit b) bool
+  else
+    oneof
+      [
+        map (fun b -> Blit b) bool;
+        map2 (fun a b -> Lt (a, b)) ints ints;
+        map2 (fun a b -> Le (a, b)) ints ints;
+        map2 (fun a b -> Eq (a, b)) ints ints;
+        map2 (fun a b -> Ne (a, b)) ints ints;
+      ]
+
+let gen_iexpr : iexpr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let lit = map (fun n -> Lit n) int32 in
+  let small_lit = map (fun n -> Lit (Int32.of_int n)) (int_range (-64) 64) in
+  fix
+    (fun self depth ->
+      if depth = 0 then oneof [ lit; small_lit ]
+      else begin
+        let sub = self (depth - 1) in
+        let node2 f = map2 f sub sub in
+        oneof
+          [
+            lit;
+            small_lit;
+            node2 (fun a b -> Add (a, b));
+            node2 (fun a b -> Sub (a, b));
+            node2 (fun a b -> Mul (a, b));
+            node2 (fun a b -> Div (a, b));
+            node2 (fun a b -> Rem (a, b));
+            map (fun a -> Neg a) sub;
+            node2 (fun a b -> Band (a, b));
+            node2 (fun a b -> Bor (a, b));
+            node2 (fun a b -> Bxor (a, b));
+            node2 (fun a b -> Shl (a, b));
+            node2 (fun a b -> Shr (a, b));
+            node2 (fun a b -> Ushr (a, b));
+            map (fun a -> Bnot a) sub;
+            map (fun a -> To_long_and_back a) sub;
+            (let* c = gen_bexpr_at (depth - 1) in
+             let* t = sub in
+             let* e = sub in
+             return (Cond (c, t, e)));
+          ]
+      end)
+    4
+
+(* Evaluate a batch of expressions in ONE compiled program (compiling per
+   expression would dominate the run time). *)
+let run_batch vm exprs =
+  let source =
+    Printf.sprintf
+      "public class Fuzz {\n  public static void main(String[] args) {\n%s\n  }\n}\n"
+      (exprs
+      |> List.map (fun e -> Printf.sprintf "    System.println(String.valueOf(%s));" (java_i e))
+      |> String.concat "\n")
+  in
+  compile_into vm [ source ];
+  Minijava.Vm.run_main vm ~cls:"Fuzz" [];
+  Minijava.Rt.take_output vm |> String.trim |> String.split_on_char '\n'
+
+let prop_vm_matches_reference =
+  QCheck2.Test.make ~name:"compiled arithmetic matches the Java reference semantics"
+    ~count:30
+    QCheck2.Gen.(list_size (int_range 1 10) gen_iexpr)
+    (fun exprs ->
+      let _store, vm = fresh_vm () in
+      let got = run_batch vm exprs in
+      let expected = List.map (fun e -> Int32.to_string (eval_i e)) exprs in
+      got = expected)
+
+let suite = []
+let props = [ QCheck_alcotest.to_alcotest prop_vm_matches_reference ]
+
+(* -- second property: programs with local-variable chains ------------------- *)
+
+(* A straight-line program: v0 = e0; v1 = e1(v0); ...; print eN(...).
+   Each expression may reference earlier locals, exercising the
+   Load/Store slot paths and statement sequencing. *)
+
+type vexpr =
+  | Vlit of int32
+  | Vvar of int
+  | Vadd of vexpr * vexpr
+  | Vmul of vexpr * vexpr
+  | Vxor of vexpr * vexpr
+  | Vshl of vexpr * vexpr
+
+let rec eval_v env = function
+  | Vlit n -> n
+  | Vvar i -> env.(i)
+  | Vadd (a, b) -> Int32.add (eval_v env a) (eval_v env b)
+  | Vmul (a, b) -> Int32.mul (eval_v env a) (eval_v env b)
+  | Vxor (a, b) -> Int32.logxor (eval_v env a) (eval_v env b)
+  | Vshl (a, b) -> Int32.shift_left (eval_v env a) (Int32.to_int (eval_v env b) land 31)
+
+let rec java_v = function
+  | Vlit n ->
+    if Int32.compare n 0l < 0 then Printf.sprintf "(0 - %ld)" (Int32.neg n)
+    else Int32.to_string n
+  | Vvar i -> Printf.sprintf "v%d" i
+  | Vadd (a, b) -> Printf.sprintf "(%s + %s)" (java_v a) (java_v b)
+  | Vmul (a, b) -> Printf.sprintf "(%s * %s)" (java_v a) (java_v b)
+  | Vxor (a, b) -> Printf.sprintf "(%s ^ %s)" (java_v a) (java_v b)
+  | Vshl (a, b) -> Printf.sprintf "(%s << %s)" (java_v a) (java_v b)
+
+let gen_vexpr n_vars : vexpr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let leaf =
+    if n_vars = 0 then map (fun n -> Vlit n) int32
+    else
+      oneof [ map (fun n -> Vlit n) int32; map (fun i -> Vvar i) (int_range 0 (n_vars - 1)) ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map2 (fun a b -> Vadd (a, b)) (self (depth - 1)) (self (depth - 1));
+            map2 (fun a b -> Vmul (a, b)) (self (depth - 1)) (self (depth - 1));
+            map2 (fun a b -> Vxor (a, b)) (self (depth - 1)) (self (depth - 1));
+            map2 (fun a b -> Vshl (a, b)) (self (depth - 1)) (self (depth - 1));
+          ])
+    3
+
+let gen_program : vexpr list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 1 12 in
+  let rec build i acc =
+    if i >= n then return (List.rev acc)
+    else
+      let* e = gen_vexpr i in
+      build (i + 1) (e :: acc)
+  in
+  build 0 []
+
+let prop_locals_match_reference =
+  QCheck2.Test.make ~name:"local-variable chains match the reference semantics" ~count:30
+    gen_program
+    (fun bindings ->
+      let _store, vm = fresh_vm () in
+      let n = List.length bindings in
+      let decls =
+        List.mapi (fun i e -> Printf.sprintf "    int v%d = %s;" i (java_v e)) bindings
+        |> String.concat "\n"
+      in
+      let source =
+        Printf.sprintf
+          "public class FuzzLocals {\n  public static void main(String[] args) {\n%s\n    System.println(String.valueOf(v%d));\n  }\n}\n"
+          decls (n - 1)
+      in
+      compile_into vm [ source ];
+      Minijava.Vm.run_main vm ~cls:"FuzzLocals" [];
+      let got = String.trim (Minijava.Rt.take_output vm) in
+      let env = Array.make n 0l in
+      List.iteri (fun i e -> env.(i) <- eval_v env e) bindings;
+      String.equal got (Int32.to_string env.(n - 1)))
+
+let props = props @ [ QCheck_alcotest.to_alcotest prop_locals_match_reference ]

@@ -1,0 +1,105 @@
+(* Lexer: tokens, literals, comments, positions, errors, hyper-link
+   placeholders. *)
+
+open Minijava
+open Helpers
+
+let toks src = Array.to_list (Lexer.tokenize src) |> List.map fst
+
+let check_tokens name expected src =
+  let actual = toks src in
+  Alcotest.(check (list string))
+    name
+    (List.map Token.to_string expected @ [ "<eof>" ])
+    (List.map Token.to_string actual)
+
+let keywords_and_idents () =
+  check_tokens "kw" [ Token.Kclass; Token.Ident "Foo"; Token.Kextends; Token.Ident "classy" ]
+    "class Foo extends classy"
+
+let punctuation () =
+  check_tokens "punct"
+    [ Token.Lparen; Token.Rparen; Token.Lbrace; Token.Rbrace; Token.Lbracket; Token.Rbracket;
+      Token.Semi; Token.Comma; Token.Dot ]
+    "(){}[];,."
+
+let operators () =
+  check_tokens "ops"
+    [ Token.Plus_plus; Token.Plus_eq; Token.Plus; Token.Minus_minus; Token.Minus_eq; Token.Minus;
+      Token.Eq; Token.Assign; Token.Le; Token.Shl; Token.Lt; Token.Ge; Token.Ushr; Token.Shr;
+      Token.Gt; Token.Ne; Token.Bang; Token.And_and; Token.Amp; Token.Or_or; Token.Bar;
+      Token.Caret; Token.Tilde; Token.Question; Token.Colon; Token.Percent_eq; Token.Percent ]
+    "++ += + -- -= - == = <= << < >= >>> >> > != ! && & || | ^ ~ ? : %= %"
+
+let int_literals () =
+  check_tokens "ints"
+    [ Token.Int_lit 0l; Token.Int_lit 42l; Token.Int_lit 2147483647l; Token.Long_lit 5L;
+      Token.Long_lit 9999999999L; Token.Int_lit 255l; Token.Long_lit 16L ]
+    "0 42 2147483647 5L 9999999999L 0xff 0x10L"
+
+let float_literals () =
+  check_tokens "floats"
+    [ Token.Double_lit 1.5; Token.Float_lit 2.5; Token.Double_lit 3.0; Token.Double_lit 1e10;
+      Token.Double_lit 2.5e-3 ]
+    "1.5 2.5f 3.0d 1e10 2.5e-3"
+
+let string_and_char_literals () =
+  check_tokens "strings"
+    [ Token.String_lit "hi"; Token.String_lit "a\"b"; Token.String_lit "tab\there";
+      Token.Char_lit 97; Token.Char_lit 10; Token.Char_lit 0x41 ]
+    {|"hi" "a\"b" "tab\there" 'a' '\n' 'A'|}
+
+let comments_skipped () =
+  check_tokens "comments" [ Token.Ident "a"; Token.Ident "b"; Token.Ident "c" ]
+    "a // line comment\nb /* block\n comment */ c"
+
+let hyperlink_tokens () =
+  check_tokens "hyper" [ Token.Hyperlink 0; Token.Hyperlink 123 ] "#<0> #<123>"
+
+let positions_track_lines () =
+  let tokens = Lexer.tokenize "a\n  b\nccc" in
+  let pos_of i = snd tokens.(i) in
+  check_int "a line" 1 (pos_of 0).Lexer.line;
+  check_int "a col" 1 (pos_of 0).Lexer.col;
+  check_int "b line" 2 (pos_of 1).Lexer.line;
+  check_int "b col" 3 (pos_of 1).Lexer.col;
+  check_int "c line" 3 (pos_of 2).Lexer.line
+
+let lex_errors () =
+  let expect_error src =
+    match Lexer.tokenize src with
+    | _ -> Alcotest.failf "expected lex error on %S" src
+    | exception Lexer.Lex_error _ -> ()
+  in
+  expect_error "\"unterminated";
+  expect_error "'a";
+  expect_error "'\\q'";
+  expect_error "/* unterminated";
+  expect_error "#<>";
+  expect_error "#x";
+  expect_error "@";
+  expect_error "99999999999999999999"
+
+let int_edge_cases () =
+  (* Int32 max is fine; one above must fail (no unary-minus folding). *)
+  check_tokens "max" [ Token.Int_lit Int32.max_int ] "2147483647";
+  match Lexer.tokenize "2147483648" with
+  | _ -> Alcotest.fail "expected out-of-range error"
+  | exception Lexer.Lex_error _ -> ()
+
+let suite =
+  [
+    test "keywords and identifiers" keywords_and_idents;
+    test "punctuation" punctuation;
+    test "operators including multi-char" operators;
+    test "integer literals" int_literals;
+    test "float literals" float_literals;
+    test "string and char literals" string_and_char_literals;
+    test "comments are skipped" comments_skipped;
+    test "hyper-link placeholders" hyperlink_tokens;
+    test "positions track lines and columns" positions_track_lines;
+    test "malformed input raises Lex_error" lex_errors;
+    test "int literal range edges" int_edge_cases;
+  ]
+
+let props = []

@@ -1,0 +1,138 @@
+(* Linker: batch ordering, persistence of classes across store sessions,
+   redefinition with instance migration. *)
+
+open Pstore
+open Minijava
+open Helpers
+
+let batch_ordering () =
+  let _store, vm = fresh_vm () in
+  (* C depends on B depends on A, supplied in reverse order: the linker
+     must sort them. *)
+  let cfs =
+    Jcompiler.compile_units ~env:(Rt.class_env vm)
+      [ "class A { } class B extends A { } class C extends B { }" ]
+  in
+  let reversed = List.rev cfs in
+  let rcs = Linker.load_batch vm reversed in
+  check_int "three classes" 3 (List.length rcs);
+  check_bool "C loaded" true (Rt.is_loaded vm "C")
+
+let missing_dependency_fails () =
+  let _store, vm = fresh_vm () in
+  let cfs =
+    Jcompiler.compile_units ~env:(Rt.class_env vm) [ "class A { } class B extends A { }" ]
+  in
+  let b_only = List.filter (fun cf -> cf.Classfile.cf_name = "B") cfs in
+  match Linker.load_batch vm b_only with
+  | _ -> Alcotest.fail "expected Link_error"
+  | exception Linker.Link_error _ -> ()
+
+let duplicate_definition_fails () =
+  let _store, vm = fresh_vm () in
+  compile_into vm [ "class A { }" ];
+  (* the plain (non-redefine) path refuses duplicates *)
+  expect_jerror "java.lang.LinkageError" (fun () ->
+      ignore (Jcompiler.compile_and_load vm [ "class A { }" ]))
+
+let classes_persist_across_sessions () =
+  let path = Filename.temp_file "linker" ".store" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let store = Store.create () in
+      let vm = Boot.boot_fresh store in
+      compile_into vm [ person_source ];
+      let p = new_person vm "persisted" in
+      Store.set_root store "p" p;
+      Store.stabilise ~path store;
+      (* second session: relink without recompiling *)
+      let store2 = Store.open_file path in
+      let vm2 = Boot.vm_for store2 in
+      check_bool "Person relinked" true (Rt.is_loaded vm2 "Person");
+      let p2 = Option.get (Store.root store2 "p") in
+      let name = Vm.call_virtual vm2 ~recv:p2 ~name:"getName" ~desc:"()Ljava.lang.String;" [] in
+      check_output "object usable" "persisted" (Rt.ocaml_string vm2 name))
+
+let persisted_source_survives () =
+  let path = Filename.temp_file "linker" ".store" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let store = Store.create () in
+      let vm = Boot.boot_fresh store in
+      compile_into vm [ person_source ];
+      Store.stabilise ~path store;
+      let store2 = Store.open_file path in
+      let vm2 = Boot.vm_for store2 in
+      let rc = Rt.get_class vm2 "Person" in
+      check_bool "source travels with the class" true
+        (rc.Rt.rc_classfile.Classfile.cf_source = Some person_source))
+
+let redefinition_migrates_instances () =
+  let _store, vm = fresh_vm () in
+  compile_into vm [ "public class P { public int a; public int b; }" ];
+  let p = Vm.new_instance vm ~cls:"P" ~desc:"()V" [] in
+  let p_oid = oid_of p in
+  Pstore.Store.set_root vm.Rt.store "p" p;
+  Pstore.Store.set_field vm.Rt.store p_oid (Rt.field_slot vm "P" "a") (Pvalue.Int 7l);
+  Pstore.Store.set_field vm.Rt.store p_oid (Rt.field_slot vm "P" "b") (Pvalue.Int 8l);
+  (* Redefine: drop b, add c, keep a. *)
+  ignore
+    (Jcompiler.compile_and_load ~redefine:true vm
+       [ "public class P { public int c; public int a; }" ]);
+  let a = Pstore.Store.field vm.Rt.store p_oid (Rt.field_slot vm "P" "a") in
+  let c = Pstore.Store.field vm.Rt.store p_oid (Rt.field_slot vm "P" "c") in
+  check_bool "a kept across reorder" true (Pvalue.equal a (Pvalue.Int 7l));
+  check_bool "c defaulted" true (Pvalue.equal c (Pvalue.Int 0l))
+
+let redefinition_rebuilds_subclass_layouts () =
+  let _store, vm = fresh_vm () in
+  compile_into vm
+    [
+      "public class Base { public int x; }\n\
+       public class Derived extends Base { public int y; }";
+    ];
+  let d = Vm.new_instance vm ~cls:"Derived" ~desc:"()V" [] in
+  let d_oid = oid_of d in
+  Pstore.Store.set_root vm.Rt.store "d" d;
+  Pstore.Store.set_field vm.Rt.store d_oid (Rt.field_slot vm "Derived" "y") (Pvalue.Int 5l);
+  Pstore.Store.set_field vm.Rt.store d_oid (Rt.field_slot vm "Base" "x") (Pvalue.Int 3l);
+  (* Grow Base: Derived's layout must shift, y must survive. *)
+  ignore
+    (Jcompiler.compile_and_load ~redefine:true vm
+       [ "public class Base { public int w; public int x; }" ]);
+  let x = Pstore.Store.field vm.Rt.store d_oid (Rt.field_slot vm "Base" "x") in
+  let y = Pstore.Store.field vm.Rt.store d_oid (Rt.field_slot vm "Derived" "y") in
+  check_bool "x migrated" true (Pvalue.equal x (Pvalue.Int 3l));
+  check_bool "y migrated" true (Pvalue.equal y (Pvalue.Int 5l));
+  check_int "layout grew" 3 (Array.length (Rt.get_class vm "Derived").Rt.rc_layout)
+
+let redefinition_widens_types () =
+  let _store, vm = fresh_vm () in
+  compile_into vm [ "public class Q { public int n; public String s; }" ];
+  let q = Vm.new_instance vm ~cls:"Q" ~desc:"()V" [] in
+  let q_oid = oid_of q in
+  Pstore.Store.set_root vm.Rt.store "q" q;
+  Pstore.Store.set_field vm.Rt.store q_oid (Rt.field_slot vm "Q" "n") (Pvalue.Int 9l);
+  ignore
+    (Jcompiler.compile_and_load ~redefine:true vm
+       [ "public class Q { public long n; public int s; }" ]);
+  let n = Pstore.Store.field vm.Rt.store q_oid (Rt.field_slot vm "Q" "n") in
+  let s = Pstore.Store.field vm.Rt.store q_oid (Rt.field_slot vm "Q" "s") in
+  check_bool "int widened to long" true (Pvalue.equal n (Pvalue.Long 9L));
+  check_bool "incompatible type reset" true (Pvalue.equal s (Pvalue.Int 0l))
+
+let suite =
+  [
+    test "batch is ordered by inheritance" batch_ordering;
+    test "missing dependency fails" missing_dependency_fails;
+    test "duplicate definition fails without redefine" duplicate_definition_fails;
+    test "classes persist across sessions" classes_persist_across_sessions;
+    test "stored source survives relinking" persisted_source_survives;
+    test "redefinition migrates instances by field name" redefinition_migrates_instances;
+    test "redefinition rebuilds subclass layouts" redefinition_rebuilds_subclass_layouts;
+    test "redefinition widens compatible field types" redefinition_widens_types;
+  ]
+
+let props = []

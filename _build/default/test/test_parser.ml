@@ -1,0 +1,291 @@
+(* Parser: declarations, statements, expression precedence, the
+   cast/paren ambiguity, hyper-link roles, and the pretty-printer
+   round-trip property. *)
+
+open Minijava
+open Helpers
+
+let parse src = (Parser.parse_unit src).Parser.unit_
+
+let parse_expr src = fst (Parser.parse_expression src)
+
+let expr_str src = Pretty.expr_to_string (parse_expr src)
+
+let check_expr name expected src = Alcotest.(check string) name expected (expr_str src)
+
+let class_structure () =
+  let cu =
+    parse
+      {|package a.b;
+import java.util.Vector;
+public class Foo extends Bar implements I, J {
+  private int x;
+  public static final double D = 1.5;
+  int y, z = 3;
+  public Foo(int x) { this.x = x; }
+  public int getX() { return x; }
+  public abstract void nothing(int a, String b);
+  public native long time();
+}
+interface I { int size(); }
+|}
+  in
+  Alcotest.(check (option (list string))) "package" (Some [ "a"; "b" ]) cu.Ast.cu_package;
+  check_int "imports" 1 (List.length cu.Ast.cu_imports);
+  check_int "classes" 2 (List.length cu.Ast.cu_classes);
+  let foo = List.hd cu.Ast.cu_classes in
+  check_output "name" "Foo" foo.Ast.cd_name;
+  Alcotest.(check (option (list string))) "super" (Some [ "Bar" ]) foo.Ast.cd_super;
+  check_int "interfaces" 2 (List.length foo.Ast.cd_impls);
+  check_int "fields (multi-declarator split)" 4 (List.length foo.Ast.cd_fields);
+  check_int "methods (incl ctor)" 4 (List.length foo.Ast.cd_methods);
+  let ctor = List.hd foo.Ast.cd_methods in
+  check_output "ctor name" "<init>" ctor.Ast.md_name;
+  let iface = List.nth cu.Ast.cu_classes 1 in
+  check_bool "interface flag" true iface.Ast.cd_interface
+
+let precedence () =
+  check_expr "mul before add" "(1 + (2 * 3))" "1 + 2 * 3";
+  check_expr "relational before and" "((a < b) && (c > d))" "a < b && c > d";
+  check_expr "and before or" "((a && b) || c)" "a && b || c";
+  check_expr "shift" "((1 << 2) + 3)" "(1 << 2) + 3";
+  check_expr "unary binds tight" "((-a) * b)" "-a * b";
+  check_expr "assignment right assoc" "a = b = c" "a = b = c";
+  check_expr "ternary" "(a ? b : (c ? d : e))" "a ? b : c ? d : e";
+  check_expr "instanceof" "((x instanceof Foo) && y)" "x instanceof Foo && y"
+
+let casts_vs_parens () =
+  check_expr "cast of name" "((Person) x)" "(Person) x";
+  check_expr "paren then plus" "(a + b)" "(a) + b";
+  check_expr "cast of call chain" "((Person) x.f())" "(Person) x.f()";
+  check_expr "array cast" "((int[]) xs)" "(int[]) xs";
+  check_expr "prim cast" "((int) d)" "(int) d";
+  check_expr "nested cast retrieval"
+    "((Person) DynamicCompiler.getLink(\"p\", 0, 1).getObject())"
+    "((Person) DynamicCompiler.getLink(\"p\", 0, 1).getObject())";
+  check_expr "cast of parenthesised" "((Person) x)" "(Person) (x)"
+
+let calls_and_names () =
+  check_expr "qualified call" "a.b.m(1, 2)" "a.b.m(1,2)";
+  check_expr "chained" "x.f().g(y)" "x.f().g(y)";
+  check_expr "dotted name" "a.b.c" "a.b.c";
+  check_expr "index" "xs[(i + 1)]" "xs[i + 1]";
+  check_expr "new" "new Person(\"x\")" "new Person(\"x\")";
+  check_expr "new qualified" "new java.util.Vector()" "new java.util.Vector()";
+  check_expr "new array" "new int[10]" "new int[10]";
+  check_expr "new 2d array" "new int[2][3]" "new int[2][3]";
+  check_expr "new array of arrays" "new int[2][]" "new int[2][]";
+  check_expr "field of call" "a.f().x" "a.f().x";
+  check_expr "length" "xs.length" "xs.length"
+
+let incr_decr () =
+  check_expr "postfix" "i++" "i++";
+  check_expr "prefix" "--i" "--i";
+  check_expr "op assign" "x += (y * 2)" "x += y * 2"
+
+let statements () =
+  let stmts, _ = Parser.parse_statements
+    "int x = 1; if (x > 0) { x = 2; } else x = 3; while (x > 0) x--; \
+     for (int i = 0; i < 10; i++) { continue; } return x; ; { break; }"
+  in
+  check_int "statement count" 7 (List.length stmts);
+  match (List.nth stmts 1).Ast.sdesc with
+  | Ast.S_if (_, _, Some _) -> ()
+  | _ -> Alcotest.fail "expected if/else"
+
+let super_call () =
+  let cu = parse "class A extends B { A() { super(1); x = 2; } int x; }" in
+  let a = List.hd cu.Ast.cu_classes in
+  let ctor = List.hd a.Ast.cd_methods in
+  match ctor.Ast.md_body with
+  | Some ({ Ast.sdesc = Ast.S_super [ _ ]; _ } :: _) -> ()
+  | _ -> Alcotest.fail "expected super(...) as first statement"
+
+let hyper_roles () =
+  let result = Parser.parse_unit "class T { #<0> f; void m() { #<1>(); Object o = #<2>; Object p = new #<3>(); } }" in
+  let roles = result.Parser.hyper_roles in
+  Alcotest.(check int) "4 placeholders" 4 (List.length roles);
+  let role n = List.assoc n roles in
+  check_bool "type role" true (role 0 = Ast.Role_type);
+  check_bool "callee role" true (role 1 = Ast.Role_callee);
+  check_bool "primary role" true (role 2 = Ast.Role_primary);
+  check_bool "ctor role" true (role 3 = Ast.Role_ctor)
+
+let parse_errors () =
+  let expect src =
+    match Parser.parse_unit src with
+    | _ -> Alcotest.failf "expected parse error on %S" src
+    | exception Parser.Parse_error _ -> ()
+  in
+  expect "class";
+  expect "class Foo {";
+  expect "class Foo { int }";
+  expect "class Foo { void m() { if } }";
+  expect "class Foo { void m() { x = ; } }";
+  expect "class Foo { void m() { new; } }";
+  expect "class Foo { void m(int) {} }"
+
+let throws_clause () =
+  let cu = parse "class A { void m() throws E1, a.E2 { } }" in
+  let m = List.hd (List.hd cu.Ast.cu_classes).Ast.cd_methods in
+  check_int "throws" 2 (List.length m.Ast.md_throws)
+
+let suite =
+  [
+    test "class structure" class_structure;
+    test "operator precedence" precedence;
+    test "cast vs parenthesised expression" casts_vs_parens;
+    test "calls, names, news, indexing" calls_and_names;
+    test "increment, decrement, op-assign" incr_decr;
+    test "statements" statements;
+    test "explicit super call" super_call;
+    test "hyper-link roles recorded" hyper_roles;
+    test "malformed input raises Parse_error" parse_errors;
+    test "throws clause parsed" throws_clause;
+  ]
+
+(* -- round-trip property: parse (pretty (parse src)) == parse src ------------ *)
+
+(* A generator for small random expressions. *)
+let expr_gen : Ast.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let mk desc = { Ast.pos = Lexer.no_pos; desc } in
+  let ident = oneofl [ "a"; "b"; "foo"; "x1" ] in
+  let lit =
+    oneof
+      [
+        (* non-negative: -1 re-parses as Neg(1), a different (equivalent) tree *)
+        map (fun n -> Ast.L_int (Int32.of_int n)) (int_range 0 1000);
+        map (fun n -> Ast.L_long (Int64.of_int n)) (int_range 0 1000);
+        map (fun b -> Ast.L_bool b) bool;
+        map (fun s -> Ast.L_string s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 6));
+        return Ast.L_null;
+        map (fun c -> Ast.L_char (Char.code c)) (char_range 'a' 'z');
+      ]
+  in
+  let binop = oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Lt; Ast.Eq; Ast.And; Ast.Shl ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then
+        oneof [ map (fun l -> mk (Ast.E_lit l)) lit; map (fun n -> mk (Ast.E_name [ n ])) ident ]
+      else
+        oneof
+          [
+            map (fun l -> mk (Ast.E_lit l)) lit;
+            map (fun n -> mk (Ast.E_name [ n ])) ident;
+            (let* op = binop in
+             let* a = self (depth - 1) in
+             let* b = self (depth - 1) in
+             return (mk (Ast.E_binop (op, a, b))));
+            (let* f = ident in
+             let* args = list_size (int_range 0 2) (self (depth - 1)) in
+             return (mk (Ast.E_call_name ([ f ], args))));
+            (let* recv = self (depth - 1) in
+             let* m = ident in
+             return (mk (Ast.E_call (recv, m, []))));
+            (let* a = self (depth - 1) in
+             let* i = self (depth - 1) in
+             return (mk (Ast.E_index (a, i))));
+            (let* c = self (depth - 1) in
+             let* t = self (depth - 1) in
+             let* e = self (depth - 1) in
+             return (mk (Ast.E_cond (c, t, e))));
+            (let* inner = self (depth - 1) in
+             return (mk (Ast.E_unop (Ast.Not, inner))));
+            (let* inner = self (depth - 1) in
+             return (mk (Ast.E_cast (Ast.Te_name [ "Person" ], inner))));
+          ])
+    3
+
+(* Structural equality on expressions, ignoring positions.  A method call
+   on a bare dotted name is syntactically identical to a longer dotted
+   call (`a.b()` may be E_call (E_name [a]) b [] or E_call_name [a;b] []);
+   normalise the former to the latter before comparing. *)
+let normalise (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.E_call ({ Ast.desc = Ast.E_name path; _ }, m, args) ->
+    { e with Ast.desc = Ast.E_call_name (path @ [ m ], args) }
+  | Ast.E_field ({ Ast.desc = Ast.E_name path; _ }, f) ->
+    { e with Ast.desc = Ast.E_name (path @ [ f ]) }
+  | _ -> e
+
+let rec expr_equal a0 b0 =
+  let a = normalise a0 and b = normalise b0 in
+  match a.Ast.desc, b.Ast.desc with
+  | Ast.E_lit x, Ast.E_lit y -> x = y
+  | Ast.E_name x, Ast.E_name y -> x = y
+  | Ast.E_this, Ast.E_this -> true
+  | Ast.E_field (e1, n1), Ast.E_field (e2, n2) -> n1 = n2 && expr_equal e1 e2
+  | Ast.E_index (a1, i1), Ast.E_index (a2, i2) -> expr_equal a1 a2 && expr_equal i1 i2
+  | Ast.E_call (r1, n1, a1), Ast.E_call (r2, n2, a2) ->
+    n1 = n2 && expr_equal r1 r2 && List.length a1 = List.length a2
+    && List.for_all2 expr_equal a1 a2
+  | Ast.E_call_name (p1, a1), Ast.E_call_name (p2, a2) ->
+    p1 = p2 && List.length a1 = List.length a2 && List.for_all2 expr_equal a1 a2
+  | Ast.E_binop (o1, x1, y1), Ast.E_binop (o2, x2, y2) ->
+    o1 = o2 && expr_equal x1 x2 && expr_equal y1 y2
+  | Ast.E_unop (o1, x1), Ast.E_unop (o2, x2) -> o1 = o2 && expr_equal x1 x2
+  | Ast.E_cond (c1, t1, e1), Ast.E_cond (c2, t2, e2) ->
+    expr_equal c1 c2 && expr_equal t1 t2 && expr_equal e1 e2
+  | Ast.E_cast (t1, x1), Ast.E_cast (t2, x2) -> t1 = t2 && expr_equal x1 x2
+  | _ -> false
+
+let prop_expr_roundtrip =
+  QCheck2.Test.make ~name:"pretty-print then re-parse preserves expressions" ~count:500
+    ~print:(fun e -> Pretty.expr_to_string e)
+    expr_gen
+    (fun e ->
+      let printed = Pretty.expr_to_string e in
+      match Parser.parse_expression printed with
+      | reparsed, _ -> expr_equal e reparsed
+      | exception _ -> false)
+
+(* Whole-unit round trip on a corpus of realistic programs. *)
+let control_flow_source =
+  {|public class Flow {
+  public static int classify(int x) {
+    int score = 0;
+    do { score++; } while (score < 3);
+    try { score += 100 / x; }
+    catch (ArithmeticException e) { score = -1; throw new RuntimeException(e.getMessage()); }
+    switch (x) {
+      case 1:
+      case 2: score += 10; break;
+      case -5: score += 20;
+      default: score += 30; break;
+    }
+    return score;
+  }
+}
+|}
+
+let corpus =
+  [
+    control_flow_source;
+    Helpers.person_source;
+    Minijava.Stdlib_src.java_util;
+    Minijava.Stdlib_src.java_lang_reflect;
+    Hyperprog.Hyper_src.hyper_unit;
+    Hyperprog.Hyper_src.compiler_unit;
+  ]
+
+let unit_roundtrip_corpus () =
+  List.iter
+    (fun src ->
+      let cu1 = parse src in
+      let printed = Pretty.unit_to_string cu1 in
+      let cu2 =
+        try parse printed
+        with e ->
+          Alcotest.failf "re-parse failed: %s\n--- printed ---\n%s" (Printexc.to_string e)
+            printed
+      in
+      (* Compare by printing both: fixed point after one round. *)
+      Alcotest.(check string) "fixed point" printed (Pretty.unit_to_string cu2))
+    corpus
+
+let props =
+  [
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+    test "unit round trip over the bootstrap corpus" unit_roundtrip_corpus;
+  ]

@@ -1,0 +1,383 @@
+(* Persistent store: heap, roots, GC, weak references, stabilisation,
+   referential integrity. *)
+
+open Pstore
+open Helpers
+
+(* -- heap ------------------------------------------------------------------- *)
+
+let heap_alloc_and_access () =
+  let store = fresh_store () in
+  let s = Store.alloc_string store "hello" in
+  let r = Store.alloc_record store "Point" [| Pvalue.Int 1l; Pvalue.Int 2l |] in
+  let a = Store.alloc_array store "I" [| Pvalue.Int 10l |] in
+  check_output "string" "hello" (Store.get_string store s);
+  check_output "class" "Point" (Store.class_of store r);
+  check_output "array class" "I[]" (Store.class_of store a);
+  Alcotest.(check bool) "field" true (Pvalue.equal (Store.field store r 0) (Pvalue.Int 1l));
+  Store.set_field store r 1 (Pvalue.Int 42l);
+  check_bool "set field" true (Pvalue.equal (Store.field store r 1) (Pvalue.Int 42l));
+  Store.set_elem store a 0 (Pvalue.Int 7l);
+  check_bool "set elem" true (Pvalue.equal (Store.elem store a 0) (Pvalue.Int 7l));
+  check_int "array length" 1 (Store.array_length store a);
+  check_int "size" 3 (Store.size store)
+
+let heap_bounds_checked () =
+  let store = fresh_store () in
+  let r = Store.alloc_record store "Point" [| Pvalue.Int 1l |] in
+  let a = Store.alloc_array store "I" [| Pvalue.Int 1l |] in
+  let expect_heap_error f =
+    match f () with
+    | _ -> Alcotest.fail "expected Heap_error"
+    | exception Heap.Heap_error _ -> ()
+  in
+  expect_heap_error (fun () -> Store.field store r 1);
+  expect_heap_error (fun () -> Store.set_field store r (-1) Pvalue.Null);
+  expect_heap_error (fun () -> Store.elem store a 1);
+  expect_heap_error (fun () -> Store.get_record store a);
+  expect_heap_error (fun () -> Store.get_array store r);
+  expect_heap_error (fun () -> Store.get store (Oid.of_int 999999))
+
+let oids_are_distinct () =
+  let store = fresh_store () in
+  let oids = List.init 100 (fun i -> Store.alloc_string store (string_of_int i)) in
+  let set = List.fold_left (fun acc oid -> Oid.Set.add oid acc) Oid.Set.empty oids in
+  check_int "all distinct" 100 (Oid.Set.cardinal set)
+
+(* -- roots ------------------------------------------------------------------- *)
+
+let roots_basics () =
+  let store = fresh_store () in
+  let s = Store.alloc_string store "x" in
+  Store.set_root store "a" (Pvalue.Ref s);
+  Store.set_root store "b" (Pvalue.Int 1l);
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (Store.root_names store);
+  (match Store.root store "a" with
+  | Some (Pvalue.Ref oid) -> check_bool "same oid" true (Oid.equal oid s)
+  | _ -> Alcotest.fail "root a missing");
+  Store.remove_root store "a";
+  check_bool "removed" true (Store.root store "a" = None);
+  Store.set_root store "b" (Pvalue.Int 2l);
+  check_bool "rebound" true (Store.root store "b" = Some (Pvalue.Int 2l))
+
+(* -- GC ------------------------------------------------------------------------ *)
+
+let gc_collects_unreachable () =
+  let store = fresh_store () in
+  let live = Store.alloc_string store "live" in
+  let _dead = Store.alloc_string store "dead" in
+  Store.set_root store "live" (Pvalue.Ref live);
+  let stats = Store.gc store in
+  check_int "swept" 1 stats.Gc.swept;
+  check_int "live" 1 stats.Gc.live;
+  check_bool "live survives" true (Store.is_live store live)
+
+let gc_traces_transitively () =
+  let store = fresh_store () in
+  let leaf = Store.alloc_string store "leaf" in
+  let mid = Store.alloc_record store "Node" [| Pvalue.Ref leaf |] in
+  let top = Store.alloc_record store "Node" [| Pvalue.Ref mid |] in
+  Store.set_root store "top" (Pvalue.Ref top);
+  let orphan = Store.alloc_record store "Node" [| Pvalue.Ref leaf |] in
+  let stats = Store.gc store in
+  check_int "one swept" 1 stats.Gc.swept;
+  check_bool "leaf kept" true (Store.is_live store leaf);
+  check_bool "orphan swept" false (Store.is_live store orphan)
+
+let gc_handles_cycles () =
+  let store = fresh_store () in
+  let a = Store.alloc_record store "Node" [| Pvalue.Null |] in
+  let b = Store.alloc_record store "Node" [| Pvalue.Ref a |] in
+  Store.set_field store a 0 (Pvalue.Ref b);
+  (* cycle a <-> b, unreachable *)
+  let stats = Store.gc store in
+  check_int "cycle swept" 2 stats.Gc.swept;
+  (* reachable cycle survives *)
+  let c = Store.alloc_record store "Node" [| Pvalue.Null |] in
+  let d = Store.alloc_record store "Node" [| Pvalue.Ref c |] in
+  Store.set_field store c 0 (Pvalue.Ref d);
+  Store.set_root store "c" (Pvalue.Ref c);
+  let stats2 = Store.gc store in
+  check_int "none swept" 0 stats2.Gc.swept
+
+let gc_honours_pins () =
+  let store = fresh_store () in
+  let pinned = Store.alloc_string store "pinned" in
+  Store.add_pin store (fun () -> [ pinned ]);
+  let stats = Store.gc store in
+  check_int "nothing swept" 0 stats.Gc.swept;
+  check_bool "pinned survives" true (Store.is_live store pinned)
+
+(* -- weak references -------------------------------------------------------------- *)
+
+let weak_cleared_when_target_dies () =
+  let store = fresh_store () in
+  let target = Store.alloc_string store "target" in
+  let weak = Store.alloc_weak store (Pvalue.Ref target) in
+  Store.set_root store "weak" (Pvalue.Ref weak);
+  (* target reachable only weakly -> swept, cell cleared *)
+  let stats = Store.gc store in
+  check_int "weak cleared" 1 stats.Gc.weak_cleared;
+  check_bool "target swept" false (Store.is_live store target);
+  check_bool "cell nulled" true ((Store.get_weak store weak).Heap.target = Pvalue.Null)
+
+let weak_kept_while_target_strongly_held () =
+  let store = fresh_store () in
+  let target = Store.alloc_string store "target" in
+  let weak = Store.alloc_weak store (Pvalue.Ref target) in
+  Store.set_root store "weak" (Pvalue.Ref weak);
+  Store.set_root store "strong" (Pvalue.Ref target);
+  let stats = Store.gc store in
+  check_int "nothing cleared" 0 stats.Gc.weak_cleared;
+  check_bool "target alive" true (Store.is_live store target);
+  (match (Store.get_weak store weak).Heap.target with
+  | Pvalue.Ref oid -> check_bool "still points" true (Oid.equal oid target)
+  | _ -> Alcotest.fail "weak target lost");
+  (* drop the strong root: next gc clears *)
+  Store.remove_root store "strong";
+  let stats2 = Store.gc store in
+  check_int "cleared now" 1 stats2.Gc.weak_cleared
+
+let weak_does_not_keep_target_alive () =
+  let store = fresh_store () in
+  (* a weak cell is itself collectable when unreachable *)
+  let target = Store.alloc_string store "t" in
+  let _weak = Store.alloc_weak store (Pvalue.Ref target) in
+  let stats = Store.gc store in
+  check_int "both swept" 2 stats.Gc.swept
+
+(* -- stabilisation ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "pstore_test" ".img" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let image_roundtrip () =
+  with_temp_file (fun path ->
+      let store = fresh_store () in
+      let s = Store.alloc_string store "persist me" in
+      let r = Store.alloc_record store "Pair" [| Pvalue.Ref s; Pvalue.Double 3.25 |] in
+      let a = Store.alloc_array store "LPair;" [| Pvalue.Ref r; Pvalue.Null |] in
+      let w = Store.alloc_weak store (Pvalue.Ref s) in
+      Store.set_root store "a" (Pvalue.Ref a);
+      Store.set_root store "w" (Pvalue.Ref w);
+      Store.set_blob store "meta" "blob-bytes";
+      Store.stabilise ~path store;
+      let store2 = Store.open_file path in
+      check_int "same size" (Store.size store) (Store.size store2);
+      check_output "string preserved" "persist me" (Store.get_string store2 s);
+      check_output "class preserved" "Pair" (Store.class_of store2 r);
+      check_bool "field preserved" true
+        (Pvalue.equal (Store.field store2 r 1) (Pvalue.Double 3.25));
+      check_bool "blob preserved" true (Store.blob store2 "meta" = Some "blob-bytes");
+      (match (Store.get_weak store2 w).Heap.target with
+      | Pvalue.Ref oid -> check_bool "weak target preserved" true (Oid.equal oid s)
+      | _ -> Alcotest.fail "weak lost");
+      (* oids preserved verbatim: allocating continues from the next id *)
+      let fresh = Store.alloc_string store2 "fresh" in
+      check_bool "fresh oid distinct" false (List.mem fresh [ s; r; a; w ]))
+
+let image_detects_corruption () =
+  with_temp_file (fun path ->
+      let store = fresh_store () in
+      ignore (Store.alloc_string store "x");
+      Store.stabilise ~path store;
+      (* flip one byte in the middle *)
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let corrupted = Bytes.of_string data in
+      let mid = Bytes.length corrupted / 2 in
+      Bytes.set corrupted mid (Char.chr (Char.code (Bytes.get corrupted mid) lxor 0xff));
+      let oc = open_out_bin path in
+      output_bytes oc corrupted;
+      close_out oc;
+      match Store.open_file path with
+      | _ -> Alcotest.fail "expected Image_error"
+      | exception Image.Image_error _ -> ())
+
+let image_rejects_bad_magic () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "NOTASTORE-AT-ALL-0123456789";
+      close_out oc;
+      match Store.open_file path with
+      | _ -> Alcotest.fail "expected Image_error"
+      | exception Image.Image_error _ -> ())
+
+let stabilise_requires_backing () =
+  let store = fresh_store () in
+  match Store.stabilise store with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* -- integrity -------------------------------------------------------------------------- *)
+
+let integrity_clean_store () =
+  let store = fresh_store () in
+  let s = Store.alloc_string store "x" in
+  Store.set_root store "s" (Pvalue.Ref s);
+  Alcotest.(check int) "no violations" 0 (List.length (Integrity.check store));
+  Integrity.check_exn store
+
+let integrity_detects_dangling () =
+  let store = fresh_store () in
+  let s = Store.alloc_string store "x" in
+  let r = Store.alloc_record store "Holder" [| Pvalue.Ref s |] in
+  Store.set_root store "r" (Pvalue.Ref r);
+  (* brutally remove s behind the store's back *)
+  Heap.remove (Store.heap store) s;
+  check_int "one violation" 1 (List.length (Integrity.check store));
+  (match Integrity.check_exn store with
+  | _ -> Alcotest.fail "expected Heap_error"
+  | exception Heap.Heap_error _ -> ())
+
+let integrity_detects_bad_root () =
+  let store = fresh_store () in
+  let s = Store.alloc_string store "x" in
+  Store.set_root store "s" (Pvalue.Ref s);
+  Heap.remove (Store.heap store) s;
+  match Integrity.check store with
+  | [ Integrity.Bad_root { name; _ } ] -> check_output "root name" "s" name
+  | other -> Alcotest.failf "expected one Bad_root, got %d violations" (List.length other)
+
+let suite =
+  [
+    test "heap alloc and access" heap_alloc_and_access;
+    test "heap bounds are checked" heap_bounds_checked;
+    test "oids are distinct" oids_are_distinct;
+    test "roots basics" roots_basics;
+    test "gc collects unreachable" gc_collects_unreachable;
+    test "gc traces transitively" gc_traces_transitively;
+    test "gc handles cycles" gc_handles_cycles;
+    test "gc honours pins" gc_honours_pins;
+    test "weak cleared when target dies" weak_cleared_when_target_dies;
+    test "weak kept while strongly held" weak_kept_while_target_strongly_held;
+    test "weak does not keep target alive" weak_does_not_keep_target_alive;
+    test "image round trip" image_roundtrip;
+    test "image detects corruption" image_detects_corruption;
+    test "image rejects bad magic" image_rejects_bad_magic;
+    test "stabilise requires a backing file" stabilise_requires_backing;
+    test "integrity: clean store" integrity_clean_store;
+    test "integrity: dangling reference" integrity_detects_dangling;
+    test "integrity: bad root" integrity_detects_bad_root;
+  ]
+
+(* -- properties ---------------------------------------------------------------- *)
+
+(* Random object graphs: build N records with random references, pick
+   random roots. *)
+type graph_spec = {
+  nodes : int;
+  edges : (int * int) list; (* from node, to node *)
+  roots : int list;
+}
+
+let graph_gen =
+  QCheck2.Gen.(
+    let* nodes = int_range 1 40 in
+    let* edges =
+      list_size (int_range 0 80) (pair (int_range 0 (nodes - 1)) (int_range 0 (nodes - 1)))
+    in
+    let* roots = list_size (int_range 0 5) (int_range 0 (nodes - 1)) in
+    return { nodes; edges; roots })
+
+let build_graph store spec =
+  let slots_of i = List.length (List.filter (fun (f, _) -> f = i) spec.edges) in
+  let oids =
+    Array.init spec.nodes (fun i ->
+        Store.alloc_record store "Node" (Array.make (max 1 (slots_of i)) Pvalue.Null))
+  in
+  let next_slot = Array.make spec.nodes 0 in
+  List.iter
+    (fun (f, t) ->
+      Store.set_field store oids.(f) next_slot.(f) (Pvalue.Ref oids.(t));
+      next_slot.(f) <- next_slot.(f) + 1)
+    spec.edges;
+  List.iteri (fun i r -> Store.set_root store (Printf.sprintf "r%d" i) (Pvalue.Ref oids.(r))) spec.roots;
+  oids
+
+(* Reference reachability computed naively. *)
+let reachable_naive spec =
+  let adj = Array.make spec.nodes [] in
+  List.iter (fun (f, t) -> adj.(f) <- t :: adj.(f)) spec.edges;
+  let seen = Array.make spec.nodes false in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter visit adj.(i)
+    end
+  in
+  List.iter visit spec.roots;
+  seen
+
+let prop_gc_matches_naive_reachability =
+  QCheck2.Test.make ~name:"gc keeps exactly the reachable objects" ~count:200 graph_gen
+    (fun spec ->
+      let store = fresh_store () in
+      let oids = build_graph store spec in
+      ignore (Store.gc store);
+      let expected = reachable_naive spec in
+      let ok = ref true in
+      Array.iteri
+        (fun i oid -> if Store.is_live store oid <> expected.(i) then ok := false)
+        oids;
+      !ok)
+
+let prop_image_roundtrip_preserves_graph =
+  QCheck2.Test.make ~name:"stabilise/recover preserves the heap exactly" ~count:100 graph_gen
+    (fun spec ->
+      let store = fresh_store () in
+      let oids = build_graph store spec in
+      let data = Image.encode { Image.heap = Store.heap store; roots = Store.roots store; blobs = Hashtbl.create 1 } in
+      let recovered = Image.decode data in
+      Array.for_all
+        (fun oid ->
+          match Heap.find recovered.Image.heap oid, Heap.find (Store.heap store) oid with
+          | Some (Heap.Record a), Some (Heap.Record b) ->
+            a.Heap.class_name = b.Heap.class_name
+            && Array.for_all2 Pvalue.equal a.Heap.fields b.Heap.fields
+          | _ -> false)
+        oids
+      && Heap.size recovered.Image.heap = Heap.size (Store.heap store))
+
+let prop_integrity_holds_after_gc =
+  QCheck2.Test.make ~name:"integrity holds after gc" ~count:100 graph_gen (fun spec ->
+      let store = fresh_store () in
+      ignore (build_graph store spec);
+      ignore (Store.gc store);
+      Integrity.check store = [])
+
+let props =
+  [
+    QCheck_alcotest.to_alcotest prop_gc_matches_naive_reachability;
+    QCheck_alcotest.to_alcotest prop_image_roundtrip_preserves_graph;
+    QCheck_alcotest.to_alcotest prop_integrity_holds_after_gc;
+  ]
+
+(* Pvalue binary codec round trip. *)
+let pvalue_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Pvalue.Null;
+        map (fun b -> Pvalue.Bool b) bool;
+        map (fun n -> Pvalue.byte (n mod 128)) (int_range (-127) 127);
+        map (fun n -> Pvalue.short n) (int_range (-32768) 32767);
+        map (fun n -> Pvalue.char n) (int_range 0 0xffff);
+        map (fun n -> Pvalue.Int n) int32;
+        map (fun n -> Pvalue.Long n) int64;
+        map (fun f -> Pvalue.Double f) float;
+        map (fun n -> Pvalue.Ref (Oid.of_int (abs n))) int;
+      ])
+
+let prop_pvalue_roundtrip =
+  QCheck2.Test.make ~name:"store values round-trip the binary codec" ~count:500 pvalue_gen
+    (fun v ->
+      let w = Codec.writer () in
+      Pvalue.encode w v;
+      let r = Codec.reader (Codec.contents w) in
+      let back = Pvalue.decode r in
+      Pvalue.equal v back && Codec.at_end r)
+
+let props = props @ [ QCheck_alcotest.to_alcotest prop_pvalue_roundtrip ]

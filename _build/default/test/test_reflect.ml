@@ -1,0 +1,128 @@
+(* Core reflection: Class/Method/Field/Constructor mirrors, both from
+   compiled MiniJava code (the paper's route) and through the OCaml API. *)
+
+open Pstore
+open Minijava
+open Helpers
+
+let t name expected body =
+  test name (fun () ->
+      let _store, vm = fresh_vm () in
+      compile_into vm [ person_source ];
+      check_output name expected (run_body vm body))
+
+let java_level =
+  [
+    t "getClass and getName" "Person\n"
+      "Person p = new Person(\"x\"); System.println(p.getClass().getName());";
+    t "class identity is canonical" "true\n"
+      "Person a = new Person(\"a\"); Person b = new Person(\"b\");\n\
+       System.println(String.valueOf(a.getClass() == b.getClass()));";
+    t "Class.forName" "java.lang.String true\n"
+      "Class c = Class.forName(\"java.lang.String\");\n\
+       System.println(c.getName() + \" \" + (c == \"x\".getClass()));";
+    t "newInstance" "Person(null)\n"
+      "Class c = Class.forName(\"Person\");\n\
+       Object p = c.newInstance();\n\
+       System.println(p.toString());";
+    t "getMethod and invoke" "rex\n"
+      "Person p = new Person(\"rex\");\n\
+       java.lang.reflect.Method m = p.getClass().getMethod(\"getName\");\n\
+       Object r = m.invoke(p, null);\n\
+       System.println((String) r);";
+    t "method getDeclaringClass" "Person getName\n"
+      "java.lang.reflect.Method m = Class.forName(\"Person\").getMethod(\"getName\");\n\
+       System.println(m.getDeclaringClass().getName() + \" \" + m.getName());";
+    t "static method invoke via mirror" "Person(b)\n"
+      "Person a = new Person(\"a\"); Person b = new Person(\"b\");\n\
+       java.lang.reflect.Method m = Class.forName(\"Person\").getMethod(\"marry\");\n\
+       Object[] margs = new Object[2]; margs[0] = a; margs[1] = b;\n\
+       m.invoke(null, margs);\n\
+       System.println(a.getSpouse().toString());";
+    t "field get and set" "alice bob\n"
+      "Person p = new Person(\"alice\");\n\
+       java.lang.reflect.Field f = p.getClass().getField(\"name\");\n\
+       String before = (String) f.get(p);\n\
+       f.set(p, \"bob\");\n\
+       System.println(before + \" \" + p.getName());";
+    t "getSuperclass chain" "java.lang.Object null\n"
+      "Class c = Class.forName(\"Person\").getSuperclass();\n\
+       System.println(c.getName() + \" \" + c.getSuperclass());";
+    t "isInterface" "false\n"
+      "System.println(String.valueOf(Class.forName(\"Person\").isInterface()));";
+    t "getMethods includes inherited" "true\n"
+      "java.lang.reflect.Method[] ms = Class.forName(\"Person\").getMethods();\n\
+       boolean found = false;\n\
+       for (int i = 0; i < ms.length; i++) { if (ms[i].getName().equals(\"hashCode\")) { found = true; } }\n\
+       System.println(String.valueOf(found));";
+    t "constructor mirror newInstance" "Person(made)\n"
+      "java.lang.reflect.Constructor[] cs = Class.forName(\"Person\").getConstructors();\n\
+       Object[] cargs = new Object[1]; cargs[0] = \"made\";\n\
+       Object p = cs[0].newInstance(cargs);\n\
+       System.println(p.toString());";
+    t "invoke boxes primitive return" "5\n"
+      "java.lang.reflect.Method m = Class.forName(\"java.lang.String\").getMethod(\"length\");\n\
+       Object r = m.invoke(\"hello\", null);\n\
+       System.println(((Integer) r).toString());";
+  ]
+
+let forname_unknown () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.ClassNotFoundException" (fun () ->
+      run_body vm "Class c = Class.forName(\"NoSuchClass\");")
+
+let getmethod_unknown () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.NoSuchMethodException" (fun () ->
+      run_body vm
+        "java.lang.reflect.Method m = Class.forName(\"java.lang.Object\").getMethod(\"zap\");")
+
+(* OCaml-level API *)
+
+let ocaml_level_mirrors () =
+  let _store, vm = fresh_hyper_vm () in
+  compile_into vm [ person_source ];
+  let m1 = Reflect.class_mirror vm "Person" in
+  let m2 = Reflect.class_mirror vm "Person" in
+  check_bool "class mirrors canonical" true (Pvalue.equal m1 m2);
+  let mm1 = Reflect.method_mirror vm ~cls:"Person" ~name:"getName" ~desc:"()Ljava.lang.String;" in
+  let mm2 = Reflect.method_mirror vm ~cls:"Person" ~name:"getName" ~desc:"()Ljava.lang.String;" in
+  check_bool "method mirrors canonical" true (Pvalue.equal mm1 mm2)
+
+let ocaml_level_invoke () =
+  let _store, vm = fresh_hyper_vm () in
+  compile_into vm [ person_source ];
+  let p = new_person vm "zed" in
+  let mm = Reflect.method_mirror vm ~cls:"Person" ~name:"getName" ~desc:"()Ljava.lang.String;" in
+  let r = Reflect.invoke vm ~method_mirror_value:mm ~receiver:p ~args:[] in
+  check_output "invoke result" "zed" (Rt.ocaml_string vm r)
+
+let box_unbox_roundtrip () =
+  let _store, vm = fresh_hyper_vm () in
+  let cases =
+    [
+      (Pvalue.Int 42l, Jtype.Int);
+      (Pvalue.Bool true, Jtype.Boolean);
+      (Pvalue.Long 99L, Jtype.Long);
+      (Pvalue.Double 1.5, Jtype.Double);
+      (Pvalue.Char 65, Jtype.Char);
+    ]
+  in
+  List.iter
+    (fun (v, ty) ->
+      let boxed = Reflect.box vm v in
+      let unboxed = Reflect.unbox vm boxed ty in
+      check_bool (Pvalue.to_string v) true (Pvalue.equal v unboxed))
+    cases
+
+let suite =
+  java_level
+  @ [
+      test "Class.forName on unknown class" forname_unknown;
+      test "getMethod on unknown method" getmethod_unknown;
+      test "mirrors are canonical (OCaml API)" ocaml_level_mirrors;
+      test "reflective invoke (OCaml API)" ocaml_level_invoke;
+      test "box/unbox round trip" box_unbox_roundtrip;
+    ]
+
+let props = []

@@ -1,0 +1,134 @@
+(* The Figure 7 registry: password protection, weak references, uid
+   allocation, reachability of hyper-linked entities. *)
+
+open Pstore
+open Minijava
+open Hyperprog
+open Helpers
+
+let passwords_checked () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  check_bool "built-in accepted" true (Registry.check_password vm Registry.built_in_password);
+  check_bool "wrong rejected" false (Registry.check_password vm "letmein");
+  expect_jerror "java.lang.SecurityException" (fun () ->
+      ignore (Registry.add_hp vm ~password:"wrong" hp));
+  ignore (Registry.add_hp vm ~password:Registry.built_in_password hp);
+  expect_jerror "java.lang.SecurityException" (fun () ->
+      ignore (Registry.get_link vm ~password:"wrong" ~hp:0 ~link:0))
+
+let uid_allocation_idempotent () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  let uid1 = Registry.add_hp vm ~password:Registry.built_in_password hp in
+  let uid2 = Registry.add_hp vm ~password:Registry.built_in_password hp in
+  check_int "same uid" uid1 uid2;
+  check_int "uid is offset" 0 uid1;
+  check_int "count" 1 (Registry.count vm);
+  check_int "stored in program" uid1 (Storage_form.uid vm hp);
+  (* a second hyper-program gets the next offset *)
+  let hp2 = Storage_form.create vm ~class_name:"X" ~text:"class X { }" ~links:[] in
+  check_int "next uid" 1 (Registry.add_hp vm ~password:Registry.built_in_password hp2)
+
+let get_link_retrieves () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, vangelis, _ = marry_example vm in
+  let uid = Registry.add_hp vm ~password:Registry.built_in_password hp in
+  let link1 = Registry.get_link vm ~password:Registry.built_in_password ~hp:uid ~link:1 in
+  (* getObject on the HyperLinkHP must give back vangelis *)
+  let obj = Vm.call_virtual vm ~recv:link1 ~name:"getObject" ~desc:"()Ljava.lang.Object;" [] in
+  check_bool "same object" true (Pvalue.equal obj vangelis);
+  expect_jerror "java.lang.IndexOutOfBoundsException" (fun () ->
+      ignore (Registry.get_link vm ~password:Registry.built_in_password ~hp:uid ~link:99))
+
+let weak_registry_allows_collection () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  ignore (Registry.add_hp vm ~password:Registry.built_in_password hp);
+  check_int "live before" 1 (List.length (Registry.live_programs vm));
+  (* no user reference to hp -> collected; registry weak slot cleared *)
+  let stats = Store.gc vm.Rt.store in
+  check_bool "weak cleared" true (stats.Gc.weak_cleared >= 1);
+  check_int "live after" 0 (List.length (Registry.live_programs vm));
+  check_bool "hp_at null" true (Registry.hp_at vm 0 = Pvalue.Null);
+  expect_jerror "java.lang.IllegalStateException" (fun () ->
+      ignore (Registry.get_link vm ~password:Registry.built_in_password ~hp:0 ~link:0))
+
+let rooted_programs_survive () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  Store.set_root vm.Rt.store "keep" (Pvalue.Ref hp);
+  ignore (Registry.add_hp vm ~password:Registry.built_in_password hp);
+  ignore (Store.gc vm.Rt.store);
+  check_int "still live" 1 (List.length (Registry.live_programs vm));
+  check_bool "retrievable" true
+    (Registry.get_link vm ~password:Registry.built_in_password ~hp:0 ~link:0 <> Pvalue.Null)
+
+let linked_entities_stay_reachable () =
+  (* Section 4.1: "the hyper-linked entities will thus remain accessible
+     by the compiled form" — as long as the hyper-program lives, its
+     links pin the entities. *)
+  let _store, vm = fresh_hyper_vm () in
+  let hp, vangelis, mary = marry_example vm in
+  Store.set_root vm.Rt.store "program" (Pvalue.Ref hp);
+  (* the persons have NO other root *)
+  ignore (Store.gc vm.Rt.store);
+  check_bool "vangelis reachable through the hyper-program" true
+    (Store.is_live vm.Rt.store (oid_of vangelis));
+  check_bool "mary reachable" true (Store.is_live vm.Rt.store (oid_of mary));
+  (* drop the program: entities go too *)
+  Store.remove_root vm.Rt.store "program";
+  ignore (Store.gc vm.Rt.store);
+  check_bool "vangelis collected with the program" false
+    (Store.is_live vm.Rt.store (oid_of vangelis))
+
+let registry_grows () =
+  let _store, vm = fresh_hyper_vm () in
+  let hps =
+    List.init 50 (fun i ->
+        let hp =
+          Storage_form.create vm ~class_name:(Printf.sprintf "C%d" i)
+            ~text:(Printf.sprintf "class C%d { }" i) ~links:[]
+        in
+        Store.set_root vm.Rt.store (Printf.sprintf "hp%d" i) (Pvalue.Ref hp);
+        hp)
+  in
+  List.iteri
+    (fun i hp -> check_int "uid in order" i (Registry.add_hp vm ~password:Registry.built_in_password hp))
+    hps;
+  check_int "all registered" 50 (Registry.count vm);
+  check_int "all live" 50 (List.length (Registry.live_programs vm))
+
+let registry_persists () =
+  let path = Filename.temp_file "registry" ".store" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let store = Store.create () in
+      let vm = Boot.boot_fresh store in
+      Dynamic_compiler.install vm;
+      let hp, _, _ = marry_example vm in
+      Store.set_root store "hp" (Pvalue.Ref hp);
+      let uid = Registry.add_hp vm ~password:Registry.built_in_password hp in
+      Store.stabilise ~path store;
+      let store2 = Store.open_file path in
+      let vm2 = Boot.vm_for store2 in
+      Dynamic_compiler.install vm2;
+      check_int "count survives" 1 (Registry.count vm2);
+      check_bool "link retrievable after reopen" true
+        (Registry.get_link vm2 ~password:Registry.built_in_password ~hp:uid ~link:0
+        <> Pvalue.Null))
+
+let suite =
+  [
+    test "passwords are checked" passwords_checked;
+    test "uid allocation is idempotent" uid_allocation_idempotent;
+    test "getLink retrieves the HyperLinkHP" get_link_retrieves;
+    test "weak registry allows collection" weak_registry_allows_collection;
+    test "rooted programs survive gc" rooted_programs_survive;
+    test "links keep entities reachable" linked_entities_stay_reachable;
+    test "registry grows beyond initial capacity" registry_grows;
+    test "registry persists across sessions" registry_persists;
+  ]
+
+let props = []

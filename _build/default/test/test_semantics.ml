@@ -1,0 +1,688 @@
+(* End-to-end language semantics: compile with the real pipeline, run on
+   the VM, observe System output.  Each test is one distinct behaviour. *)
+
+open Helpers
+
+let check_run name expected body () =
+  let _store, vm = fresh_vm () in
+  check_output name expected (run_body vm body)
+
+let t name expected body = test name (check_run name expected body)
+
+let arithmetic =
+  [
+    t "int arithmetic" "17\n" "System.println(String.valueOf(3 + 2 * 7));";
+    t "int division truncates" "-2\n" "System.println(String.valueOf(-7 / 3));";
+    t "int remainder sign" "-1\n" "System.println(String.valueOf(-7 % 3));";
+    t "int overflow wraps" "-2147483648\n"
+      "int x = 2147483647; System.println(String.valueOf(x + 1));";
+    t "long arithmetic" "4000000000\n"
+      "long x = 2000000000L; System.println(String.valueOf(x * 2L));";
+    t "int to long promotion" "3000000000\n"
+      "int a = 1500000000; long b = 2L; System.println(String.valueOf(a * b));";
+    t "double arithmetic" "0.3\n"
+      "double x = 3.0; System.println(String.valueOf(x / 10.0));";
+    t "float is single precision" "true\n"
+      "float f = 0.1f; double d = 0.1; System.println(String.valueOf(f != (float) d || f == 0.1f));";
+    t "mixed int double" "2.5\n" "System.println(String.valueOf(5 / 2.0));";
+    t "unary minus" "-5\n" "int x = 5; System.println(String.valueOf(-x));";
+    t "bitwise ops" "4 14 10\n"
+      "int a = 12; int b = 6; System.println(String.valueOf(a & b) + \" \" + (a | b) + \" \" + (a ^ b));";
+    t "shifts" "16 2 2147483646\n"
+      "int x = 8; System.println(String.valueOf(x << 1) + \" \" + (x >> 2) + \" \" + (-4 >>> 1));";
+    t "shift count masked" "2\n" "int x = 1; System.println(String.valueOf(x << 33));";
+    t "bit not" "-9\n" "System.println(String.valueOf(~8));";
+    t "char arithmetic promotes to int" "98\n"
+      "char c = 'a'; System.println(String.valueOf(c + 1));";
+    t "byte narrowing wraps" "-128\n"
+      "byte b = (byte) 128; System.println(String.valueOf(b));";
+    t "short narrowing wraps" "-32768\n"
+      "short s = (short) 32768; System.println(String.valueOf(s));";
+    t "char cast" "97\n" "char c = (char) 97; System.println(String.valueOf((int) c));";
+    t "double to int truncates" "3\n"
+      "double d = 3.99; System.println(String.valueOf((int) d));";
+    t "long to int wraps" "1\n"
+      "long x = 4294967297L; System.println(String.valueOf((int) x));";
+  ]
+
+(* div-by-zero traps: run expecting the error, not output *)
+let div_by_zero_traps () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.ArithmeticException" (fun () ->
+      run_body vm "int x = 0; System.println(String.valueOf(1 / x));")
+
+let control_flow =
+  [
+    t "if else" "neg\n" "int x = -1; if (x > 0) { System.println(\"pos\"); } else { System.println(\"neg\"); }";
+    t "while loop" "10\n" "int i = 0; int s = 0; while (i < 5) { s += i; i++; } System.println(String.valueOf(s));";
+    t "for loop" "0 1 2 \n"
+      "String s = \"\"; for (int i = 0; i < 3; i++) { s = s + i + \" \"; } System.println(s);";
+    t "break" "3\n" "int i = 0; while (true) { i++; if (i == 3) { break; } } System.println(String.valueOf(i));";
+    t "continue runs update" "1 3 \n"
+      "String s = \"\"; for (int i = 1; i <= 3; i++) { if (i == 2) { continue; } s = s + i + \" \"; } System.println(s);";
+    t "nested loops with break" "6\n"
+      "int n = 0; for (int i = 0; i < 3; i++) { for (int j = 0; j < 10; j++) { if (j == 2) { break; } n++; } } System.println(String.valueOf(n));";
+    t "short circuit and" "safe\n"
+      "String s = null; if (s != null && s.length() > 0) { System.println(\"no\"); } else { System.println(\"safe\"); }";
+    t "short circuit or" "ok\n"
+      "int[] xs = new int[1]; if (xs.length == 1 || xs[5] == 0) { System.println(\"ok\"); }";
+    t "ternary" "small\n"
+      "int x = 3; System.println(x > 10 ? \"big\" : \"small\");";
+    t "comparison chain" "true false\n"
+      "System.println(String.valueOf(1 < 2) + \" \" + (2.5 >= 3.0));";
+    t "boolean equality" "false true\n"
+      "boolean a = true; boolean b = false; System.println(String.valueOf(a == b) + \" \" + (a != b));";
+    t "empty statement and blocks" "done\n" "; { ; } System.println(\"done\");";
+  ]
+
+let strings =
+  [
+    t "concat everything" "x1true2.5ynull\n"
+      "Object o = null; System.println(\"x\" + 1 + true + 2.5 + 'y' + o);";
+    t "string equals vs ==" "true\n"
+      "String a = \"he\"; String b = a.concat(\"llo\"); System.println(String.valueOf(b.equals(\"hello\")));";
+    t "interning makes literals identical" "true\n"
+      "String a = \"same\"; String b = \"same\"; System.println(String.valueOf(a == b));";
+    t "substring/indexOf/length" "ell 1 5\n"
+      "String s = \"hello\"; System.println(s.substring(1, 4) + \" \" + s.indexOf(\"el\") + \" \" + s.length());";
+    t "charAt" "e\n" "System.println(String.valueOf(\"hello\".charAt(1)));";
+    t "startsWith endsWith" "true true false\n"
+      "String s = \"hyper\"; System.println(String.valueOf(s.startsWith(\"hy\")) + \" \" + s.endsWith(\"er\") + \" \" + s.startsWith(\"yp\"));";
+    t "valueOf overloads" "1 2 true c 1.5\n"
+      "System.println(String.valueOf(1) + \" \" + String.valueOf(2L) + \" \" + String.valueOf(true) + \" \" + String.valueOf('c') + \" \" + String.valueOf(1.5));";
+    t "compareTo" "true\n" "System.println(String.valueOf(\"a\".compareTo(\"b\") < 0));";
+  ]
+
+let arrays =
+  [
+    t "array default values" "0 null false 0.0\n"
+      "int[] a = new int[1]; String[] b = new String[1]; boolean[] c = new boolean[1]; double[] d = new double[1];\n\
+       System.println(String.valueOf(a[0]) + \" \" + b[0] + \" \" + c[0] + \" \" + d[0]);";
+    t "array store and load" "30\n"
+      "int[] xs = new int[3]; xs[0] = 10; xs[2] = 20; System.println(String.valueOf(xs[0] + xs[2]));";
+    t "array length" "7\n" "long[] xs = new long[7]; System.println(String.valueOf(xs.length));";
+    t "multi-dimensional array" "42\n"
+      "int[][] grid = new int[3][4]; grid[1][2] = 42; System.println(String.valueOf(grid[1][2]));";
+    t "array of arrays rows distinct" "0 9\n"
+      "int[][] g = new int[2][1]; g[1][0] = 9; System.println(String.valueOf(g[0][0]) + \" \" + g[1][0]);";
+    t "object arrays covariant read" "hi\n"
+      "String[] ss = new String[1]; ss[0] = \"hi\"; Object[] os = ss; System.println((String) os[0]);";
+  ]
+
+let array_errors () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.ArrayIndexOutOfBoundsException" (fun () ->
+      run_body vm "int[] xs = new int[2]; int y = xs[2];");
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.ArrayIndexOutOfBoundsException" (fun () ->
+      run_body vm "int[] xs = new int[2]; xs[-1] = 0;");
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.NegativeArraySizeException" (fun () ->
+      run_body vm "int n = -3; int[] xs = new int[n];")
+
+let objects_source =
+  {|public class Animal {
+  protected String name;
+  public Animal(String n) { name = n; }
+  public String speak() { return name + " makes a sound"; }
+  public String id() { return "animal"; }
+}
+public class Dog extends Animal {
+  public Dog(String n) { super(n); }
+  public String speak() { return name + " barks"; }
+  public String loyal() { return speak() + " loyally"; }
+}
+public class Main {
+  public static void main(String[] args) {
+    Animal a = new Dog("rex");
+    System.println(a.speak());
+    System.println(a.id());
+    Dog d = (Dog) a;
+    System.println(d.loyal());
+    System.println(String.valueOf(a instanceof Dog));
+    System.println(String.valueOf(a instanceof Animal));
+    Animal plain = new Animal("generic");
+    System.println(String.valueOf(plain instanceof Dog));
+  }
+}
+|}
+
+let inheritance_and_dispatch () =
+  let _store, vm = fresh_vm () in
+  check_output "virtual dispatch"
+    "rex barks\nanimal\nrex barks loyally\ntrue\ntrue\nfalse\n"
+    (run_program vm [ objects_source ])
+
+let bad_downcast () =
+  let _store, vm = fresh_vm () in
+  compile_into vm
+    [
+      objects_source;
+      "public class Crash { public static void main(String[] args) { Animal a = new Animal(\"x\"); Dog d = (Dog) a; } }";
+    ];
+  expect_jerror "java.lang.ClassCastException" (fun () ->
+      Minijava.Vm.run_main vm ~cls:"Crash" [])
+
+let null_dereference () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.NullPointerException" (fun () ->
+      run_body vm "String s = null; int n = s.length();")
+
+let constructors_and_fields () =
+  let _store, vm = fresh_vm () in
+  check_output "field inits, ctor chain, statics"
+    "counter=2 first=10 second=11 base=yes\n"
+    (run_program vm
+       [
+         {|public class Base {
+  protected String tag = "yes";
+}
+public class Counted extends Base {
+  public static int counter;
+  public static int offset = 10;
+  private int id;
+  public Counted() { id = offset + counter; counter = counter + 1; }
+  public int getId() { return id; }
+}
+public class Main {
+  public static void main(String[] args) {
+    Counted a = new Counted();
+    Counted b = new Counted();
+    System.println("counter=" + Counted.counter + " first=" + a.getId()
+      + " second=" + b.getId() + " base=" + a.tag);
+  }
+}
+|};
+       ])
+
+let overloading () =
+  let _store, vm = fresh_vm () in
+  check_output "overload selection"
+    "int\nlong\ndouble\nstring\nobject\n"
+    (run_program vm
+       [
+         {|public class Over {
+  public static String pick(int x) { return "int"; }
+  public static String pick(long x) { return "long"; }
+  public static String pick(double x) { return "double"; }
+  public static String pick(String x) { return "string"; }
+  public static String pick(Object x) { return "object"; }
+}
+public class Main {
+  public static void main(String[] args) {
+    System.println(Over.pick(1));
+    System.println(Over.pick(1L));
+    System.println(Over.pick(1.5));
+    System.println(Over.pick("s"));
+    System.println(Over.pick(new Object()));
+  }
+}
+|};
+       ])
+
+let interfaces () =
+  let _store, vm = fresh_vm () in
+  check_output "interface dispatch"
+    "circle:3.0\nsquare:4.0\ntrue\n"
+    (run_program vm
+       [
+         {|interface Shape {
+  double area();
+  String describe();
+}
+public class Circle implements Shape {
+  public double area() { return 3.0; }
+  public String describe() { return "circle:" + area(); }
+}
+public class Square implements Shape {
+  public double area() { return 4.0; }
+  public String describe() { return "square:" + area(); }
+}
+public class Main {
+  public static void main(String[] args) {
+    Shape[] shapes = new Shape[2];
+    shapes[0] = new Circle();
+    shapes[1] = new Square();
+    for (int i = 0; i < shapes.length; i++) { System.println(shapes[i].describe()); }
+    System.println(String.valueOf(shapes[0] instanceof Shape));
+  }
+}
+|};
+       ])
+
+let recursion_and_statics () =
+  let _store, vm = fresh_vm () in
+  check_output "recursion" "720\n6765\n"
+    (run_program vm
+       [
+         {|public class Main {
+  public static void main(String[] args) {
+    System.println(String.valueOf(fact(6)));
+    System.println(String.valueOf(fib(20)));
+  }
+  static long fact(int n) { if (n <= 1) { return 1L; } return n * fact(n - 1); }
+  static int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+}
+|};
+       ])
+
+let stack_overflow_guard () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.StackOverflowError" (fun () ->
+      run_program vm
+        [
+          "public class Main { public static void main(String[] args) { loop(0); } static void loop(int n) { loop(n + 1); } }";
+        ])
+
+let this_and_shadowing () =
+  let _store, vm = fresh_vm () in
+  check_output "this.field disambiguates" "7\n"
+    (run_program vm
+       [
+         {|public class Main {
+  private int x;
+  public Main(int x) { this.x = x; }
+  public int get() { return x; }
+  public static void main(String[] args) {
+    System.println(String.valueOf(new Main(7).get()));
+  }
+}
+|};
+       ])
+
+let op_assign_and_incr () =
+  let _store, vm = fresh_vm () in
+  check_output "compound assignment" "12 3 8 2 14\n"
+    (run_body vm
+       "int a = 10; a += 2; int b = 9; b /= 3; int c = 4; c *= 2; int d = 5; d -= 3;\n\
+        int e = 7; e++; ++e; e += 5; System.println(String.valueOf(a) + \" \" + b + \" \" + c + \" \" + d + \" \" + e);")
+
+let postfix_value () =
+  let _store, vm = fresh_vm () in
+  check_output "postfix yields old value" "5 7 6\n"
+    (run_body vm
+       "int i = 5; int old = i++; int pre = ++i; System.println(String.valueOf(old) + \" \" + pre + \" \" + (i - 1));")
+
+let static_init_order () =
+  let _store, vm = fresh_vm () in
+  check_output "clinit runs once, on first use" "init\n10\n10\n"
+    (run_program vm
+       [
+         {|public class Lazy {
+  public static int value = boot();
+  static int boot() { System.println("init"); return 10; }
+}
+public class Main {
+  public static void main(String[] args) {
+    System.println(String.valueOf(Lazy.value));
+    System.println(String.valueOf(Lazy.value));
+  }
+}
+|};
+       ])
+
+let to_string_dispatch () =
+  let _store, vm = fresh_vm () in
+  check_output "toString dispatches in concat" "<<custom>> and x\n"
+    (run_program vm
+       [
+         {|public class Custom {
+  public String toString() { return "<<custom>>"; }
+}
+public class Main {
+  public static void main(String[] args) {
+    Custom c = new Custom();
+    System.println(c + " and x");
+  }
+}
+|};
+       ])
+
+let suite =
+  arithmetic @ control_flow @ strings @ arrays
+  @ [
+      test "div by zero traps" div_by_zero_traps;
+      test "array bounds and negative size trap" array_errors;
+      test "inheritance and virtual dispatch" inheritance_and_dispatch;
+      test "bad downcast traps" bad_downcast;
+      test "null dereference traps" null_dereference;
+      test "constructors, field inits, statics" constructors_and_fields;
+      test "overload selection" overloading;
+      test "interfaces" interfaces;
+      test "recursion" recursion_and_statics;
+      test "stack overflow guard" stack_overflow_guard;
+      test "this and parameter shadowing" this_and_shadowing;
+      test "compound assignment and increment" op_assign_and_incr;
+      test "postfix yields the old value" postfix_value;
+      test "static initialiser order" static_init_order;
+      test "toString dispatch in concatenation" to_string_dispatch;
+    ]
+
+let props = []
+
+(* -- field shadowing: the declaring class decides the slot ----------------- *)
+
+let field_shadowing () =
+  let _store, vm = fresh_vm () in
+  check_output "shadowed fields are distinct"
+    "base=1 sub=2 via-super-type=1\n"
+    (run_program vm
+       [
+         {|public class Base { public int x; }
+public class Sub extends Base {
+  public int x;
+  public String probe() {
+    Base asBase = this;
+    // assign through both views
+    this.x = 2;
+    asBase.x = 1;
+    return "base=" + asBase.x + " sub=" + this.x + " via-super-type=" + ((Base) this).x;
+  }
+}
+public class Main {
+  public static void main(String[] args) {
+    System.println(new Sub().probe());
+  }
+}
+|};
+       ])
+
+let ternary_ref_unification () =
+  let _store, vm = fresh_vm () in
+  check_output "?: unifies subclass with superclass" "picked\n"
+    (run_program vm
+       [
+         {|public class A { public String toString() { return "picked"; } }
+public class B extends A { }
+public class Main {
+  public static void main(String[] args) {
+    boolean flag = true;
+    A result = flag ? new A() : new B();
+    System.println(result.toString());
+  }
+}
+|};
+       ])
+
+let instanceof_arrays () =
+  let _store, vm = fresh_vm () in
+  check_output "arrays are Objects" "true true\n"
+    (run_body vm
+       "int[] xs = new int[1]; Object o = xs;\n\
+        String[] ss = new String[1]; Object p = ss;\n\
+        System.println(String.valueOf(o instanceof Object) + \" \" + (p instanceof Object));")
+
+let array_object_round_trip () =
+  let _store, vm = fresh_vm () in
+  check_output "array through Object and back" "9\n"
+    (run_body vm
+       "int[] xs = new int[2]; xs[1] = 9; Object o = xs; int[] back = (int[]) o;\n\
+        System.println(String.valueOf(back[1]));")
+
+let bad_array_downcast () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.ClassCastException" (fun () ->
+      run_body vm "Object o = new int[1]; String[] ss = (String[]) o;")
+
+let static_call_via_instance_syntax () =
+  let _store, vm = fresh_vm () in
+  check_output "inherited static via subclass name" "42\n"
+    (run_program vm
+       [
+         {|public class Base { public static int answer() { return 42; } }
+public class Sub extends Base { }
+public class Main {
+  public static void main(String[] args) {
+    System.println(String.valueOf(Sub.answer()));
+  }
+}
+|};
+       ])
+
+let float_vs_double_division () =
+  let _store, vm = fresh_vm () in
+  check_output "float division differs from double" "true\n"
+    (run_body vm
+       "float f = 1.0f / 3.0f; double d = 1.0 / 3.0;\n\
+        System.println(String.valueOf((double) f != d));")
+
+let long_shift_uses_six_bits () =
+  let _store, vm = fresh_vm () in
+  check_output "long shifts mask to 6 bits" "2\n"
+    (run_body vm "long x = 1L; System.println(String.valueOf(x << 65));")
+
+let suite =
+  suite
+  @ [
+      test "field shadowing resolves by declaring class" field_shadowing;
+      test "ternary unifies reference branches" ternary_ref_unification;
+      test "arrays are instanceof Object" instanceof_arrays;
+      test "array casts through Object" array_object_round_trip;
+      test "bad array downcast traps" bad_array_downcast;
+      test "inherited static via subclass name" static_call_via_instance_syntax;
+      test "float division is single precision" float_vs_double_division;
+      test "long shift count masks to 6 bits" long_shift_uses_six_bits;
+    ]
+
+(* -- do-while and switch --------------------------------------------------- *)
+
+let do_while_tests =
+  [
+    t "do-while runs at least once" "ran 1\n"
+      "int n = 0; do { n++; } while (false); System.println(\"ran \" + n);";
+    t "do-while loops until condition fails" "5\n"
+      "int n = 0; do { n++; } while (n < 5); System.println(String.valueOf(n));";
+    t "do-while with continue re-checks condition" "3\n"
+      "int n = 0; int guard = 0; do { n++; if (n < 3) { continue; } guard++; } while (n < 3);\n\
+       System.println(String.valueOf(n));";
+    t "do-while with break" "2\n"
+      "int n = 0; do { n++; if (n == 2) { break; } } while (true); System.println(String.valueOf(n));";
+    t "switch dispatch" "two\n"
+      "int x = 2; switch (x) { case 1: System.println(\"one\"); break; case 2: System.println(\"two\"); break; default: System.println(\"other\"); }";
+    t "switch default" "other\n"
+      "int x = 99; switch (x) { case 1: System.println(\"one\"); break; default: System.println(\"other\"); }";
+    t "switch no default falls past" "after\n"
+      "int x = 9; switch (x) { case 1: System.println(\"one\"); break; } System.println(\"after\");";
+    t "switch fall-through" "two\nthree\nafter\n"
+      "int x = 2; switch (x) {\n\
+       case 1: System.println(\"one\");\n\
+       case 2: System.println(\"two\");\n\
+       case 3: System.println(\"three\"); break;\n\
+       case 4: System.println(\"four\");\n\
+       }\n\
+       System.println(\"after\");";
+    t "switch shared labels" "small\nsmall\nbig\n"
+      "for (int i = 1; i <= 3; i++) {\n\
+       switch (i) { case 1: case 2: System.println(\"small\"); break; default: System.println(\"big\"); }\n\
+       }";
+    t "switch on char with negative case" "minus\n"
+      "int x = -1; switch (x) { case -1: System.println(\"minus\"); break; case 97: System.println(\"a\"); }";
+    t "switch on char scrutinee" "a\n"
+      "char c = 'a'; switch (c) { case 'a': System.println(\"a\"); break; default: System.println(\"?\"); }";
+    t "continue inside switch inside loop" "1 3 \n"
+      "String s = \"\";\n\
+       for (int i = 1; i <= 3; i++) {\n\
+       switch (i) { case 2: continue; default: }\n\
+       s = s + i + \" \";\n\
+       }\n\
+       System.println(s);";
+  ]
+
+let switch_type_errors () =
+  let _store, vm = fresh_vm () in
+  expect_compile_error (fun () ->
+      run_body vm "String s = \"x\"; switch (s) { default: }" |> ignore);
+  let _store, vm = fresh_vm () in
+  expect_compile_error (fun () ->
+      run_body vm "int x = 1; switch (x) { case 1: break; case 1: break; }" |> ignore);
+  let _store, vm = fresh_vm () in
+  expect_compile_error (fun () ->
+      run_body vm "int x = 1; switch (x) { default: break; default: break; }" |> ignore);
+  let _store, vm = fresh_vm () in
+  expect_compile_error (fun () ->
+      run_body vm "long l = 1L; switch (l) { default: }" |> ignore)
+
+let suite =
+  suite @ do_while_tests @ [ test "switch type errors" switch_type_errors ]
+
+(* -- exceptions: throw / try / catch ---------------------------------------- *)
+
+let exception_tests =
+  [
+    t "throw and catch" "caught: boom\nafter\n"
+      "try { throw new RuntimeException(\"boom\"); }\n\
+       catch (RuntimeException e) { System.println(\"caught: \" + e.getMessage()); }\n\
+       System.println(\"after\");";
+    t "catch by superclass" "caught throwable\n"
+      "try { throw new IllegalStateException(\"x\"); }\n\
+       catch (Throwable t) { System.println(\"caught throwable\"); }";
+    t "first matching catch wins" "specific\n"
+      "try { throw new NumberFormatException(\"n\"); }\n\
+       catch (NumberFormatException e) { System.println(\"specific\"); }\n\
+       catch (IllegalArgumentException e) { System.println(\"general\"); }";
+    t "later catch for non-matching first" "general\n"
+      "try { throw new IllegalArgumentException(\"n\"); }\n\
+       catch (NumberFormatException e) { System.println(\"specific\"); }\n\
+       catch (IllegalArgumentException e) { System.println(\"general\"); }";
+    t "uncaught kind passes through" "outer\n"
+      "try {\n\
+       try { throw new ArithmeticException(\"inner\"); }\n\
+       catch (NullPointerException e) { System.println(\"wrong\"); }\n\
+       } catch (ArithmeticException e) { System.println(\"outer\"); }";
+    t "runtime traps are catchable: divide by zero" "div caught: / by zero\n"
+      "int z = 0;\n\
+       try { int x = 1 / z; } catch (ArithmeticException e) { System.println(\"div caught: \" + e.getMessage()); }";
+    t "runtime traps are catchable: null dereference" "npe\n"
+      "String s = null;\n\
+       try { int n = s.length(); } catch (NullPointerException e) { System.println(\"npe\"); }";
+    t "runtime traps are catchable: array bounds" "oob\n"
+      "int[] xs = new int[1];\n\
+       try { xs[5] = 1; } catch (ArrayIndexOutOfBoundsException e) { System.println(\"oob\"); }";
+    t "runtime traps are catchable: bad cast" "cce\n"
+      "Object o = \"str\";\n\
+       try { Integer i = (Integer) o; } catch (ClassCastException e) { System.println(\"cce\"); }";
+    t "finally-free cleanup via catch-rethrow" "cleanup\ncaught\n"
+      "try {\n\
+       try { throw new RuntimeException(\"x\"); }\n\
+       catch (RuntimeException e) { System.println(\"cleanup\"); throw e; }\n\
+       } catch (RuntimeException e) { System.println(\"caught\"); }";
+    t "toString of exceptions" "java.lang.RuntimeException: why\n"
+      "Throwable t = new RuntimeException(\"why\");\n\
+       System.println(t.toString());";
+    t "catch parameter is a normal local" "boom handled\n"
+      "try { throw new RuntimeException(\"boom\"); }\n\
+       catch (RuntimeException e) { String m = e.getMessage(); System.println(m + \" handled\"); }";
+    t "loop continues after caught exception" "0 skip 2 \n"
+      "String s = \"\";\n\
+       for (int i = 0; i < 3; i++) {\n\
+       try { if (i == 1) { throw new RuntimeException(\"skip\"); } s = s + i + \" \"; }\n\
+       catch (RuntimeException e) { s = s + e.getMessage() + \" \"; }\n\
+       }\n\
+       System.println(s);";
+  ]
+
+(* the helper method for "exception crosses method calls" *)
+let cross_method_source =
+  {|public class Main {
+  static void level1() { level2(); }
+  static void level2() { throw new IllegalStateException("deep"); }
+  public static void main(String[] args) {
+    try { level1(); } catch (IllegalStateException e) { System.println("caught deep"); }
+  }
+}
+|}
+
+let exception_crosses_methods () =
+  let _store, vm = fresh_vm () in
+  check_output "crosses frames" "caught deep\n" (run_program vm [ cross_method_source ])
+
+let uncaught_exception_reaches_ocaml () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.IllegalStateException" (fun () ->
+      run_body vm "throw new IllegalStateException(\"escaped\");")
+
+let throw_null_is_npe () =
+  let _store, vm = fresh_vm () in
+  check_output "npe on throw null" "npe\n"
+    (run_body vm
+       "RuntimeException e = null;\n\
+        try { throw e; } catch (NullPointerException x) { System.println(\"npe\"); }")
+
+let throw_type_errors () =
+  let _store, vm = fresh_vm () in
+  expect_compile_error (fun () -> run_body vm "throw \"not throwable\";" |> ignore);
+  let _store, vm = fresh_vm () in
+  expect_compile_error (fun () ->
+      run_body vm "try { } catch (String s) { }" |> ignore)
+
+let suite =
+  suite @ exception_tests
+  @ [
+      test "exception crosses method frames" exception_crosses_methods;
+      test "uncaught exceptions surface as Jerror" uncaught_exception_reaches_ocaml;
+      test "throw null raises NullPointerException" throw_null_is_npe;
+      test "throw/catch type errors" throw_type_errors;
+    ]
+
+(* -- interface constants ---------------------------------------------------- *)
+
+let interface_constants () =
+  let _store, vm = fresh_vm () in
+  check_output "constants via interface and implementor" "100 100 allowed\n"
+    (run_program vm
+       [
+         {|interface Limits {
+  int MAX = 100;
+  String LABEL = "allowed";
+}
+public class Uses implements Limits {
+  public int viaSelf() { return MAX; }
+}
+public class Main {
+  public static void main(String[] args) {
+    Uses u = new Uses();
+    System.println(Limits.MAX + " " + u.viaSelf() + " " + Limits.LABEL);
+  }
+}
+|};
+       ])
+
+let suite = suite @ [ test "interface constants" interface_constants ]
+
+let array_store_checked () =
+  let _store, vm = fresh_vm () in
+  check_output "covariant store is checked at run time" "caught ase\nok\n"
+    (run_program vm
+       [
+         {|public class A { }
+public class B extends A { }
+public class Main {
+  public static void main(String[] args) {
+    B[] bs = new B[2];
+    A[] as = bs;
+    try { as[0] = new A(); }
+    catch (ArrayStoreException e) { System.println("caught ase"); }
+    as[1] = new B();
+    System.println("ok");
+  }
+}
+|};
+       ])
+
+let suite = suite @ [ test "covariant array stores are checked" array_store_checked ]
+
+let stack_overflow_catchable () =
+  let _store, vm = fresh_vm () in
+  check_output "StackOverflowError is catchable" "recovered\n"
+    (run_program vm
+       [
+         {|public class Main {
+  static void dive() { dive(); }
+  public static void main(String[] args) {
+    try { dive(); } catch (StackOverflowError e) { System.println("recovered"); }
+  }
+}
+|};
+       ])
+
+let suite = suite @ [ test "StackOverflowError is catchable" stack_overflow_catchable ]

@@ -1,0 +1,138 @@
+(* The bootstrap library: Vector, Hashtable, Math, wrappers — compiled by
+   our own compiler and exercised through compiled MiniJava code. *)
+
+open Helpers
+
+let check_run name expected body () =
+  let _store, vm = fresh_vm () in
+  check_output name expected (run_body vm body)
+
+let t name expected body = test name (check_run name expected body)
+
+let suite =
+  [
+    t "Vector add/get/size" "3 a c\n"
+      "java.util.Vector v = new java.util.Vector();\n\
+       v.addElement(\"a\"); v.addElement(\"b\"); v.addElement(\"c\");\n\
+       System.println(String.valueOf(v.size()) + \" \" + (String) v.elementAt(0) + \" \" + (String) v.elementAt(2));";
+    t "Vector growth beyond initial capacity" "100 99\n"
+      "java.util.Vector v = new java.util.Vector(2);\n\
+       for (int i = 0; i < 100; i++) { v.addElement(String.valueOf(i)); }\n\
+       System.println(String.valueOf(v.size()) + \" \" + (String) v.elementAt(99));";
+    t "Vector insert and remove" "[a, x, c]\n"
+      "java.util.Vector v = new java.util.Vector();\n\
+       v.addElement(\"a\"); v.addElement(\"b\"); v.addElement(\"c\");\n\
+       v.removeElementAt(1); v.insertElementAt(\"x\", 1);\n\
+       System.println(v.toString());";
+    t "Vector indexOf uses equals" "1 true -1\n"
+      "java.util.Vector v = new java.util.Vector();\n\
+       v.addElement(\"aa\"); v.addElement(\"b\".concat(\"b\"));\n\
+       System.println(String.valueOf(v.indexOf(\"bb\")) + \" \" + v.contains(\"aa\") + \" \" + v.indexOf(\"zz\"));";
+    t "Vector removeElement and first/last" "true a c 2\n"
+      "java.util.Vector v = new java.util.Vector();\n\
+       v.addElement(\"a\"); v.addElement(\"b\"); v.addElement(\"c\");\n\
+       boolean removed = v.removeElement(\"b\");\n\
+       System.println(String.valueOf(removed) + \" \" + (String) v.firstElement() + \" \" + (String) v.lastElement() + \" \" + v.size());";
+    t "Vector isEmpty and removeAll" "false true\n"
+      "java.util.Vector v = new java.util.Vector(); v.addElement(\"x\");\n\
+       boolean before = v.isEmpty(); v.removeAllElements();\n\
+       System.println(String.valueOf(before) + \" \" + v.isEmpty());";
+    t "Hashtable put/get/remove" "one null 1 two\n"
+      "java.util.Hashtable h = new java.util.Hashtable();\n\
+       h.put(\"1\", \"one\"); h.put(\"2\", \"two\");\n\
+       String got = (String) h.get(\"1\");\n\
+       h.remove(\"1\");\n\
+       System.println(got + \" \" + (String) h.get(\"1\") + \" \" + h.size() + \" \" + (String) h.get(\"2\"));";
+    t "Hashtable overwrite returns old" "one 1\n"
+      "java.util.Hashtable h = new java.util.Hashtable();\n\
+       h.put(\"k\", \"one\"); String old = (String) h.put(\"k\", \"two\");\n\
+       System.println(old + \" \" + h.size());";
+    t "Hashtable growth" "64 v63\n"
+      "java.util.Hashtable h = new java.util.Hashtable();\n\
+       for (int i = 0; i < 64; i++) { h.put(String.valueOf(i), \"v\" + i); }\n\
+       System.println(String.valueOf(h.size()) + \" \" + (String) h.get(\"63\"));";
+    t "Math min/max/abs" "3 7 5 2.5\n"
+      "System.println(String.valueOf(Math.min(3, 7)) + \" \" + Math.max(3, 7) + \" \" + Math.abs(-5) + \" \" + Math.abs(-2.5));";
+    t "Math sqrt/floor/ceil/pow" "3.0 1.0 2.0 8.0\n"
+      "System.println(String.valueOf(Math.sqrt(9.0)) + \" \" + Math.floor(1.9) + \" \" + Math.ceil(1.1) + \" \" + Math.pow(2.0, 3.0));";
+    t "Integer wrapper" "41 42 true false\n"
+      "Integer a = new Integer(41); Integer b = Integer.valueOf(42);\n\
+       System.println(a.toString() + \" \" + b.intValue() + \" \" + b.equals(new Integer(42)) + \" \" + a.equals(b));";
+    t "Integer.parseInt" "123 -5\n"
+      "System.println(String.valueOf(Integer.parseInt(\"123\")) + \" \" + Integer.parseInt(\"-5\"));";
+    t "Long and Double wrappers" "10000000000 2.5\n"
+      "Long l = Long.valueOf(10000000000L); Double d = Double.valueOf(2.5);\n\
+       System.println(l.toString() + \" \" + d.toString());";
+    t "Boolean and Character wrappers" "true c\n"
+      "Boolean b = Boolean.valueOf(true); Character c = Character.valueOf('c');\n\
+       System.println(b.toString() + \" \" + c.toString());";
+    t "Object equals is identity" "true false\n"
+      "Object a = new Object(); Object b = new Object();\n\
+       System.println(String.valueOf(a.equals(a)) + \" \" + a.equals(b));";
+    t "Object hashCode stable" "true\n"
+      "Object a = new Object(); System.println(String.valueOf(a.hashCode() == a.hashCode()));";
+    t "System.currentTimeMillis sane" "true\n"
+      "long t = System.currentTimeMillis(); System.println(String.valueOf(t > 1500000000000L));";
+    t "wrapper boxed in Vector" "7\n"
+      "java.util.Vector v = new java.util.Vector();\n\
+       v.addElement(Integer.valueOf(7));\n\
+       Integer back = (Integer) v.elementAt(0);\n\
+       System.println(String.valueOf(back.intValue()));";
+  ]
+
+let parse_int_error () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.NumberFormatException" (fun () ->
+      run_body vm "int x = Integer.parseInt(\"abc\");")
+
+let string_index_error () =
+  let _store, vm = fresh_vm () in
+  expect_jerror "java.lang.StringIndexOutOfBoundsException" (fun () ->
+      run_body vm "char c = \"ab\".charAt(5);")
+
+let suite =
+  suite
+  @ [
+      test "Integer.parseInt error" parse_int_error;
+      test "String.charAt bounds" string_index_error;
+    ]
+
+let props = []
+
+(* -- extended String API and StringBuffer -------------------------------------- *)
+
+let t2 name expected body =
+  test name (fun () ->
+      let _store, vm = fresh_vm () in
+      check_output name expected (run_body vm body))
+
+let extended =
+  [
+    t2 "String trim/case/replace" "hi HI hi hx\n"
+      "String s = \"  hi  \";\n\
+       System.println(s.trim() + \" \" + \"hi\".toUpperCase() + \" \" + \"HI\".toLowerCase() + \" \" + \"hi\".replace('i', 'x'));";
+    t2 "String lastIndexOf / isEmpty" "3 -1 true false\n"
+      "System.println(String.valueOf(\"ababa\".lastIndexOf(\"b\")) + \" \" + \"abc\".lastIndexOf(\"z\") + \" \" + \"\".isEmpty() + \" \" + \"x\".isEmpty());";
+    t2 "StringBuffer append chain" "x=1 y=2.5 z=true!\n"
+      "StringBuffer sb = new StringBuffer();\n\
+       sb.append(\"x=\").append(1).append(\" y=\").append(2.5).append(\" z=\").append(true).append('!');\n\
+       System.println(sb.toString());";
+    t2 "StringBuffer reverse and length" "cba 3\n"
+      "StringBuffer sb = new StringBuffer(\"abc\");\n\
+       System.println(sb.reverse().toString() + \" \" + sb.length());";
+  ]
+
+let suite = suite @ extended
+
+let enumeration_tests =
+  [
+    t2 "Vector.elements enumeration" "a b c .\n"
+      "java.util.Vector v = new java.util.Vector();\n\
+       v.addElement(\"a\"); v.addElement(\"b\"); v.addElement(\"c\");\n\
+       java.util.Enumeration e = v.elements();\n\
+       String s = \"\";\n\
+       while (e.hasMoreElements()) { s = s + (String) e.nextElement() + \" \"; }\n\
+       System.println(s + \".\");";
+  ]
+
+let suite = suite @ enumeration_tests

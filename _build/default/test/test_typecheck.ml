@@ -1,0 +1,124 @@
+(* Type checker: rejection of ill-typed programs, resolution rules,
+   conversions.  Positive behaviour is covered by the semantics suite;
+   here we mostly pin down what must NOT compile. *)
+
+open Helpers
+
+let reject name src =
+  test name (fun () ->
+      let _store, vm = fresh_vm () in
+      expect_compile_error (fun () -> compile_into vm [ src ]))
+
+let reject_body name body =
+  reject name ("public class Main { public static void main(String[] args) { " ^ body ^ " } }")
+
+let accepts name src =
+  test name (fun () ->
+      let _store, vm = fresh_vm () in
+      compile_into vm [ src ])
+
+let suite =
+  [
+    (* type mismatches *)
+    reject_body "int from string" "int x = \"hello\";";
+    reject_body "string from int" "String s = 3;";
+    reject_body "boolean condition required" "if (1) { }";
+    reject_body "while needs boolean" "while (\"x\") { }";
+    reject_body "narrowing needs cast" "long l = 5L; int x = l;";
+    reject_body "double to float needs cast" "double d = 1.0; float f = d;";
+    reject_body "incompatible ref assignment" "String s = new Object();";
+    reject_body "arithmetic on booleans" "boolean b = true; int x = b + 1;";
+    reject_body "bitand on floats" "double d = 1.0 & 2.0;";
+    reject_body "shift on double" "double d = 1.0 << 2;";
+    reject_body "not on int" "boolean b = !3;";
+    reject_body "neg on string" "int x = -\"s\";";
+    reject_body "compare ref with int" "boolean b = new Object() == 3;";
+    (* name resolution *)
+    reject_body "unknown variable" "x = 1;";
+    reject_body "unknown class" "Frobnicator f = null;";
+    reject_body "unknown method" "String s = \"x\"; s.frobnicate();";
+    reject_body "unknown field" "String s = \"x\"; int n = s.nosuch;";
+    reject_body "duplicate local" "int x = 1; int x = 2;";
+    reject_body "using class as value" "Object o = java.lang.String;";
+    (* members and calls *)
+    reject_body "wrong arity" "String s = \"x\"; s.substring(1, 2, 3);";
+    reject_body "call on primitive" "int x = 3; x.toString();";
+    reject_body "field on primitive" "int x = 3; int y = x.length;";
+    reject_body "index non-array" "int x = 3; int y = x[0];";
+    reject_body "non-int index" "int[] a = new int[1]; int y = a[\"x\"];";
+    reject_body "assign to array length" "int[] a = new int[1]; a.length = 2;";
+    reject_body "assign to call" "foo() = 3;";
+    (* returns *)
+    reject "non-void must return"
+      "public class A { public int f() { int x = 1; } }";
+    reject "return value from void"
+      "public class A { public void f() { return 3; } }";
+    reject "missing return in branch"
+      "public class A { public int f(boolean b) { if (b) { return 1; } } }";
+    accepts "return through if/else"
+      "public class A { public int f(boolean b) { if (b) { return 1; } else { return 2; } } }";
+    accepts "return via while(true)"
+      "public class A { public int f() { while (true) { return 1; } } }";
+    (* class-level errors *)
+    reject "duplicate field" "public class A { int x; int x; }";
+    reject "duplicate method signature" "public class A { void f() {} void f() {} }";
+    reject "extends an interface" "interface I { } public class A extends I { }";
+    reject "implements a class" "public class B { } public class A implements B { }";
+    reject "instantiating an interface"
+      "interface I { } public class A { void f() { I i = new I(); } }";
+    reject "instantiating an abstract class"
+      "public abstract class B { } public class A { void f() { B b = new B(); } }";
+    reject "cyclic inheritance" "class A extends B { } class B extends A { }";
+    reject "static context uses this"
+      "public class A { int x; static int f() { return this.x; } }";
+    reject "static context uses instance field"
+      "public class A { int x; static int f() { return x; } }";
+    reject "super(...) not first"
+      "public class A { public A() { int x = 1; super(); } }";
+    (* casts *)
+    reject_body "cast between unrelated classes"
+      "String s = (String) new int[1];";
+    reject_body "cast primitive to ref" "Object o = (Object) 3;";
+    reject_body "cast boolean to int" "int x = (int) true;";
+    accepts "downcast compiles (checked at run time)"
+      "public class A { } public class B extends A { void f(A a) { B b = (B) a; } }";
+    (* hyper-links must not reach the compiler *)
+    reject "hyper placeholder rejected"
+      "public class A { void f() { Object o = #<0>; } }";
+    (* misc positive cases of resolution *)
+    accepts "static field via subclass name"
+      "public class A { static int x; } public class B extends A { int f() { return B.x; } }";
+    accepts "field of this chain" "public class A { A next; int v; int f() { return next.next.v; } }";
+    accepts "qualified class in expression"
+      "public class A { int f() { return java.lang.Math.abs(-3); } }";
+    accepts "implicit java.lang" "public class A { Object o; String s; }";
+    accepts "int literal to byte field" "public class A { byte b = 100; }";
+    reject "oversized literal to byte field" "public class A { byte b = 200; }";
+  ]
+
+let props = []
+
+(* -- multi-unit batches (the compileClasses(String[], ...) path) ------------- *)
+
+let cross_unit_references () =
+  let _store, vm = fresh_vm () in
+  (* Two units referencing each other: only compilable as a batch. *)
+  let unit_a = "public class A { public B partner; public int tag() { return 1; } }" in
+  let unit_b = "public class B { public A partner; public int tag() { return 2; } }" in
+  compile_into vm [ unit_a; unit_b ];
+  check_output "mutual references work" "3\n"
+    (run_body vm
+       "A a = new A(); B b = new B(); a.partner = b; b.partner = a;\n\
+        System.println(String.valueOf(a.tag() + a.partner.tag()));")
+
+let cross_unit_single_fails () =
+  let _store, vm = fresh_vm () in
+  expect_compile_error (fun () ->
+      compile_into vm [ "public class A { public B partner; }" ])
+
+let suite =
+  suite
+  @ [
+      test "cross-unit mutual references compile as a batch" cross_unit_references;
+      test "dangling cross reference fails alone" cross_unit_single_fails;
+    ]
