@@ -25,6 +25,16 @@ let fresh_vm store =
   Dynamic_compiler.install vm;
   vm
 
+(* Commit barrier: on a journalled, backed store a commit is made durable
+   with a cheap journal fsync of the transaction's delta — the paper's
+   "separate transaction" without paying a full snapshot.  Snapshot-mode
+   and unbacked stores keep the old semantics (commit is in-memory only;
+   the caller stabilises when it chooses). *)
+let commit_barrier store =
+  match Store.durability store, Store.backing store with
+  | Store.Journalled, Some _ -> Store.stabilise store
+  | (Store.Journalled | Store.Snapshot), _ -> ()
+
 let transact store (body : Rt.t -> 'a) : 'a outcome =
   let result =
     Store.with_rollback store (fun () ->
@@ -33,7 +43,9 @@ let transact store (body : Rt.t -> 'a) : 'a outcome =
         (value, vm))
   in
   match result with
-  | Ok (value, vm) -> Committed (value, vm)
+  | Ok (value, vm) ->
+    commit_barrier store;
+    Committed (value, vm)
   | Error e ->
     (* The store is back to its pre-transaction image; discard the
        transaction's VM and boot one over the restored state. *)

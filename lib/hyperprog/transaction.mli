@@ -18,6 +18,10 @@ val fresh_vm : Store.t -> Rt.t
     and installing the hyper-programming runtime. *)
 
 val transact : Store.t -> (Rt.t -> 'a) -> 'a outcome
+(** On a journalled, backed store a successful transaction ends with a
+    commit barrier: the delta is fsynced to the write-ahead journal, so
+    commits survive a crash without a full snapshot.  An abort truncates
+    the journal to its pre-transaction savepoint. *)
 
 val evolve :
   ?converter:string ->

@@ -194,7 +194,10 @@ let load_or_redefine_batch ?persist vm (cfs : Classfile.t list) =
         subclasses
     in
     List.iter (fun cls -> rebuild_layout vm (Rt.get_class vm cls)) ordered_subclasses;
-    (* Reconstruct store instances of every affected class in place. *)
+    (* Reconstruct store instances of every affected class in place.
+       This mutates records behind the store's journal, so flag the store
+       for a full snapshot at its next stabilise. *)
+    Pstore.Store.mark_dirty vm.Rt.store;
     let heap = Pstore.Store.heap vm.Rt.store in
     Pstore.Heap.iter
       (fun _oid entry ->

@@ -1,0 +1,98 @@
+(* Fault injection for durability testing.  A single global injector is
+   enough: stores are single-threaded and tests arm exactly one fault at a
+   time.  Faults are one-shot — firing disarms — so the recovery I/O that
+   follows a simulated crash runs clean. *)
+
+exception Fault_injected of string
+
+type fault =
+  | Fail_after_bytes of int
+  | Short_write of int
+  | Rename_fails
+  | Fsync_fails
+  | Bit_flip of int
+
+let current : fault option ref = ref None
+
+(* Bytes written while the current fault has been armed. *)
+let written = ref 0
+let fired_count = ref 0
+
+let arm f =
+  current := Some f;
+  written := 0
+
+let disarm () = current := None
+let armed () = !current
+let fired () = !fired_count
+
+let fire msg =
+  current := None;
+  incr fired_count;
+  raise (Fault_injected msg)
+
+let with_fault f body =
+  arm f;
+  match body () with
+  | v ->
+    disarm ();
+    Ok v
+  | exception e ->
+    disarm ();
+    Error e
+
+(* A partial write must actually reach the OS before we simulate the
+   crash, otherwise the "torn" bytes would vanish with the buffer. *)
+let partial_write oc s n =
+  output_substring oc s 0 n;
+  flush oc
+
+let output_string oc s =
+  match !current with
+  | None -> Stdlib.output_string oc s
+  | Some (Fail_after_bytes budget) ->
+    let len = String.length s in
+    if !written + len <= budget then begin
+      Stdlib.output_string oc s;
+      written := !written + len
+    end
+    else begin
+      partial_write oc s (budget - !written);
+      fire (Printf.sprintf "write failed after %d bytes" budget)
+    end
+  | Some (Short_write n) ->
+    partial_write oc s (min n (String.length s));
+    fire (Printf.sprintf "short write: %d of %d bytes" (min n (String.length s)) (String.length s))
+  | Some (Bit_flip off) ->
+    let len = String.length s in
+    if off >= !written && off < !written + len then begin
+      let b = Bytes.of_string s in
+      let i = off - !written in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+      Stdlib.output_string oc (Bytes.unsafe_to_string b);
+      current := None;
+      incr fired_count
+    end
+    else begin
+      Stdlib.output_string oc s;
+      written := !written + len
+    end
+  | Some (Rename_fails | Fsync_fails) -> Stdlib.output_string oc s
+
+let rename src dst =
+  match !current with
+  | Some Rename_fails -> fire (Printf.sprintf "rename %s -> %s failed" src dst)
+  | _ -> Sys.rename src dst
+
+let fsync_channel oc =
+  flush oc;
+  match !current with
+  | Some Fsync_fails -> fire "fsync failed"
+  | _ -> Unix.fsync (Unix.descr_of_out_channel oc)
+
+let fsync_dir path =
+  match !current with
+  | Some Fsync_fails -> fire "directory fsync failed"
+  | _ ->
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)

@@ -1,0 +1,48 @@
+(** Fault injection for durability testing.
+
+    All file I/O performed by {!Image} and {!Journal} goes through the
+    wrappers below.  With no fault armed they are plain pass-throughs
+    costing one reference read, so production pays nothing.  Tests arm a
+    fault to simulate a crash mid-write: the wrapper performs the partial
+    effect (some bytes land on disk, the rename never happens, ...) and
+    raises {!Fault_injected}, after which the injector disarms itself so
+    recovery I/O runs clean. *)
+
+exception Fault_injected of string
+
+type fault =
+  | Fail_after_bytes of int
+      (** Write through normally until [n] bytes have been written while
+          armed, then stop mid-write and raise. *)
+  | Short_write of int
+      (** The next write persists only its first [n] bytes, then raises. *)
+  | Rename_fails  (** The next rename raises, leaving the source in place. *)
+  | Fsync_fails  (** The next fsync raises (data may still be buffered). *)
+  | Bit_flip of int
+      (** Silently corrupt one bit at byte offset [n] of the armed write
+          stream; the write "succeeds".  Models media corruption, which
+          checksums must detect. *)
+
+val arm : fault -> unit
+(** Arm a fault.  Faults are one-shot: firing disarms. *)
+
+val disarm : unit -> unit
+val armed : unit -> fault option
+
+val fired : unit -> int
+(** Total faults fired since program start. *)
+
+val with_fault : fault -> (unit -> 'a) -> ('a, exn) result
+(** Arm, run, disarm (even on exception).  The raised exception — usually
+    {!Fault_injected} — is returned as [Error]. *)
+
+(** {1 Wrapped I/O} *)
+
+val output_string : out_channel -> string -> unit
+val rename : string -> string -> unit
+
+val fsync_channel : out_channel -> unit
+(** Flush the channel and fsync its descriptor. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory, making renames within it durable. *)

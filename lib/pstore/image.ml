@@ -132,19 +132,32 @@ let decode data =
   if not (at_end r) then image_error "%d trailing bytes after image" (remaining r);
   { heap; roots; blobs }
 
-let save path contents =
+(* The CRC that [encode] appended: identifies this image so a journal can
+   name the exact snapshot it extends. *)
+let crc_of_encoded data =
+  if String.length data < 4 then image_error "truncated image";
+  Codec.get_i32 (Codec.reader (String.sub data (String.length data - 4) 4))
+
+(* Crash-atomic save: write a temp file, fsync it, rename it over the
+   target, then fsync the directory so the rename itself is durable.
+   Rename alone is not crash-atomic on ext4: the new name can be lost on
+   power failure if the directory entry was never flushed. *)
+let save ?(durable = true) path contents =
   let data = encode contents in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
-     output_string oc data;
+     Faults.output_string oc data;
+     if durable then Faults.fsync_channel oc;
      close_out oc
    with e ->
      close_out_noerr oc;
      raise e);
-  Sys.rename tmp path
+  Faults.rename tmp path;
+  if durable then Faults.fsync_dir (Filename.dirname path);
+  crc_of_encoded data
 
-let load path =
+let load_with_crc path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let data =
@@ -154,4 +167,6 @@ let load path =
       raise e
   in
   close_in ic;
-  decode data
+  (decode data, crc_of_encoded data)
+
+let load path = fst (load_with_crc path)

@@ -20,7 +20,17 @@ val decode : string -> contents
 (** @raise Image_error on checksum mismatch, bad magic or truncation.
     @raise Codec.Decode_error on malformed payloads. *)
 
-val save : string -> contents -> unit
-(** Atomic write: temp file then rename. *)
+val encode_entry : Codec.writer -> Heap.entry -> unit
+(** The per-object wire format, shared with the write-ahead journal. *)
+
+val decode_entry : Codec.reader -> Heap.entry
+
+val save : ?durable:bool -> string -> contents -> int32
+(** Crash-atomic write (temp file, fsync, rename, directory fsync) through
+    the {!Faults} layer.  Returns the image's checksum, which names this
+    snapshot for journal pairing.  [?durable:false] skips the fsyncs. *)
+
+val load_with_crc : string -> contents * int32
+(** Like {!load}, also returning the image checksum. *)
 
 val load : string -> contents

@@ -1,0 +1,226 @@
+(* The write-ahead journal: a header naming the base image by checksum,
+   then length-prefixed, CRC-protected mutation records.
+
+   Record framing is [u32 length][u32 crc32(payload)][payload].  The
+   framing is what makes recovery possible without trusting the tail of
+   the file: a crash mid-append leaves a record whose length runs past
+   end-of-file or whose checksum does not match, and replay simply stops
+   there.  Nothing before the torn record is affected, so everything up to
+   the last successful sync is recovered intact. *)
+
+let magic = "HPJWAL01"
+let header_size = String.length magic + 4
+
+type op =
+  | Set_root of string * Pvalue.t
+  | Remove_root of string
+  | Alloc of Oid.t * Heap.entry
+  | Set_field of Oid.t * int * Pvalue.t
+  | Set_elem of Oid.t * int * Pvalue.t
+  | Set_blob of string * string
+  | Remove_blob of string
+
+type t = {
+  oc : out_channel;
+  mutable count : int;
+}
+
+let path_for image_path = image_path ^ ".wal"
+
+(* -- wire format --------------------------------------------------------- *)
+
+let encode_op op =
+  let open Codec in
+  let w = writer () in
+  (match op with
+  | Set_root (name, v) ->
+    put_u8 w 0;
+    put_string w name;
+    Pvalue.encode w v
+  | Remove_root name ->
+    put_u8 w 1;
+    put_string w name
+  | Alloc (oid, entry) ->
+    put_u8 w 2;
+    put_i64 w (Int64.of_int (Oid.to_int oid));
+    Image.encode_entry w entry
+  | Set_field (oid, idx, v) ->
+    put_u8 w 3;
+    put_i64 w (Int64.of_int (Oid.to_int oid));
+    put_int w idx;
+    Pvalue.encode w v
+  | Set_elem (oid, idx, v) ->
+    put_u8 w 4;
+    put_i64 w (Int64.of_int (Oid.to_int oid));
+    put_int w idx;
+    Pvalue.encode w v
+  | Set_blob (key, data) ->
+    put_u8 w 5;
+    put_string w key;
+    put_string w data
+  | Remove_blob key ->
+    put_u8 w 6;
+    put_string w key);
+  contents w
+
+let decode_op payload =
+  let open Codec in
+  let r = reader payload in
+  let oid () = Oid.of_int (Int64.to_int (get_i64 r)) in
+  let op =
+    match get_u8 r with
+    | 0 ->
+      let name = get_string r in
+      Set_root (name, Pvalue.decode r)
+    | 1 -> Remove_root (get_string r)
+    | 2 ->
+      let oid = oid () in
+      Alloc (oid, Image.decode_entry r)
+    | 3 ->
+      let oid = oid () in
+      let idx = get_int r in
+      Set_field (oid, idx, Pvalue.decode r)
+    | 4 ->
+      let oid = oid () in
+      let idx = get_int r in
+      Set_elem (oid, idx, Pvalue.decode r)
+    | 5 ->
+      let key = get_string r in
+      Set_blob (key, get_string r)
+    | 6 -> Remove_blob (get_string r)
+    | n -> decode_error "Journal: invalid record kind %d" n
+  in
+  if not (at_end r) then decode_error "Journal: trailing bytes in record";
+  op
+
+let frame payload =
+  let open Codec in
+  let w = writer () in
+  put_int w (String.length payload);
+  put_i32 w (crc32 payload);
+  put_bytes w payload;
+  contents w
+
+(* -- writing ------------------------------------------------------------- *)
+
+let create path ~base_crc =
+  let oc = open_out_bin path in
+  let header =
+    let open Codec in
+    let w = writer () in
+    put_bytes w magic;
+    put_i32 w base_crc;
+    contents w
+  in
+  (try
+     Faults.output_string oc header;
+     Faults.fsync_channel oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  { oc; count = 0 }
+
+let append t ops =
+  List.iter
+    (fun op ->
+      Faults.output_string t.oc (frame (encode_op op));
+      t.count <- t.count + 1)
+    ops
+
+let sync t = Faults.fsync_channel t.oc
+
+let depth t = t.count
+
+let position t =
+  flush t.oc;
+  pos_out t.oc
+
+let truncate_to t ~pos ~depth =
+  flush t.oc;
+  Unix.ftruncate (Unix.descr_of_out_channel t.oc) pos;
+  seek_out t.oc pos;
+  t.count <- depth
+
+let close t = close_out_noerr t.oc
+
+(* Simulate a process crash: close the descriptor without flushing, so
+   buffered-but-unsynced bytes are lost exactly as they would be. *)
+let crash t = try Unix.close (Unix.descr_of_out_channel t.oc) with _ -> ()
+
+(* -- recovery ------------------------------------------------------------ *)
+
+type replay = {
+  base_crc : int32;
+  records : (op * int) list;
+  torn : bool;
+  valid_bytes : int;
+}
+
+let read path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let len = String.length data in
+    if len < header_size || not (String.equal (String.sub data 0 (String.length magic)) magic)
+    then None
+    else begin
+      let base_crc =
+        Codec.get_i32 (Codec.reader (String.sub data (String.length magic) 4))
+      in
+      let records = ref [] in
+      let pos = ref header_size in
+      let torn = ref false in
+      let valid = ref header_size in
+      (try
+         while not !torn && !pos + 8 <= len do
+           let r = Codec.reader (String.sub data !pos 8) in
+           let payload_len = Codec.get_int r in
+           let crc = Codec.get_i32 r in
+           if payload_len < 0 || !pos + 8 + payload_len > len then torn := true
+           else begin
+             let payload = String.sub data (!pos + 8) payload_len in
+             if not (Int32.equal (Codec.crc32 payload) crc) then torn := true
+             else begin
+               let op = decode_op payload in
+               pos := !pos + 8 + payload_len;
+               valid := !pos;
+               records := (op, !pos) :: !records
+             end
+           end
+         done;
+         if !pos < len && not !torn then torn := true
+       with Codec.Decode_error _ -> torn := true);
+      Some { base_crc; records = List.rev !records; torn = !torn; valid_bytes = !valid }
+    end
+  end
+
+let open_for_append path ~valid_bytes ~depth =
+  Unix.truncate path valid_bytes;
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  { oc; count = depth }
+
+(* Inserted entries are copied: a journal op may alias a live heap object
+   (the store records allocations by reference), and replay must not give
+   the rebuilt heap a view onto the old one's mutable state. *)
+let copy_entry = function
+  | Heap.Record r -> Heap.Record { r with Heap.fields = Array.copy r.Heap.fields }
+  | Heap.Array a -> Heap.Array { a with Heap.elems = Array.copy a.Heap.elems }
+  | Heap.Str s -> Heap.Str s
+  | Heap.Weak c -> Heap.Weak { Heap.target = c.Heap.target }
+
+let apply op heap roots blobs =
+  match op with
+  | Set_root (name, v) -> Roots.set roots name v
+  | Remove_root name -> Roots.remove roots name
+  | Alloc (oid, entry) ->
+    Heap.insert heap oid (copy_entry entry);
+    if Oid.to_int oid >= Heap.next_oid heap then Heap.set_next_oid heap (Oid.to_int oid + 1)
+  | Set_field (oid, idx, v) -> Heap.set_field heap oid idx v
+  | Set_elem (oid, idx, v) -> Heap.set_elem heap oid idx v
+  | Set_blob (key, data) -> Hashtbl.replace blobs key data
+  | Remove_blob key -> Hashtbl.remove blobs key

@@ -1,0 +1,79 @@
+(** The write-ahead journal behind incremental stabilisation.
+
+    A journal extends exactly one image snapshot: its header records the
+    image's checksum, and its body is a sequence of checksummed,
+    length-prefixed mutation records.  [Store.stabilise] in journalled
+    mode appends the mutations since the last stabilise and fsyncs —
+    O(delta) instead of O(store) — and recovery replays the journal on top
+    of the image, truncating at the first torn record.
+
+    A journal whose header names a different image than the one on disk is
+    stale (the store was compacted and the crash landed between the image
+    rename and the journal reset); recovery discards it, which is safe
+    because the newer image already contains every journalled effect. *)
+
+type op =
+  | Set_root of string * Pvalue.t
+  | Remove_root of string
+  | Alloc of Oid.t * Heap.entry
+  | Set_field of Oid.t * int * Pvalue.t
+  | Set_elem of Oid.t * int * Pvalue.t
+  | Set_blob of string * string
+  | Remove_blob of string
+
+type t
+(** An open journal writer. *)
+
+val path_for : string -> string
+(** The journal path paired with an image path ([<image>.wal]). *)
+
+val create : string -> base_crc:int32 -> t
+(** Truncate [path] and write a fresh header naming the base image. *)
+
+val append : t -> op list -> unit
+(** Append records in order.  Not durable until {!sync}. *)
+
+val sync : t -> unit
+(** Fsync — the stabilise barrier. *)
+
+val depth : t -> int
+(** Records in the journal (replayed + appended since open). *)
+
+val position : t -> int
+(** Current end-of-journal byte offset: a savepoint for {!truncate_to}. *)
+
+val truncate_to : t -> pos:int -> depth:int -> unit
+(** Discard everything after a savepoint (transaction abort). *)
+
+val close : t -> unit
+
+val crash : t -> unit
+(** Test support: close the descriptor {e without} flushing, losing any
+    buffered bytes — exactly what a process crash does. *)
+
+(** {1 Recovery} *)
+
+type replay = {
+  base_crc : int32;  (** checksum of the image this journal extends *)
+  records : (op * int) list;
+      (** good records in order, each with its end byte offset *)
+  torn : bool;  (** a torn or corrupt tail was dropped *)
+  valid_bytes : int;  (** end offset of the last good record *)
+}
+
+val read : string -> replay option
+(** Parse a journal leniently: stop at the first torn record (bad length,
+    short payload, checksum mismatch, undecodable body) rather than
+    raising.  [None] if the file is missing or its header is unreadable. *)
+
+val open_for_append : string -> valid_bytes:int -> depth:int -> t
+(** Reopen an existing journal for appending, physically truncating any
+    torn tail beyond [valid_bytes] first. *)
+
+val copy_entry : Heap.entry -> Heap.entry
+(** Deep-copy an entry's mutable parts.  [Alloc] ops must carry a copy:
+    the live entry keeps mutating after the record is made. *)
+
+val apply : op -> Heap.t -> Roots.t -> (string, string) Hashtbl.t -> unit
+(** Replay one record.  [Alloc] inserts a fresh copy of the entry and
+    advances the heap's oid counter past the allocated oid. *)

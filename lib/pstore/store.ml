@@ -5,7 +5,19 @@
 
    The store is also where higher layers register "pins": transient strong
    roots contributed by a running VM (static fields, stack frames) that the
-   garbage collector must honour even though they are not named roots. *)
+   garbage collector must honour even though they are not named roots.
+
+   Durability comes in two modes.  [Snapshot] (the default) rewrites the
+   whole image on every stabilise.  [Journalled] pairs the image with a
+   write-ahead journal: mutations made through this module are buffered as
+   journal ops, stabilise appends and fsyncs just the delta, and the image
+   is rewritten only at compaction points (first stabilise, journal over
+   the compaction limit, or after operations the journal cannot express —
+   a GC sweep, or direct heap surgery flagged via [mark_dirty]). *)
+
+type durability =
+  | Snapshot
+  | Journalled
 
 type t = {
   heap : Heap.t;
@@ -15,7 +27,19 @@ type t = {
   mutable pins : (unit -> Oid.t list) list;
   mutable stabilise_count : int;
   mutable gc_count : int;
+  mutable durability : durability;
+  mutable wal : Journal.t option;
+  mutable pending : Journal.op list; (* newest first *)
+  mutable pending_count : int;
+  mutable needs_full : bool; (* journal can't express state since last image *)
+  mutable compaction_limit : int;
+  mutable compactions : int;
+  mutable replayed : int;
+  mutable recovered_torn : bool;
+  mutable rollback_depth : int; (* compaction is deferred inside with_rollback *)
 }
+
+let default_compaction_limit = 4096
 
 let create () =
   {
@@ -26,6 +50,16 @@ let create () =
     pins = [];
     stabilise_count = 0;
     gc_count = 0;
+    durability = Snapshot;
+    wal = None;
+    pending = [];
+    pending_count = 0;
+    needs_full = true;
+    compaction_limit = default_compaction_limit;
+    compactions = 0;
+    replayed = 0;
+    recovered_torn = false;
+    rollback_depth = 0;
   }
 
 let heap store = store.heap
@@ -34,19 +68,94 @@ let roots store = store.roots
 let backing store = store.backing
 let set_backing store path = store.backing <- Some path
 
+(* -- durability mode ------------------------------------------------------ *)
+
+let durability store = store.durability
+
+let journalling store =
+  match store.durability with
+  | Journalled -> true
+  | Snapshot -> false
+
+let close_wal store =
+  match store.wal with
+  | Some w ->
+    Journal.close w;
+    store.wal <- None
+  | None -> ()
+
+let set_durability store mode =
+  if mode <> store.durability then begin
+    (match mode with
+    | Journalled ->
+      (* The journal only describes mutations made while journalling, so
+         the first stabilise must write a full image. *)
+      store.needs_full <- true
+    | Snapshot -> begin
+      close_wal store;
+      store.pending <- [];
+      store.pending_count <- 0;
+      match store.backing with
+      | Some path when Sys.file_exists (Journal.path_for path) ->
+        Sys.remove (Journal.path_for path)
+      | _ -> ()
+    end);
+    store.durability <- mode
+  end
+
+let set_compaction_limit store n =
+  if n < 0 then invalid_arg "Store.set_compaction_limit: negative";
+  store.compaction_limit <- n
+
+let mark_dirty store = store.needs_full <- true
+
+let record store op =
+  store.pending <- op :: store.pending;
+  store.pending_count <- store.pending_count + 1
+
 (* -- roots --------------------------------------------------------------- *)
 
-let set_root store name v = Roots.set store.roots name v
+let set_root store name v =
+  Roots.set store.roots name v;
+  if journalling store then record store (Journal.Set_root (name, v))
+
 let root store name = Roots.find store.roots name
-let remove_root store name = Roots.remove store.roots name
+
+let remove_root store name =
+  Roots.remove store.roots name;
+  if journalling store then record store (Journal.Remove_root name)
+
 let root_names store = Roots.names store.roots
 
 (* -- allocation & access ------------------------------------------------- *)
 
-let alloc_record store class_name fields = Heap.alloc_record store.heap class_name fields
-let alloc_array store elem_type elems = Heap.alloc_array store.heap elem_type elems
-let alloc_string store s = Heap.alloc_string store.heap s
-let alloc_weak store target = Heap.alloc_weak store.heap target
+(* Allocations are journalled with a copy of the entry as allocated —
+   a copy, because the live entry is mutable and the op may outlive
+   arbitrary later mutations (rollback replays it).  Subsequent mutations
+   arrive as their own records, so replay converges on the same final
+   state in the same order. *)
+let journal_alloc store oid =
+  record store (Journal.Alloc (oid, Journal.copy_entry (Heap.get store.heap oid)))
+
+let alloc_record store class_name fields =
+  let oid = Heap.alloc_record store.heap class_name fields in
+  if journalling store then journal_alloc store oid;
+  oid
+
+let alloc_array store elem_type elems =
+  let oid = Heap.alloc_array store.heap elem_type elems in
+  if journalling store then journal_alloc store oid;
+  oid
+
+let alloc_string store s =
+  let oid = Heap.alloc_string store.heap s in
+  if journalling store then journal_alloc store oid;
+  oid
+
+let alloc_weak store target =
+  let oid = Heap.alloc_weak store.heap target in
+  if journalling store then journal_alloc store oid;
+  oid
 
 let get store oid = Heap.get store.heap oid
 let find store oid = Heap.find store.heap oid
@@ -57,9 +166,17 @@ let get_array store oid = Heap.get_array store.heap oid
 let get_string store oid = Heap.get_string store.heap oid
 let get_weak store oid = Heap.get_weak store.heap oid
 let field store oid idx = Heap.field store.heap oid idx
-let set_field store oid idx v = Heap.set_field store.heap oid idx v
+
+let set_field store oid idx v =
+  Heap.set_field store.heap oid idx v;
+  if journalling store then record store (Journal.Set_field (oid, idx, v))
+
 let elem store oid idx = Heap.elem store.heap oid idx
-let set_elem store oid idx v = Heap.set_elem store.heap oid idx v
+
+let set_elem store oid idx v =
+  Heap.set_elem store.heap oid idx v;
+  if journalling store then record store (Journal.Set_elem (oid, idx, v))
+
 let array_length store oid = Heap.array_length store.heap oid
 let size store = Heap.size store.heap
 
@@ -72,9 +189,16 @@ let string_value store = function
 
 (* -- blobs --------------------------------------------------------------- *)
 
-let set_blob store key data = Hashtbl.replace store.blobs key data
+let set_blob store key data =
+  Hashtbl.replace store.blobs key data;
+  if journalling store then record store (Journal.Set_blob (key, data))
+
 let blob store key = Hashtbl.find_opt store.blobs key
-let remove_blob store key = Hashtbl.remove store.blobs key
+
+let remove_blob store key =
+  Hashtbl.remove store.blobs key;
+  if journalling store then record store (Journal.Remove_blob key)
+
 let blob_keys store =
   Hashtbl.fold (fun k _ acc -> k :: acc) store.blobs [] |> List.sort String.compare
 
@@ -88,12 +212,32 @@ let pinned_oids store = List.concat_map (fun f -> f ()) store.pins
 
 let gc store =
   store.gc_count <- store.gc_count + 1;
+  (* A sweep removes objects and clears weak cells behind the journal's
+     back; the next stabilise must therefore compact. *)
+  if journalling store then store.needs_full <- true;
   Gc.collect ~extra_roots:(pinned_oids store) store.heap store.roots
 
 let reachable store = Gc.reachable ~extra_roots:(pinned_oids store) store.heap store.roots
 
 let contents store =
   { Image.heap = store.heap; roots = store.roots; blobs = store.blobs }
+
+let wal_depth store =
+  match store.wal with
+  | Some w -> Journal.depth w
+  | None -> 0
+
+let compact store path =
+  close_wal store;
+  let crc = Image.save path (contents store) in
+  (* The image now contains every pending effect; a crash before the new
+     journal header lands leaves a stale journal (old base checksum) that
+     recovery discards. *)
+  store.pending <- [];
+  store.pending_count <- 0;
+  store.wal <- Some (Journal.create (Journal.path_for path) ~base_crc:crc);
+  store.needs_full <- false;
+  store.compactions <- store.compactions + 1
 
 let stabilise ?path store =
   let path =
@@ -105,33 +249,196 @@ let stabilise ?path store =
     | None, None -> invalid_arg "Store.stabilise: no backing file"
   in
   store.stabilise_count <- store.stabilise_count + 1;
-  Image.save path (contents store)
+  match store.durability with
+  | Snapshot -> ignore (Image.save path (contents store) : int32)
+  | Journalled ->
+    let in_rollback = store.rollback_depth > 0 in
+    let must_compact = store.needs_full || store.wal = None in
+    let over_limit = wal_depth store + store.pending_count > store.compaction_limit in
+    if must_compact && in_rollback then
+      invalid_arg
+        "Store.stabilise: store needs compaction inside with_rollback (after a gc or direct \
+         heap surgery); stabilise before the transaction instead"
+    else if must_compact || (over_limit && not in_rollback) then compact store path
+    else begin
+      (* Over the limit inside a transaction we keep appending: compaction
+         cannot be undone by an abort, the next top-level stabilise does it. *)
+      let wal = Option.get store.wal in
+      match
+        Journal.append wal (List.rev store.pending);
+        Journal.sync wal
+      with
+      | () ->
+        store.pending <- [];
+        store.pending_count <- 0
+      | exception e ->
+        (* The journal tail is now suspect (possibly torn); recover by
+           compacting next time rather than appending after garbage. *)
+        store.needs_full <- true;
+        raise e
+    end
 
 let of_contents ?backing { Image.heap; roots; blobs } =
-  { heap; roots; blobs; backing; pins = []; stabilise_count = 0; gc_count = 0 }
+  {
+    heap;
+    roots;
+    blobs;
+    backing;
+    pins = [];
+    stabilise_count = 0;
+    gc_count = 0;
+    durability = Snapshot;
+    wal = None;
+    pending = [];
+    pending_count = 0;
+    needs_full = true;
+    compaction_limit = default_compaction_limit;
+    compactions = 0;
+    replayed = 0;
+    recovered_torn = false;
+    rollback_depth = 0;
+  }
 
-let open_file path = of_contents ~backing:path (Image.load path)
+let open_file path =
+  let contents, crc =
+    try Image.load_with_crc path
+    with (Image.Image_error _ | Codec.Decode_error _ | Sys_error _) as e -> begin
+      (* A crash between writing and renaming a snapshot can leave a
+         complete image under the temp name; promote it rather than fail. *)
+      let tmp = path ^ ".tmp" in
+      match (try Some (Image.load_with_crc tmp) with _ -> None) with
+      | Some (c, crc) ->
+        Faults.rename tmp path;
+        (c, crc)
+      | None -> raise e
+    end
+  in
+  let store = of_contents ~backing:path contents in
+  (match Journal.read (Journal.path_for path) with
+  | Some replay when Int32.equal replay.Journal.base_crc crc ->
+    List.iter
+      (fun (op, _) -> Journal.apply op store.heap store.roots store.blobs)
+      replay.Journal.records;
+    store.replayed <- List.length replay.Journal.records;
+    store.recovered_torn <- replay.Journal.torn;
+    store.durability <- Journalled;
+    store.wal <-
+      Some
+        (Journal.open_for_append (Journal.path_for path)
+           ~valid_bytes:replay.Journal.valid_bytes ~depth:store.replayed);
+    store.needs_full <- false
+  | Some _ ->
+    (* Stale journal: the image is newer (a compaction's journal reset
+       never landed).  The image already holds every journalled effect. *)
+    store.durability <- Journalled;
+    store.needs_full <- true
+  | None -> ());
+  store
+
+let close store = close_wal store
+
+let crash store =
+  (match store.wal with
+  | Some w -> Journal.crash w
+  | None -> ());
+  store.wal <- None
+
+type stats = {
+  live : int;
+  gc_count : int;
+  stabilise_count : int;
+  journal_depth : int;
+  pending_ops : int;
+  journal_replayed : int;
+  compactions : int;
+  recovered_torn_tail : bool;
+}
 
 let stats store =
-  (Heap.size store.heap, store.gc_count, store.stabilise_count)
+  {
+    live = Heap.size store.heap;
+    gc_count = store.gc_count;
+    stabilise_count = store.stabilise_count;
+    journal_depth = wal_depth store;
+    pending_ops = store.pending_count;
+    journal_replayed = store.replayed;
+    compactions = store.compactions;
+    recovered_torn_tail = store.recovered_torn;
+  }
 
 (* -- transactions ---------------------------------------------------------- *)
 
 let clear_pins store = store.pins <- []
 
+let restore_contents store (restored : Image.contents) =
+  Heap.replace_all store.heap ~from:restored.Image.heap;
+  Roots.replace_all store.roots ~from:restored.Image.roots;
+  Hashtbl.reset store.blobs;
+  Hashtbl.iter (Hashtbl.replace store.blobs) restored.Image.blobs
+
 (* Run [f] with whole-store rollback: on an exception the heap, roots and
    blobs are restored to their state at entry (oids included) and the
-   exception is returned.  The snapshot is a full store image, so the
-   cost is O(store size) — the price of the paper's "separate transaction
-   while the system is live" without a write-ahead log. *)
+   exception is returned.
+
+   A journalled, backed store aborts by recovery instead of by snapshot:
+   the journal is truncated to its entry savepoint and the pre-transaction
+   state is rebuilt from the image plus the journal plus the entry-time
+   pending ops — O(committed delta), not O(store).  Stores the journal
+   cannot describe (snapshot mode, unstabilised, or dirtied by gc/direct
+   heap surgery) pay the original full-image snapshot. *)
 let with_rollback store f =
-  let snapshot = Image.encode (contents store) in
-  match f () with
-  | result -> Ok result
-  | exception e ->
-    let restored = Image.decode snapshot in
-    Heap.replace_all store.heap ~from:restored.Image.heap;
-    Roots.replace_all store.roots ~from:restored.Image.roots;
-    Hashtbl.reset store.blobs;
-    Hashtbl.iter (Hashtbl.replace store.blobs) restored.Image.blobs;
-    Error e
+  let journal_restore =
+    journalling store && store.wal <> None && (not store.needs_full)
+    && store.backing <> None
+  in
+  store.rollback_depth <- store.rollback_depth + 1;
+  let leave () = store.rollback_depth <- store.rollback_depth - 1 in
+  if journal_restore then begin
+    let wal = Option.get store.wal in
+    let saved_pending = store.pending in
+    let saved_count = store.pending_count in
+    let mark = Journal.position wal in
+    let mark_depth = Journal.depth wal in
+    match f () with
+    | result ->
+      leave ();
+      Ok result
+    | exception e ->
+      (* Anything the transaction managed to stabilise sits past the
+         savepoint; cut it off, then rebuild entry-time state by the same
+         path crash recovery takes. *)
+      Journal.truncate_to wal ~pos:mark ~depth:mark_depth;
+      let path = Option.get store.backing in
+      let restored = Image.load path in
+      (match Journal.read (Journal.path_for path) with
+      | Some replay ->
+        List.iter
+          (fun (op, _) ->
+            Journal.apply op restored.Image.heap restored.Image.roots restored.Image.blobs)
+          replay.Journal.records
+      | None -> ());
+      List.iter
+        (fun op -> Journal.apply op restored.Image.heap restored.Image.roots restored.Image.blobs)
+        (List.rev saved_pending);
+      restore_contents store restored;
+      store.pending <- saved_pending;
+      store.pending_count <- saved_count;
+      store.needs_full <- false;
+      leave ();
+      Error e
+  end
+  else begin
+    let snapshot = Image.encode (contents store) in
+    let saved_pending = store.pending in
+    let saved_count = store.pending_count in
+    match f () with
+    | result ->
+      leave ();
+      Ok result
+    | exception e ->
+      restore_contents store (Image.decode snapshot);
+      store.pending <- saved_pending;
+      store.pending_count <- saved_count;
+      leave ();
+      Error e
+  end

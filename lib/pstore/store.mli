@@ -7,17 +7,52 @@
 type t
 
 val create : unit -> t
-(** A fresh, empty, unbacked store. *)
+(** A fresh, empty, unbacked store (snapshot durability). *)
 
 val open_file : string -> t
-(** Recover a store from a stabilised image.
-    @raise Image.Image_error on a corrupt image. *)
+(** Recover a store from a stabilised image.  If a write-ahead journal
+    paired with the image exists it is replayed on top (truncating at the
+    first torn record) and the store reopens in journalled mode; a crash
+    that left a complete-but-unrenamed snapshot is promoted.
+    @raise Image.Image_error on a corrupt image with nothing to recover. *)
+
+val close : t -> unit
+(** Release the journal file handle, if any.  The store stays usable in
+    memory; the next journalled stabilise recreates the handle by
+    compaction. *)
+
+val crash : t -> unit
+(** Test support: simulate a process crash.  The journal descriptor is
+    closed without flushing, so buffered-but-unsynced bytes are lost;
+    the in-memory store should be discarded and the image reopened. *)
 
 val heap : t -> Heap.t
 val roots : t -> Roots.t
 
 val backing : t -> string option
 val set_backing : t -> string -> unit
+
+(** {1 Durability}
+
+    [Snapshot] (the default) rewrites the full image on every stabilise.
+    [Journalled] buffers mutations as write-ahead journal ops: stabilise
+    appends and fsyncs just the delta since the last stabilise, and the
+    full image is rewritten only at compaction points. *)
+
+type durability =
+  | Snapshot
+  | Journalled
+
+val durability : t -> durability
+val set_durability : t -> durability -> unit
+
+val set_compaction_limit : t -> int -> unit
+(** Journal records tolerated before stabilise compacts (default 4096). *)
+
+val mark_dirty : t -> unit
+(** Tell the store its heap was mutated behind its back (direct record
+    surgery, e.g. schema evolution's instance reconstruction): the next
+    stabilise writes a full image rather than trusting the journal. *)
 
 (** {1 Named roots} *)
 
@@ -75,12 +110,31 @@ val pinned_oids : t -> Oid.t list
 val gc : t -> Gc.stats
 val reachable : t -> Oid.Set.t
 
-val stabilise : ?path:string -> t -> unit
-(** Write the whole store atomically to [path] (or the backing file).
-    @raise Invalid_argument if neither is available. *)
+val contents : t -> Image.contents
+(** The store's heap, roots and blobs, viewed as image contents (shared,
+    not copied).  [Image.encode (contents s)] is a deterministic
+    fingerprint of the whole persistent state. *)
 
-val stats : t -> int * int * int
-(** [(live_objects, gc_count, stabilise_count)]. *)
+val stabilise : ?path:string -> t -> unit
+(** Make the store durable at [path] (or the backing file).  Snapshot
+    mode writes the whole image atomically; journalled mode appends the
+    mutation delta to the write-ahead journal and fsyncs, compacting into
+    a fresh image when required.
+    @raise Invalid_argument if no path is available, or if a compaction
+    is required inside {!with_rollback}. *)
+
+type stats = {
+  live : int;  (** live heap objects *)
+  gc_count : int;
+  stabilise_count : int;
+  journal_depth : int;  (** records in the write-ahead journal *)
+  pending_ops : int;  (** mutations buffered but not yet stabilised *)
+  journal_replayed : int;  (** records replayed when this store was opened *)
+  compactions : int;
+  recovered_torn_tail : bool;  (** open_file dropped a torn journal tail *)
+}
+
+val stats : t -> stats
 
 (** {1 Transactions} *)
 
@@ -91,4 +145,10 @@ val clear_pins : t -> unit
 val with_rollback : t -> (unit -> 'a) -> ('a, exn) result
 (** Run [f] with whole-store rollback: on an exception the heap, roots
     and blobs are restored to their state at entry (oids included).
-    Costs one full store snapshot. *)
+
+    On a journalled, backed, clean store the abort path is recovery: the
+    journal is truncated to its entry savepoint and the entry state is
+    rebuilt from image + journal + entry-time pending ops — O(delta)
+    rather than one full store snapshot, and any records the transaction
+    stabilised are cut off so the on-disk journal replays to the
+    pre-transaction state.  Other stores pay the full-image snapshot. *)

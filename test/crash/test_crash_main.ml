@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "crash-recovery"
+    [
+      ("matrix: fault point x mutation kind", Test_crash_recovery.matrix);
+      ("recovery behaviours", Test_crash_recovery.suite);
+      ("seeded crash properties", Test_crash_matrix.suite);
+    ]

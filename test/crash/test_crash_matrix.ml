@@ -1,0 +1,208 @@
+(* Seeded crash-recovery property harness.
+
+   For each seed: generate a random program over the store API
+   (allocations, field updates, root and blob churn, gc, stabilise),
+   run it twice —
+
+   - a reference run, executed to completion, whose final state must
+     survive a clean close/reopen byte-for-byte;
+
+   - a crash run of the SAME program, where one seed-chosen stabilise is
+     killed mid-write by a seed-chosen fault, the process "dies"
+     (buffers dropped), and the store is reopened from disk.
+
+   The reopened store must (a) recover without raising, (b) land exactly
+   on a state the program actually passed through — no earlier than the
+   last successful stabilise (durability) and no later than the crash
+   point (no invented state), on a journal-record boundary — and (c)
+   satisfy the structural integrity checker.
+
+   Op generation consults only the seed, so both runs perform identical
+   mutations with identical oids; fingerprints are comparable across
+   runs and directories. *)
+
+open Pstore
+open Crash_util
+
+let sp = Printf.sprintf
+
+(* -- programs -------------------------------------------------------------- *)
+
+type op =
+  | Alloc_rec of int  (* rooted: becomes a set_field target *)
+  | Alloc_garbage of int  (* unrooted: gc fodder *)
+  | Set_field_op of int * int  (* target index, value *)
+  | Set_root_int of int  (* value; root name counts up *)
+  | Remove_root_op of int  (* index into live int roots *)
+  | Set_blob_op of int  (* key counts up *)
+  | Remove_blob_op of int  (* index into live blob keys *)
+  | Gc
+  | Stabilise
+
+(* A program is groups of mutations, each group ending in Stabilise. *)
+let gen_program rng =
+  let n_records = ref 0 in
+  let live_roots = ref [] (* int-root serial numbers still present *) in
+  let next_root = ref 0 in
+  let live_blobs = ref [] in
+  let next_blob = ref 0 in
+  let group () =
+    let n = 2 + Random.State.int rng 5 in
+    let ops = ref [] in
+    for _ = 1 to n do
+      let op =
+        match Random.State.int rng 10 with
+        | 0 | 1 ->
+          incr n_records;
+          Alloc_rec (Random.State.int rng 1000)
+        | 2 -> Alloc_garbage (Random.State.int rng 1000)
+        | 3 | 4 when !n_records > 0 ->
+          Set_field_op (Random.State.int rng !n_records, Random.State.int rng 1000)
+        | 5 when !live_roots <> [] ->
+          let i = Random.State.int rng (List.length !live_roots) in
+          let serial = List.nth !live_roots i in
+          live_roots := List.filter (fun s -> s <> serial) !live_roots;
+          Remove_root_op serial
+        | 6 when !live_blobs <> [] ->
+          let i = Random.State.int rng (List.length !live_blobs) in
+          let serial = List.nth !live_blobs i in
+          live_blobs := List.filter (fun s -> s <> serial) !live_blobs;
+          Remove_blob_op serial
+        | 7 ->
+          let serial = !next_blob in
+          incr next_blob;
+          live_blobs := serial :: !live_blobs;
+          Set_blob_op serial
+        | 8 -> Gc
+        | _ ->
+          let serial = !next_root in
+          incr next_root;
+          live_roots := serial :: !live_roots;
+          Set_root_int serial
+      in
+      ops := op :: !ops
+    done;
+    List.rev (Stabilise :: !ops)
+  in
+  List.concat (List.init 5 (fun _ -> group ()))
+
+(* Execute one op.  [note] is called after every INDIVIDUAL store
+   mutation — a torn journal tail recovers to a record boundary, so the
+   crash run collects a candidate fingerprint per record, not per op. *)
+let exec store records note op =
+  match op with
+  | Alloc_rec v ->
+    let oid = Store.alloc_record store "Node" [| Pvalue.Int (Int32.of_int v); Pvalue.Null |] in
+    note ();
+    Store.set_root store (sp "r%d" (List.length !records)) (Pvalue.Ref oid);
+    note ();
+    records := !records @ [ oid ]
+  | Alloc_garbage v ->
+    ignore (Store.alloc_record store "Junk" [| Pvalue.Int (Int32.of_int v) |]);
+    note ()
+  | Set_field_op (i, v) ->
+    Store.set_field store (List.nth !records i) 0 (Pvalue.Int (Int32.of_int v));
+    note ()
+  | Set_root_int serial ->
+    Store.set_root store (sp "k%d" serial) (Pvalue.Int (Int32.of_int serial));
+    note ()
+  | Remove_root_op serial ->
+    Store.remove_root store (sp "k%d" serial);
+    note ()
+  | Set_blob_op serial ->
+    Store.set_blob store (sp "b%d" serial) (sp "blob-payload-%d" serial);
+    note ()
+  | Remove_blob_op serial ->
+    Store.remove_blob store (sp "b%d" serial);
+    note ()
+  | Gc ->
+    ignore (Store.gc store);
+    note ()
+  | Stabilise -> Store.stabilise store
+
+let make_store dir =
+  let store = Store.create () in
+  Store.set_durability store Store.Journalled;
+  Store.set_compaction_limit store 8 (* small: exercise compaction crashes *);
+  Store.set_backing store (Filename.concat dir "store.img");
+  store
+
+(* The reference run doubles as a clean-recovery check. *)
+let reference_run ops dir =
+  let store = make_store dir in
+  let records = ref [] in
+  List.iter (exec store records ignore) ops;
+  Store.stabilise store;
+  let fp = fingerprint store in
+  Store.close store;
+  let reopened = Store.open_file (Filename.concat dir "store.img") in
+  check_output "clean reopen is byte-identical" fp (fingerprint reopened);
+  Integrity.check_exn reopened;
+  Store.close reopened
+
+let pick_fault seed =
+  match seed mod 4 with
+  | 0 -> Faults.Short_write (seed mod 13)
+  | 1 -> Faults.Fail_after_bytes (1 + (seed mod 97))
+  | 2 -> Faults.Fsync_fails
+  | _ -> Faults.Rename_fails
+
+let crash_run ops seed dir =
+  let n_stabs = List.length (List.filter (fun op -> op = Stabilise) ops) in
+  (* never the first stabilise: before it there is no image to recover *)
+  let crash_at = 1 + (seed mod (n_stabs - 1)) in
+  let fault = pick_fault seed in
+  let store = make_store dir in
+  let records = ref [] in
+  (* states the program passed through since the last successful
+     stabilise (inclusive), newest last *)
+  let candidates = ref [ fingerprint store ] in
+  let note () = candidates := !candidates @ [ fingerprint store ] in
+  let stabs = ref 0 in
+  (try
+     List.iter
+       (fun op ->
+         match op with
+         | Stabilise ->
+           if !stabs = crash_at then begin
+             (match Faults.with_fault fault (fun () -> Store.stabilise store) with
+             | Ok () -> () (* fault point not on this stabilise's path *)
+             | Error (Faults.Fault_injected _) -> ()
+             | Error e -> raise e);
+             raise Exit
+           end
+           else begin
+             Store.stabilise store;
+             incr stabs;
+             candidates := [ fingerprint store ]
+           end
+         | op -> exec store records note op)
+       ops
+   with Exit -> ());
+  Store.crash store;
+  let reopened = Store.open_file (Filename.concat dir "store.img") in
+  let fp = fingerprint reopened in
+  check_bool
+    (sp "seed %d: recovered state is one the program passed through" seed)
+    true
+    (List.exists (String.equal fp) !candidates);
+  Integrity.check_exn reopened;
+  Store.close reopened
+
+let run_seed seed =
+  let ops = gen_program (Random.State.make [| seed |]) in
+  with_dir (reference_run ops);
+  with_dir (crash_run ops seed)
+
+(* >= 200 seeds, batched for readable progress under dune runtest *)
+let seeds = 240
+let batch = 30
+
+let suite =
+  List.init (seeds / batch) (fun b ->
+      let lo = b * batch in
+      let hi = lo + batch - 1 in
+      test (sp "seeds %d-%d" lo hi) (fun () ->
+          for seed = lo to hi do
+            run_seed seed
+          done))

@@ -88,6 +88,63 @@ let crc32_known_values () =
   Alcotest.(check int32) "empty" 0l (Codec.crc32 "");
   check_bool "differs" true (Codec.crc32 "a" <> Codec.crc32 "b")
 
+(* Every strict prefix of an encoded value must fail with Decode_error —
+   never an unhandled exception, never a silently wrong value. *)
+let pvalue_truncation_at_every_offset () =
+  let samples =
+    [
+      Pvalue.Null;
+      Pvalue.Bool true;
+      Pvalue.byte (-5);
+      Pvalue.short 300;
+      Pvalue.char 0xFFFF;
+      Pvalue.Int Int32.min_int;
+      Pvalue.Long 0x0102030405060708L;
+      Pvalue.Float 1.5;
+      Pvalue.Double (-0.25);
+      Pvalue.Ref (Pstore.Oid.of_int 123456);
+    ]
+  in
+  List.iter
+    (fun v ->
+      let w = Codec.writer () in
+      Pvalue.encode w v;
+      let data = Codec.contents w in
+      for len = 0 to String.length data - 1 do
+        match Pvalue.decode (Codec.reader (String.sub data 0 len)) with
+        | v' ->
+          Alcotest.failf "prefix %d of %s decoded as %s" len (Pvalue.to_string v)
+            (Pvalue.to_string v')
+        | exception Codec.Decode_error _ -> ()
+      done;
+      check_bool "full data decodes" true
+        (Pvalue.equal v (Pvalue.decode (Codec.reader data))))
+    samples
+
+(* The same property for a whole image: any truncation, and any
+   single-bit corruption, is reported as Image_error/Decode_error.  The
+   trailing CRC covers the entire body, so nothing slips through. *)
+let image_truncation_and_corruption () =
+  let store = fresh_store () in
+  let s = Store.alloc_string store "payload" in
+  let r = Store.alloc_record store "C" [| Pvalue.Ref s; Pvalue.Int 7l |] in
+  Store.set_root store "r" (Pvalue.Ref r);
+  Store.set_blob store "b" "blob";
+  let data = Image.encode (Store.contents store) in
+  for len = 0 to String.length data - 1 do
+    match Image.decode (String.sub data 0 len) with
+    | _ -> Alcotest.failf "truncation to %d bytes decoded" len
+    | exception (Image.Image_error _ | Codec.Decode_error _) -> ()
+  done;
+  for off = 0 to String.length data - 1 do
+    let corrupt = Bytes.of_string data in
+    Bytes.set corrupt off (Char.chr (Char.code (Bytes.get corrupt off) lxor 0x01));
+    match Image.decode (Bytes.unsafe_to_string corrupt) with
+    | _ -> Alcotest.failf "bit flip at offset %d went undetected" off
+    | exception (Image.Image_error _ | Codec.Decode_error _) -> ()
+  done;
+  ignore (Image.decode data)
+
 let suite =
   [
     test "integer round trips" roundtrip_ints;
@@ -97,6 +154,8 @@ let suite =
     test "truncated input fails cleanly" truncated_input_fails;
     test "invalid boolean byte fails" bad_bool_fails;
     test "crc32 known values" crc32_known_values;
+    test "pvalue truncation at every offset" pvalue_truncation_at_every_offset;
+    test "image truncation and corruption detected" image_truncation_and_corruption;
   ]
 
 (* Property: any sequence of puts reads back identically. *)
@@ -135,4 +194,41 @@ let prop_roundtrip =
         items
       && Codec.at_end r)
 
-let props = [ QCheck_alcotest.to_alcotest prop_roundtrip ]
+(* Property: an arbitrary Pvalue.t survives encode/decode, and every
+   strict prefix of its encoding raises Decode_error. *)
+let prop_pvalue_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          return Pvalue.Null;
+          map (fun b -> Pvalue.Bool b) bool;
+          map (fun n -> Pvalue.byte (n mod 128)) int;
+          map (fun n -> Pvalue.short (n mod 32768)) int;
+          map (fun n -> Pvalue.char (abs (n mod 65536))) int;
+          map (fun n -> Pvalue.Int n) int32;
+          map (fun n -> Pvalue.Long n) int64;
+          map (fun f -> Pvalue.Float (if Float.is_nan f then 0. else f)) float;
+          map (fun f -> Pvalue.Double (if Float.is_nan f then 0. else f)) float;
+          map (fun n -> Pvalue.Ref (Pstore.Oid.of_int (n land max_int))) int;
+        ])
+  in
+  QCheck2.Test.make ~name:"pvalue encode/decode identity" ~count:500 gen (fun v ->
+      let w = Codec.writer () in
+      Pvalue.encode w v;
+      let data = Codec.contents w in
+      let r = Codec.reader data in
+      let v' = Pvalue.decode r in
+      let prefixes_fail = ref true in
+      for len = 0 to String.length data - 1 do
+        (match Pvalue.decode (Codec.reader (String.sub data 0 len)) with
+        | _ -> prefixes_fail := false
+        | exception Codec.Decode_error _ -> ())
+      done;
+      Pvalue.equal v v' && Codec.at_end r && !prefixes_fail)
+
+let props =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_pvalue_roundtrip;
+  ]

@@ -211,6 +211,150 @@ let stabilise_requires_backing () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* -- journalled durability ----------------------------------------------------------- *)
+
+let with_store_files f =
+  let path = Filename.temp_file "pstore_wal" ".img" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; Journal.path_for path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let journalled_roundtrip () =
+  with_store_files (fun path ->
+      let store = fresh_store () in
+      Store.set_durability store Store.Journalled;
+      let s = Store.alloc_string store "persist me" in
+      Store.set_root store "s" (Pvalue.Ref s);
+      Store.stabilise ~path store;
+      (* the first stabilise compacts: full image plus a fresh journal *)
+      check_int "compacted once" 1 (Store.stats store).Store.compactions;
+      Store.set_root store "n" (Pvalue.Int 5l);
+      Store.set_blob store "b" "bytes";
+      Store.stabilise store;
+      (* the second only appends the two-record delta *)
+      check_int "two records" 2 (Store.stats store).Store.journal_depth;
+      check_int "still one compaction" 1 (Store.stats store).Store.compactions;
+      Store.close store;
+      let store2 = Store.open_file path in
+      check_bool "journalled on reopen" true (Store.durability store2 = Store.Journalled);
+      check_int "replayed" 2 (Store.stats store2).Store.journal_replayed;
+      check_output "string preserved" "persist me" (Store.get_string store2 s);
+      check_bool "root preserved" true (Store.root store2 "n" = Some (Pvalue.Int 5l));
+      check_bool "blob preserved" true (Store.blob store2 "b" = Some "bytes");
+      Integrity.check_exn store2;
+      Store.close store2)
+
+let journal_compaction_bounds_depth () =
+  with_store_files (fun path ->
+      let store = fresh_store () in
+      Store.set_durability store Store.Journalled;
+      Store.set_compaction_limit store 10;
+      Store.stabilise ~path store;
+      for i = 1 to 50 do
+        Store.set_root store "x" (Pvalue.Int (Int32.of_int i));
+        Store.stabilise store;
+        check_bool "depth bounded by the limit" true
+          ((Store.stats store).Store.journal_depth <= 10)
+      done;
+      check_bool "compacted periodically" true ((Store.stats store).Store.compactions > 1);
+      Store.close store;
+      let s2 = Store.open_file path in
+      check_bool "final value durable" true (Store.root s2 "x" = Some (Pvalue.Int 50l));
+      Store.close s2)
+
+let rollback_truncates_journal () =
+  with_store_files (fun path ->
+      let store = fresh_store () in
+      Store.set_durability store Store.Journalled;
+      let keep = Store.alloc_string store "keep" in
+      Store.set_root store "keep" (Pvalue.Ref keep);
+      Store.stabilise ~path store;
+      Store.set_root store "pre" (Pvalue.Int 1l);
+      Store.stabilise store;
+      let fp_before = Image.encode (Store.contents store) in
+      let wal_size () = (Unix.stat (Journal.path_for path)).Unix.st_size in
+      let size_before = wal_size () in
+      let result =
+        Store.with_rollback store (fun () ->
+            Store.set_root store "mid" (Pvalue.Int 2l);
+            (* stabilising INSIDE the transaction appends journal records;
+               the abort must cut them back off the disk *)
+            Store.stabilise store;
+            ignore (Store.alloc_string store "junk");
+            Store.stabilise store;
+            failwith "abort")
+      in
+      (match result with
+      | Error (Failure _) -> ()
+      | _ -> Alcotest.fail "expected abort");
+      check_output "memory restored" fp_before (Image.encode (Store.contents store));
+      check_int "journal truncated to its savepoint" size_before (wal_size ());
+      (* the on-disk journal replays to the pre-transaction state *)
+      let replica = Store.open_file path in
+      check_output "disk replays to pre-transaction state" fp_before
+        (Image.encode (Store.contents replica));
+      check_bool "mid root not on disk" true (Store.root replica "mid" = None);
+      Store.close replica;
+      (* and the survivor keeps journalling correctly after the abort *)
+      Store.set_root store "post" (Pvalue.Int 3l);
+      Store.stabilise store;
+      let s2 = Store.open_file path in
+      check_bool "post-abort stabilise durable" true (Store.root s2 "post" = Some (Pvalue.Int 3l));
+      check_bool "aborted root still gone" true (Store.root s2 "mid" = None);
+      Integrity.check_exn s2;
+      Store.close s2;
+      Store.close store)
+
+let rollback_restores_after_gc_compaction_refused () =
+  with_store_files (fun path ->
+      let store = fresh_store () in
+      Store.set_durability store Store.Journalled;
+      let junk = Store.alloc_string store "junk" in
+      Store.stabilise ~path store;
+      let result =
+        Store.with_rollback store (fun () ->
+            (* the sweep removes [junk] behind the journal's back, so the
+               next stabilise would need a compaction — which cannot be
+               undone by an abort and is therefore refused in here *)
+            ignore (Store.gc store);
+            Store.stabilise store)
+      in
+      (match result with
+      | Error (Invalid_argument _) -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument");
+      check_bool "swept object restored by the abort" true (Store.is_live store junk);
+      (* at top level the deferred compaction goes through *)
+      ignore (Store.gc store);
+      Store.stabilise store;
+      check_bool "compacted at top level" true ((Store.stats store).Store.compactions >= 2);
+      Store.close store)
+
+let rollback_defers_over_limit_compaction () =
+  with_store_files (fun path ->
+      let store = fresh_store () in
+      Store.set_durability store Store.Journalled;
+      Store.set_compaction_limit store 0;
+      Store.stabilise ~path store;
+      let compactions () = (Store.stats store).Store.compactions in
+      let before = compactions () in
+      let result =
+        Store.with_rollback store (fun () ->
+            Store.set_root store "x" (Pvalue.Int 1l);
+            (* over the limit, but inside a transaction: append, don't compact *)
+            Store.stabilise store)
+      in
+      check_bool "committed" true (result = Ok ());
+      check_int "no compaction inside the transaction" before (compactions ());
+      check_int "delta appended instead" 1 (Store.stats store).Store.journal_depth;
+      (* the next top-level stabilise catches up *)
+      Store.stabilise store;
+      check_int "compacted at top level" (before + 1) (compactions ());
+      check_int "journal reset" 0 (Store.stats store).Store.journal_depth;
+      Store.close store)
+
 (* -- integrity -------------------------------------------------------------------------- *)
 
 let integrity_clean_store () =
@@ -255,6 +399,12 @@ let suite =
     test "weak kept while strongly held" weak_kept_while_target_strongly_held;
     test "weak does not keep target alive" weak_does_not_keep_target_alive;
     test "image round trip" image_roundtrip;
+    test "journalled round trip" journalled_roundtrip;
+    test "compaction bounds the journal" journal_compaction_bounds_depth;
+    test "rollback truncates the journal" rollback_truncates_journal;
+    test "rollback restores a gc'd store; compaction refused inside"
+      rollback_restores_after_gc_compaction_refused;
+    test "rollback defers over-limit compaction" rollback_defers_over_limit_compaction;
     test "image detects corruption" image_detects_corruption;
     test "image rejects bad magic" image_rejects_bad_magic;
     test "stabilise requires a backing file" stabilise_requires_backing;

@@ -129,6 +129,72 @@ let live_evolution_aborts_cleanly () =
     check_int "no archived version" 0 (List.length (Evolution.archived_versions vm "Evo"));
     check_bool "converter class rolled back" false (Rt.is_loaded vm "Conv")
 
+(* -- transactions over a journalled store ----------------------------------- *)
+
+let with_backing f =
+  let path = Filename.temp_file "txn_wal" ".img" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; Journal.path_for path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+(* A committed transaction on a journalled, backed store is durable
+   without anyone calling stabilise: the commit barrier fsyncs the
+   delta to the journal — and pays no compaction for it. *)
+let journalled_commit_is_durable () =
+  with_backing (fun path ->
+      let store = fresh_store () in
+      Store.set_durability store Store.Journalled;
+      ignore (Transaction.fresh_vm store);
+      Store.stabilise ~path store;
+      let compactions_before = (Store.stats store).Store.compactions in
+      (match Transaction.transact store (fun _vm -> Store.set_root store "t" (Pvalue.Int 9l)) with
+      | Transaction.Committed (_, _) -> ()
+      | Transaction.Aborted (e, _) -> Alcotest.failf "aborted: %s" (Printexc.to_string e));
+      check_int "commit barrier appends, never compacts" compactions_before
+        (Store.stats store).Store.compactions;
+      let replica = Store.open_file path in
+      check_bool "committed root durable with no explicit stabilise" true
+        (Store.root replica "t" = Some (Pvalue.Int 9l));
+      Store.close replica;
+      Store.close store)
+
+(* An aborted transaction must leave the on-disk journal replayable to
+   the pre-transaction state — even when the transaction body itself
+   stabilised part of its work into the journal. *)
+let journalled_abort_leaves_replayable_journal () =
+  with_backing (fun path ->
+      let store = fresh_store () in
+      Store.set_durability store Store.Journalled;
+      ignore (Transaction.fresh_vm store);
+      let keep = Store.alloc_string store "keep" in
+      Store.set_root store "keep" (Pvalue.Ref keep);
+      Store.stabilise ~path store;
+      let fp_before = Image.encode (Store.contents store) in
+      (match
+         Transaction.transact store (fun _vm ->
+             Store.set_root store "temp" (Pvalue.Int 1l);
+             Store.stabilise store;
+             ignore (Store.alloc_string store "junk");
+             failwith "boom")
+       with
+      | Transaction.Aborted (Failure _, _) -> ()
+      | Transaction.Aborted (e, _) -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | Transaction.Committed _ -> Alcotest.fail "expected abort");
+      check_output "memory restored" fp_before (Image.encode (Store.contents store));
+      let replica = Store.open_file path in
+      check_output "journal replays to pre-transaction state" fp_before
+        (Image.encode (Store.contents replica));
+      check_bool "stabilised-then-aborted root gone from disk" true
+        (Store.root replica "temp" = None);
+      check_bool "pre-transaction root intact" true
+        (Store.root replica "keep" = Some (Pvalue.Ref keep));
+      Integrity.check_exn replica;
+      Store.close replica;
+      Store.close store)
+
 let suite =
   [
     test "rollback restores heap, roots and blobs" rollback_restores_everything;
@@ -137,6 +203,8 @@ let suite =
     test "transact: abort restores classes and data" transact_abort_restores_classes_and_data;
     test "live evolution in a transaction commits" live_evolution_commits;
     test "live evolution aborts cleanly" live_evolution_aborts_cleanly;
+    test "journalled commit is durable via the barrier" journalled_commit_is_durable;
+    test "journalled abort leaves a replayable journal" journalled_abort_leaves_replayable_journal;
   ]
 
 let props = []
