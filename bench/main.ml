@@ -447,7 +447,7 @@ let substrate () =
       let t0 = Unix.gettimeofday () in
       let stats = Store.gc store in
       let t1 = Unix.gettimeofday () in
-      let image = Image.encode { Image.heap = Store.heap store; roots = Store.roots store; blobs = Hashtbl.create 1 } in
+      let image = Image.encode { Image.heap = Store.heap store; roots = Store.roots store; blobs = Hashtbl.create 1; quarantine = Quarantine.create () } in
       let t2 = Unix.gettimeofday () in
       let recovered = Image.decode image in
       let t3 = Unix.gettimeofday () in
@@ -461,6 +461,42 @@ let substrate () =
         ((t3 -. t2) *. 1e3)
         (Heap.size recovered.Image.heap = Store.size store))
     [ 100; 1000; 10000 ]
+
+(* Scrub throughput: priming (first pass records CRCs), steady-state
+   verification, and detection of an in-memory bit flip. *)
+let substrate_scrub () =
+  Printf.printf "\n== substrate: scrub throughput ==\n";
+  List.iter
+    (fun n ->
+      let store, vm, persons = Workloads.vm_with_persons n in
+      ignore vm;
+      let full_pass () =
+        let quarantined = ref 0 in
+        let complete = ref false in
+        let t0 = Unix.gettimeofday () in
+        while not !complete do
+          let r = Store.scrub ~budget:1024 store in
+          quarantined := !quarantined + List.length r.Scrub.newly_quarantined;
+          complete := r.Scrub.pass_complete
+        done;
+        (Unix.gettimeofday () -. t0, !quarantined)
+      in
+      let prime_dt, _ = full_pass () in
+      let verify_dt, _ = full_pass () in
+      let live = Store.size store in
+      (* flip a byte of one object's in-memory entry: the next pass must
+         quarantine exactly it *)
+      Faults.corrupt_entry (Store.heap store)
+        (Workloads.oid_of (List.nth persons (List.length persons / 2)));
+      let detect_dt, caught = full_pass () in
+      Printf.printf
+        "  n=%6d objects: prime %7.2f ms (%7.0f obj/ms)   verify %7.2f ms (%7.0f obj/ms)   bit-flip caught=%b in %7.2f ms\n"
+        live (prime_dt *. 1e3)
+        (float_of_int live /. (prime_dt *. 1e3))
+        (verify_dt *. 1e3)
+        (float_of_int live /. (verify_dt *. 1e3))
+        (caught = 1) (detect_dt *. 1e3))
+    [ 1000; 10000 ]
 
 (* Transaction rollback: snapshot + restore cost vs store size. *)
 let substrate_rollback () =
@@ -657,6 +693,7 @@ let () =
   concl_link_times ();
   concl_evolution ();
   substrate ();
+  substrate_scrub ();
   substrate_rollback ();
   substrate_stabilise ();
   vm_micro ();

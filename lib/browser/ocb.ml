@@ -76,8 +76,18 @@ let bring_to_front b id =
 
 (* -- entity naming ------------------------------------------------------------ *)
 
+(* Unreadable objects display distinctly instead of crashing the panel:
+   the scrubber may quarantine any object while the browser is open. *)
+let damaged_title oid = function
+  | Quarantine.Quarantined_oid _ -> Printf.sprintf "<quarantined @%d>" (Oid.to_int oid)
+  | Quarantine.Missing _ -> Printf.sprintf "<dangling @%d>" (Oid.to_int oid)
+
 let entity_title b = function
-  | E_object oid -> Printf.sprintf "%s@%d" (Store.class_of b.vm.Rt.store oid) (Oid.to_int oid)
+  | E_object oid -> begin
+    match Store.try_get b.vm.Rt.store oid with
+    | Ok _ -> Printf.sprintf "%s@%d" (Store.class_of b.vm.Rt.store oid) (Oid.to_int oid)
+    | Error e -> damaged_title oid e
+  end
   | E_class name -> "class " ^ name
   | E_method { cls; name; desc; _ } -> Printf.sprintf "method %s.%s%s" cls name desc
   | E_constructor { cls; desc } -> Printf.sprintf "constructor %s%s" cls desc
@@ -88,21 +98,22 @@ let entity_title b = function
 let display_value b ?(format = Display_format.default) v =
   match v with
   | Pvalue.Ref oid -> begin
-    match Store.get b.vm.Rt.store oid with
-    | Heap.Str s ->
+    match Store.try_get b.vm.Rt.store oid with
+    | Error e -> damaged_title oid e
+    | Ok (Heap.Str s) ->
       let s = if String.length s > format.Display_format.max_string then String.sub s 0 format.Display_format.max_string ^ "…" else s in
       Printf.sprintf "%S" s
-    | Heap.Record r -> begin
+    | Ok (Heap.Record r) -> begin
       let fmt = Display_format.lookup b.vm b.formats r.Heap.class_name in
       match fmt.Display_format.summary with
       | Some f -> f b.vm oid
       | None -> Printf.sprintf "%s@%d" r.Heap.class_name (Oid.to_int oid)
     end
-    | Heap.Array a ->
+    | Ok (Heap.Array a) ->
       Printf.sprintf "%s[%d]@%d"
         (Jtype.to_string (Jtype.of_descriptor a.Heap.elem_type))
         (Array.length a.Heap.elems) (Oid.to_int oid)
-    | Heap.Weak _ -> Printf.sprintf "weak@%d" (Oid.to_int oid)
+    | Ok (Heap.Weak _) -> Printf.sprintf "weak@%d" (Oid.to_int oid)
   end
   | v -> Pvalue.to_string v
 
@@ -115,14 +126,29 @@ let value_entity v =
 (* -- rows ----------------------------------------------------------------------- *)
 
 let object_rows b oid =
-  match Store.get b.vm.Rt.store oid with
-  | Heap.Str s ->
+  match Store.try_get b.vm.Rt.store oid with
+  | Error e ->
+    (* A panel over a quarantined or dangling object degrades to a
+       diagnosis instead of raising. *)
+    let reason_rows =
+      match Store.quarantine_reason b.vm.Rt.store oid with
+      | Some reason ->
+        [ { row_label = "reason"; row_display = reason; row_value = None; row_location = None } ]
+      | None -> []
+    in
+    { row_label = "status";
+      row_display = Quarantine.describe_read_error e;
+      row_value = None;
+      row_location = None;
+    }
+    :: reason_rows
+  | Ok (Heap.Str s) ->
     [
       { row_label = "class"; row_display = Jtype.string_class; row_value = Some (E_class Jtype.string_class); row_location = None };
       { row_label = "length"; row_display = string_of_int (String.length s); row_value = Some (E_value (Pvalue.Int (Int32.of_int (String.length s)))); row_location = None };
       { row_label = "value"; row_display = Printf.sprintf "%S" s; row_value = None; row_location = None };
     ]
-  | Heap.Weak cell ->
+  | Ok (Heap.Weak cell) ->
     [
       {
         row_label = "target";
@@ -131,7 +157,7 @@ let object_rows b oid =
         row_location = None;
       };
     ]
-  | Heap.Array a ->
+  | Ok (Heap.Array a) ->
     let len = Array.length a.Heap.elems in
     let shown = min len b.max_array_rows in
     let elem_rows =
@@ -158,7 +184,7 @@ let object_rows b oid =
       else []
     in
     (header :: elem_rows) @ trailer
-  | Heap.Record r -> begin
+  | Ok (Heap.Record r) -> begin
     let cls = r.Heap.class_name in
     let class_row =
       { row_label = "class"; row_display = cls; row_value = Some (E_class cls); row_location = None }
@@ -348,7 +374,11 @@ let open_row b panel n =
 (* Open the class panel for an object panel (Display Class). *)
 let open_class_of b panel =
   match panel.entity with
-  | E_object oid -> Some (open_entity b (E_class (Store.class_of b.vm.Rt.store oid)))
+  | E_object oid -> begin
+    match Store.try_get b.vm.Rt.store oid with
+    | Ok _ -> Some (open_entity b (E_class (Store.class_of b.vm.Rt.store oid)))
+    | Error _ -> None
+  end
   | E_class _ | E_method _ | E_constructor _ | E_value _ | E_roots -> None
 
 (* Invoke a no-argument method shown in a method panel on a receiver

@@ -47,4 +47,7 @@ let census store =
   List.iter
     (fun (cls, n) -> Buffer.add_string buf (Printf.sprintf "  %6d  %s\n" n cls))
     (Graph.census store);
+  (match List.length (Store.quarantined store) with
+  | 0 -> ()
+  | n -> Buffer.add_string buf (Printf.sprintf "  %6d  <quarantined>\n" n));
   Buffer.contents buf

@@ -18,8 +18,23 @@ type t = {
   mutable stored_as : Pstore.Oid.t option; (* last storage-form instance *)
 }
 
+(* A hyper-link is broken when any store object it pins cannot be read
+   (quarantined by the scrubber, or dangling). *)
+let link_broken vm link =
+  List.exists
+    (fun oid ->
+      match Pstore.Store.try_get Rt.(vm.store) oid with
+      | Ok _ -> false
+      | Error _ -> true)
+    (Hyperlink.referenced_oids link)
+
 let create ?(class_name = "") vm =
-  { window = Window_editor.create (Basic_editor.create ()); vm; class_name; last_error = None; stored_as = None }
+  let window = Window_editor.create (Basic_editor.create ()) in
+  (* Broken links render distinctly: [!label] instead of [label]. *)
+  Window_editor.set_render_label window (fun l ->
+      if link_broken vm l.Basic_editor.payload then "[!" ^ l.Basic_editor.label ^ "]"
+      else "[" ^ l.Basic_editor.label ^ "]");
+  { window; vm; class_name; last_error = None; stored_as = None }
 
 let window ed = ed.window
 let buffer ed = Window_editor.buffer ed.window

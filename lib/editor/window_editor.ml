@@ -55,6 +55,10 @@ let resize w ~width ~height =
 
 let scroll_to w line = w.top_line <- max 0 line
 
+(* How link buttons render.  The default is "[label]"; the user editor
+   overrides this to mark links with unreadable targets. *)
+let set_render_label w f = w.render_label <- f
+
 (* Faces are attached to (line, start, len) runs.  Edits invalidate the
    runs of the touched lines; higher layers re-apply styling. *)
 let set_face w ~line ~start ~len face =

@@ -24,6 +24,10 @@ val selection : 'a t -> (Basic_editor.pos * Basic_editor.pos) option
 val resize : 'a t -> width:int -> height:int -> unit
 val scroll_to : 'a t -> int -> unit
 
+val set_render_label : 'a t -> ('a Basic_editor.link -> string) -> unit
+(** Override how link buttons render (default ["[" ^ label ^ "]"]); the
+    user editor marks links with unreadable targets as ["[!" ^ label ^ "]"]. *)
+
 val set_face : 'a t -> line:int -> start:int -> len:int -> Face.t -> unit
 (** Attach a face to a text run.  Edits clear the touched line's runs;
     higher layers re-apply styling. *)

@@ -84,6 +84,17 @@ public class HyperLinkHP {
   public String toString() { return "HyperLinkHP(" + label + ")"; }
 }
 
+public class BrokenLink extends HyperLinkHP {
+  protected String reason;
+
+  public BrokenLink() { reason = ""; }
+
+  public String getReason() { return reason; }
+  public boolean isBroken() { return true; }
+
+  public String toString() { return "BrokenLink(" + label + ": " + reason + ")"; }
+}
+
 public class Registry {
   protected String password;
   protected Object[] programs;
@@ -110,5 +121,6 @@ let all_units = [ hyper_unit; compiler_unit ]
 
 let hyper_program_class = "hyper.HyperProgram"
 let hyper_link_class = "hyper.HyperLinkHP"
+let broken_link_class = "hyper.BrokenLink"
 let registry_class = "hyper.Registry"
 let dynamic_compiler_class = "compiler.DynamicCompiler"

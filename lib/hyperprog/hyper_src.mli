@@ -4,7 +4,8 @@
     {!Dynamic_compiler.install}. *)
 
 val hyper_unit : string
-(** Package [hyper]: [HyperProgram], [HyperLinkHP], [Registry]. *)
+(** Package [hyper]: [HyperProgram], [HyperLinkHP], [BrokenLink],
+    [Registry]. *)
 
 val compiler_unit : string
 (** Package [compiler]: [DynamicCompiler] with its native methods. *)
@@ -13,5 +14,10 @@ val all_units : string list
 
 val hyper_program_class : string
 val hyper_link_class : string
+
+val broken_link_class : string
+(** [hyper.BrokenLink]: the degraded stand-in {!Registry.try_get_link}
+    returns for links whose target is quarantined. *)
+
 val registry_class : string
 val dynamic_compiler_class : string

@@ -115,21 +115,96 @@ let add_hp vm ~password hp_oid =
     n
   end
 
-(* Retrieve a HyperLinkHP instance (the getLink of Figure 9). *)
-let get_link vm ~password ~hp ~link =
+(* -- link retrieval with degradation ------------------------------------- *)
+
+type broken =
+  | Collected of int
+  | No_such_link of { hp : int; link : int }
+  | Target_quarantined of { oid : Oid.t; reason : string }
+
+type link_result =
+  | Link of Pvalue.t
+  | Broken of broken
+
+let describe_broken = function
+  | Collected hp -> Printf.sprintf "hyper-program %d has been garbage collected" hp
+  | No_such_link { hp; link } ->
+    Printf.sprintf "no hyper-link %d in hyper-program %d" link hp
+  | Target_quarantined { oid; reason } ->
+    Printf.sprintf "link target @%d is quarantined: %s" (Oid.to_int oid) reason
+
+(* Health of a HyperLinkHP instance: the instance itself, and the entity
+   its hyperLinkObject field references, must both be readable. *)
+let link_damage vm link_oid =
+  let store = Rt.(vm.store) in
+  let slot = Rt.field_slot vm Hyper_src.hyper_link_class "hyperLinkObject" in
+  match Store.try_field store link_oid slot with
+  | Error (Quarantine.Quarantined_oid (oid, reason)) ->
+    Some (Target_quarantined { oid; reason })
+  | Error (Quarantine.Missing oid) ->
+    Some (Target_quarantined { oid; reason = "dangling reference" })
+  | Ok (Pvalue.Ref target) -> begin
+    match Store.try_get store target with
+    | Ok _ -> None
+    | Error (Quarantine.Quarantined_oid (oid, reason)) ->
+      Some (Target_quarantined { oid; reason })
+    | Error (Quarantine.Missing oid) ->
+      Some (Target_quarantined { oid; reason = "dangling reference" })
+  end
+  | Ok _ -> None
+
+(* Retrieve a HyperLinkHP instance (the getLink of Figure 9), reporting
+   failure as data rather than raising: broken links degrade. *)
+let try_get_link vm ~password ~hp ~link =
   if not (check_password vm password) then bad_password ();
   match hp_at vm hp with
   | Pvalue.Ref hp_oid -> begin
-    let link_oids = Storage_form.link_oids vm hp_oid in
-    match List.nth_opt link_oids link with
-    | Some oid -> Pvalue.Ref oid
-    | None ->
-      Rt.jerror "java.lang.IndexOutOfBoundsException" "hyper-link %d of hyper-program %d" link
-        hp
+    match Storage_form.link_oids vm hp_oid with
+    | exception Quarantine.Quarantined (oid, reason) ->
+      (* the hyper-program's own storage form is damaged *)
+      Broken (Target_quarantined { oid; reason })
+    | link_oids -> begin
+      match List.nth_opt link_oids link with
+      | None -> Broken (No_such_link { hp; link })
+      | Some link_oid -> begin
+        match link_damage vm link_oid with
+        | Some damage -> Broken damage
+        | None -> Link (Pvalue.Ref link_oid)
+      end
+    end
   end
-  | _ ->
+  | _ -> Broken (Collected hp)
+
+(* A hyper.BrokenLink instance standing in for an unreachable target:
+   compiled textual forms receive it from getLink instead of an
+   exception, so a single corrupt entity does not kill the program. *)
+let broken_link_value vm ~link damage =
+  if not (Rt.is_loaded vm Hyper_src.broken_link_class) then Pvalue.Null
+  else begin
+    let store = Rt.(vm.store) in
+    let v = Rt.alloc_object vm Hyper_src.broken_link_class in
+    let oid = match v with Pvalue.Ref oid -> oid | _ -> assert false in
+    let set name value =
+      Store.set_field store oid (Rt.field_slot vm Hyper_src.broken_link_class name) value
+    in
+    set "label" (Rt.jstring vm (Printf.sprintf "broken link %d" link));
+    set "reason" (Rt.jstring vm (describe_broken damage));
+    v
+  end
+
+(* The raising getLink: collected programs and bad indices keep their
+   paper-specified exceptions, but a quarantined (or dangling) target
+   degrades to a BrokenLink instance instead of killing the caller. *)
+let get_link vm ~password ~hp ~link =
+  match try_get_link vm ~password ~hp ~link with
+  | Link v -> v
+  | Broken (Collected hp) ->
     Rt.jerror "java.lang.IllegalStateException"
       "hyper-program %d has been garbage collected" hp
+  | Broken (No_such_link { hp; link }) ->
+    Rt.jerror "java.lang.IndexOutOfBoundsException" "hyper-link %d of hyper-program %d" link
+      hp
+  | Broken (Target_quarantined _ as damage) -> broken_link_value vm ~link damage
 
 (* Live registered programs: (uid, oid) pairs whose weak target survives. *)
 let live_programs vm =
@@ -138,3 +213,78 @@ let live_programs vm =
       | Pvalue.Ref oid -> Some (i, oid)
       | _ -> None)
   |> List.filter_map Fun.id
+
+(* -- maintenance ----------------------------------------------------------- *)
+
+let origin_prefix = "hyper.origin:"
+
+(* Blob anchors for Integrity.check: each hyper.origin:CLS blob names the
+   registry uid a compiled class came from; while that program is live
+   its oid must be live too.  (A dangling anchor means the weak cell
+   still holds a reference the GC should have cleared — corruption.) *)
+let origin_anchors vm =
+  let store = Rt.(vm.store) in
+  Store.blob_keys store
+  |> List.filter_map (fun key ->
+         if not (String.starts_with ~prefix:origin_prefix key) then None
+         else
+           match Option.bind (Store.blob store key) int_of_string_opt with
+           | None -> None
+           | Some uid -> begin
+             match hp_at vm uid with
+             | Pvalue.Ref oid -> Some (key, oid)
+             | _ -> None
+           end)
+
+type prune_stats = {
+  cleared_slots : int;
+  removed_origins : int;
+}
+
+(* Prune dead registry entries after a GC: null out weak slots whose
+   target was collected (uids stay stable — the slot is kept, emptied)
+   and drop hyper.origin blobs that name a collected program.  The
+   emptied weak cells themselves become garbage for the next GC pass.
+   Quarantined programs are NOT pruned: they are live-but-corrupt, and
+   their registry entry is what lets repair tools find them. *)
+let prune vm =
+  let store = Rt.(vm.store) in
+  let reg = ensure vm in
+  let arr = programs_array vm reg in
+  let cleared = ref 0 in
+  for i = 0 to count vm - 1 do
+    match Store.elem store arr i with
+    | Pvalue.Ref cell ->
+      let dead =
+        match Store.try_get store cell with
+        | Error (Quarantine.Missing _) -> true
+        | Error (Quarantine.Quarantined_oid _) -> false
+        | Ok (Pstore.Heap.Weak c) -> begin
+          match c.Pstore.Heap.target with
+          | Pvalue.Ref oid -> not (Store.is_live store oid)
+          | _ -> true (* cleared by the GC *)
+        end
+        | Ok _ -> false
+      in
+      if dead then begin
+        Store.set_elem store arr i Pvalue.Null;
+        incr cleared
+      end
+    | _ -> ()
+  done;
+  let removed = ref 0 in
+  List.iter
+    (fun key ->
+      if String.starts_with ~prefix:origin_prefix key then begin
+        let dead =
+          match Option.bind (Store.blob store key) int_of_string_opt with
+          | None -> true
+          | Some uid -> ( match hp_at vm uid with Pvalue.Ref _ -> false | _ -> true)
+        in
+        if dead then begin
+          Store.remove_blob store key;
+          incr removed
+        end
+      end)
+    (Store.blob_keys store);
+  { cleared_slots = !cleared; removed_origins = !removed }

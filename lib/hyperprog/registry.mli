@@ -32,9 +32,50 @@ val add_hp : Rt.t -> password:string -> Oid.t -> int
     offset in the persistent vector, as in the paper.
     @raise Rt.Jerror [java.lang.SecurityException] on a bad password. *)
 
+(** {1 Link retrieval}
+
+    Broken hyper-links degrade instead of crashing: {!try_get_link}
+    reports failure as data, and {!get_link} hands quarantined targets
+    back as [hyper.BrokenLink] instances. *)
+
+type broken =
+  | Collected of int  (** the hyper-program was garbage collected *)
+  | No_such_link of { hp : int; link : int }
+  | Target_quarantined of { oid : Oid.t; reason : string }
+      (** the linked entity (or the link/storage form itself) is
+          quarantined or dangling *)
+
+type link_result =
+  | Link of Pvalue.t  (** the [HyperLinkHP] instance *)
+  | Broken of broken
+
+val describe_broken : broken -> string
+
+val try_get_link : Rt.t -> password:string -> hp:int -> link:int -> link_result
+(** Like {!get_link}, but failures come back as data.
+    @raise Rt.Jerror [java.lang.SecurityException] on a bad password. *)
+
 val get_link : Rt.t -> password:string -> hp:int -> link:int -> Pvalue.t
 (** Retrieve a [HyperLinkHP] instance (Figure 9's [getLink]).
+    A quarantined or dangling target degrades to a [hyper.BrokenLink]
+    instance carrying the reason ([Pvalue.Null] if that class is not
+    loaded); the paper-specified exceptions are kept for the rest.
     @raise Rt.Jerror on bad password, collected program, or bad index. *)
 
 val live_programs : Rt.t -> (int * Oid.t) list
 (** Registered programs whose weak target is still alive. *)
+
+(** {1 Maintenance} *)
+
+val origin_anchors : Rt.t -> (string * Oid.t) list
+(** The [hyper.origin:*] blob anchors of live programs, for
+    [Integrity.check ~anchors]. *)
+
+type prune_stats = {
+  cleared_slots : int;  (** weak slots nulled (uids stay stable) *)
+  removed_origins : int;  (** [hyper.origin:*] blobs dropped *)
+}
+
+val prune : Rt.t -> prune_stats
+(** Null out weak slots whose program was collected and drop origin
+    blobs naming collected programs.  Quarantined programs are kept. *)

@@ -42,26 +42,61 @@ let literal_source v =
 let get_link_call ~password ~hp_uid ~link_index =
   Printf.sprintf "DynamicCompiler.getLink(\"%s\", %d, %d)" password hp_uid link_index
 
-(* The textual equivalent of one hyper-link (Section 4.2). *)
+(* The store object a link dereferences at run time, if any. *)
+let target_oid_of = function
+  | Hyperlink.L_object oid -> Some oid
+  | Hyperlink.L_instance_field { target; _ } -> Some target
+  | Hyperlink.L_array_element { array; _ } -> Some array
+  | Hyperlink.L_primitive _ | Hyperlink.L_type _ | Hyperlink.L_static_method _
+  | Hyperlink.L_instance_method _ | Hyperlink.L_constructor _ | Hyperlink.L_static_field _ ->
+    None
+
+(* [Some reason] if the oid cannot be read (quarantined or dangling). *)
+let target_damage vm oid =
+  match Store.try_get Rt.(vm.store) oid with
+  | Ok _ -> None
+  | Error (Quarantine.Quarantined_oid (_, reason)) -> Some reason
+  | Error (Quarantine.Missing _) -> Some "dangling reference"
+
+(* Keep damage reasons from closing the generated comment early: without
+   a '/' no "*/" can appear. *)
+let comment_safe reason = String.map (fun c -> if c = '/' then '.' else c) reason
+
+(* The placeholder spliced in for a link whose target cannot be read:
+   still parses as an expression, and carries the diagnosis where the
+   programmer will look.  The cast keeps it a reference-typed value. *)
+let broken_placeholder ~link_index reason =
+  Printf.sprintf "((java.lang.Object) null /* broken hyper-link %d: %s */)" link_index
+    (comment_safe reason)
+
+(* The textual equivalent of one hyper-link (Section 4.2).  Links whose
+   target store object is quarantined or dangling degrade to
+   {!broken_placeholder} instead of raising. *)
 let link_expression vm ~password ~hp_uid ~link_index (link : Hyperlink.t) =
   let retrieval = get_link_call ~password ~hp_uid ~link_index in
-  match link with
-  | Hyperlink.L_static_method { cls; name; _ } ->
-    (* "fully qualified method name" — no store retrieval needed *)
-    Printf.sprintf "%s.%s" cls name
-  | Hyperlink.L_instance_method { name; _ } ->
-    (* spliced after a receiver expression and dot in the program text *)
-    name
-  | Hyperlink.L_constructor { cls; _ } -> cls
-  | Hyperlink.L_type ty -> type_source ty
-  | Hyperlink.L_primitive v -> literal_source v
-  | Hyperlink.L_object oid ->
-    Printf.sprintf "((%s) %s.getObject())" (cast_type vm oid) retrieval
-  | Hyperlink.L_static_field { cls; name } -> Printf.sprintf "%s.%s" cls name
-  | Hyperlink.L_instance_field { target; cls = _; name } ->
-    Printf.sprintf "((%s) %s.getObject()).%s" (cast_type vm target) retrieval name
-  | Hyperlink.L_array_element { array; index } ->
-    Printf.sprintf "((%s) %s.getObject())[%d]" (cast_type vm array) retrieval index
+  match target_oid_of link with
+  | Some oid when target_damage vm oid <> None ->
+    let reason = Option.get (target_damage vm oid) in
+    broken_placeholder ~link_index reason
+  | _ -> begin
+    match link with
+    | Hyperlink.L_static_method { cls; name; _ } ->
+      (* "fully qualified method name" — no store retrieval needed *)
+      Printf.sprintf "%s.%s" cls name
+    | Hyperlink.L_instance_method { name; _ } ->
+      (* spliced after a receiver expression and dot in the program text *)
+      name
+    | Hyperlink.L_constructor { cls; _ } -> cls
+    | Hyperlink.L_type ty -> type_source ty
+    | Hyperlink.L_primitive v -> literal_source v
+    | Hyperlink.L_object oid ->
+      Printf.sprintf "((%s) %s.getObject())" (cast_type vm oid) retrieval
+    | Hyperlink.L_static_field { cls; name } -> Printf.sprintf "%s.%s" cls name
+    | Hyperlink.L_instance_field { target; cls = _; name } ->
+      Printf.sprintf "((%s) %s.getObject()).%s" (cast_type vm target) retrieval name
+    | Hyperlink.L_array_element { array; index } ->
+      Printf.sprintf "((%s) %s.getObject())[%d]" (cast_type vm array) retrieval index
+  end
 
 (* Does this link kind need the registry at run time? *)
 let needs_retrieval = function
@@ -98,26 +133,62 @@ let add_import text =
     String.concat "\n" ((first ^ "\n" ^ String.trim import_line) :: rest)
   | _ -> import_line ^ text
 
+(* Read link specs one at a time: a quarantined or dangling HyperLinkHP
+   instance is reported as data instead of killing the whole translation,
+   and surviving links keep their original indices (their getLink
+   numbering). *)
+let readable_links vm hp_oid =
+  Storage_form.link_oids vm hp_oid
+  |> List.mapi (fun i oid ->
+         match Storage_form.read_link vm oid with
+         | spec -> (i, Ok spec)
+         | exception Quarantine.Quarantined (_, reason) -> (i, Error reason)
+         | exception Pstore.Heap.Heap_error _ -> (i, Error "dangling reference"))
+
+let ok_specs links = List.filter_map (fun (_, r) -> Result.to_option r) links
+
 (* Generate the textual form of a registered hyper-program (its uid must
-   have been allocated by Registry.add_hp). *)
+   have been allocated by Registry.add_hp).  Links whose HyperLinkHP
+   instance cannot be read are reported in a header comment; links whose
+   target entity cannot be read splice in {!broken_placeholder}. *)
 let generate vm hp_oid =
   let hp_uid = Storage_form.uid vm hp_oid in
   if hp_uid < 0 then
     textual_error "hyper-program is not registered; call Registry.add_hp first";
   let text = Storage_form.text vm hp_oid in
-  let links = Storage_form.links vm hp_oid in
+  let links = readable_links vm hp_oid in
   let expansions =
-    List.mapi
-      (fun link_index (spec : Storage_form.link_spec) ->
-        ( spec.Storage_form.pos,
-          link_expression vm ~password:Registry.built_in_password ~hp_uid ~link_index
-            spec.Storage_form.link ))
+    List.filter_map
+      (fun (link_index, r) ->
+        match r with
+        | Ok (spec : Storage_form.link_spec) ->
+          Some
+            ( spec.Storage_form.pos,
+              link_expression vm ~password:Registry.built_in_password ~hp_uid ~link_index
+                spec.Storage_form.link )
+        | Error _ -> None)
       links
   in
   let body = splice text expansions in
-  if List.exists (fun spec -> needs_retrieval spec.Storage_form.link) links then
-    add_import body
-  else body
+  let body =
+    if List.exists (fun spec -> needs_retrieval spec.Storage_form.link) (ok_specs links)
+    then add_import body
+    else body
+  in
+  let unreadable =
+    List.filter_map
+      (fun (i, r) -> match r with Error reason -> Some (i, reason) | Ok _ -> None)
+      links
+  in
+  match unreadable with
+  | [] -> body
+  | _ ->
+    String.concat ""
+      (List.map
+         (fun (i, reason) ->
+           Printf.sprintf "/* unreadable hyper-link %d: %s */\n" i (comment_safe reason))
+         unreadable)
+    ^ body
 
 (* ---------------------------------------------------------------------- *)
 (* Source maps: textual form -> hyper-program positions                    *)
@@ -211,14 +282,22 @@ let generate_mapped vm hp_oid =
   if hp_uid < 0 then
     textual_error "hyper-program is not registered; call Registry.add_hp first";
   let text = Storage_form.text vm hp_oid in
-  let links = Storage_form.links vm hp_oid in
+  (* Unreadable links are silently skipped here: the source map must stay
+     an exact account of the spliced text.  [generate] reports them.
+     Surviving links keep their original getLink indices. *)
+  let readable =
+    List.filter_map
+      (fun (i, r) -> match r with Ok spec -> Some (i, spec) | Error _ -> None)
+      (readable_links vm hp_oid)
+  in
+  let links = List.map snd readable in
   let expansions =
-    List.mapi
-      (fun link_index (spec : Storage_form.link_spec) ->
+    List.map
+      (fun (link_index, (spec : Storage_form.link_spec)) ->
         ( spec.Storage_form.pos,
           link_expression vm ~password:Registry.built_in_password ~hp_uid ~link_index
             spec.Storage_form.link ))
-      links
+      readable
   in
   let body, map = splice_mapped text expansions in
   if List.exists (fun spec -> needs_retrieval spec.Storage_form.link) links then begin

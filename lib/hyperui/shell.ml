@@ -27,6 +27,8 @@ let help_text =
   edit-class CLASS         open the hyper-program a class was compiled from
   load NAME                load a hyper-program from a persistent root
   roots | census | gc | stabilise
+  scrub [BUDGET]           run one scrubber step: verify object checksums and references
+  health                   store health: scrub progress, quarantine set, retry counters
   log                      show the session event log
   help | quit
 |}
@@ -60,6 +62,9 @@ let run ~store_path ~input ~echo =
       s
     end
   in
+  (* The interactive shell absorbs transient I/O hiccups with bounded
+     retries; the `health` command surfaces the counters. *)
+  Store.set_retry_policy store (Some Retry.default_policy);
   let session = Session.create ~echo store in
   let vm = Session.vm session in
   let b = Session.browser session in
@@ -181,7 +186,37 @@ let run ~store_path ~input ~echo =
     | "census" :: _ -> print_string (Browser.Render.census store)
     | "gc" :: _ ->
       let stats = Store.gc store in
-      say "%s\n" (Format.asprintf "%a" Gc.pp_stats stats)
+      say "%s\n" (Format.asprintf "%a" Gc.pp_stats stats);
+      (* Keep the registry consistent with what the GC reclaimed. *)
+      let pruned = Registry.prune vm in
+      if pruned.Registry.cleared_slots > 0 || pruned.Registry.removed_origins > 0 then
+        say "registry pruned: %d dead slots, %d stale origin records\n"
+          pruned.Registry.cleared_slots pruned.Registry.removed_origins
+    | "scrub" :: rest -> begin
+      match (match rest with b :: _ -> int_of_string_opt b | [] -> Some Store.default_scrub_budget) with
+      | None -> say "scrub: bad budget\n"
+      | Some budget ->
+        let report = Store.scrub ~budget store in
+        say "scanned %d object%s: %d verified, %d primed%s\n" report.Scrub.scanned
+          (if report.Scrub.scanned = 1 then "" else "s")
+          report.Scrub.verified report.Scrub.primed
+          (if report.Scrub.pass_complete then " (pass complete)" else "");
+        List.iter
+          (fun (oid, reason) -> say "quarantined @%d: %s\n" (Oid.to_int oid) reason)
+          report.Scrub.newly_quarantined
+    end
+    | "health" :: _ ->
+      let stats = Store.stats store in
+      say "scrub: %s\n" (Format.asprintf "%a" Scrub.pp_progress (Store.scrub_progress store));
+      say "quarantined: %d\n" stats.Store.quarantined;
+      List.iter
+        (fun (oid, reason) -> say "  @%d: %s\n" (Oid.to_int oid) reason)
+        (Store.quarantined store);
+      say "io retries absorbed by this store: %d\n" stats.Store.io_retries;
+      let rs = Retry.stats () in
+      say "retry totals: %d attempts, %d retried, %d absorbed, %d exhausted\n" rs.Retry.attempts
+        rs.Retry.retries rs.Retry.absorbed rs.Retry.exhausted;
+      List.iter (fun (label, n) -> say "  %s: %d\n" label n) (Retry.counters ())
     | "stabilise" :: _ | "stabilize" :: _ ->
       Store.stabilise store;
       say "stabilised (%d objects)\n" (Store.size store)

@@ -146,3 +146,33 @@ let crc32 s =
       c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
     s;
   Int32.logxor !c 0xffffffffl
+
+(* -- checksummed frames ---------------------------------------------------
+
+   The framing shared by per-object image records and write-ahead journal
+   records: [int length][u32 crc32(payload)][payload].  Length lets a
+   reader skip a frame whose payload it cannot decode; the checksum lets
+   it tell silent corruption apart from a format change. *)
+
+let put_frame w payload =
+  put_int w (String.length payload);
+  put_i32 w (crc32 payload);
+  put_bytes w payload
+
+(* Read a frame, verifying its checksum.  On a checksum mismatch the
+   reader is still advanced past the frame, so salvage loops can report
+   the bad frame and continue with the next one. *)
+let checked_frame r =
+  let len = get_int r in
+  if len < 0 || len > remaining r then
+    decode_error "frame length %d exceeds %d remaining bytes" len (remaining r);
+  let stored = get_i32 r in
+  let payload = get_bytes r len in
+  let actual = crc32 payload in
+  if Int32.equal stored actual then Ok payload
+  else Error (Printf.sprintf "frame checksum mismatch: stored %ld, computed %ld" stored actual)
+
+let get_frame r =
+  match checked_frame r with
+  | Ok payload -> payload
+  | Error msg -> decode_error "%s" msg

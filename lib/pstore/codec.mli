@@ -47,3 +47,20 @@ val get_option : reader -> (reader -> 'a) -> 'a option
 
 val crc32 : string -> int32
 (** CRC-32 checksum (IEEE 802.3 polynomial) of a byte string. *)
+
+(** {1 Checksummed frames}
+
+    [int length][u32 crc32(payload)][payload] — the framing shared by
+    per-object image records and write-ahead journal records. *)
+
+val put_frame : writer -> string -> unit
+
+val get_frame : reader -> string
+(** Read a frame and verify its checksum.
+    @raise Decode_error on truncation or checksum mismatch. *)
+
+val checked_frame : reader -> (string, string) result
+(** Like {!get_frame}, but a checksum mismatch is returned as [Error]
+    with the reader advanced past the frame, so salvage loops can skip
+    the corrupt frame and keep reading.
+    @raise Decode_error if the frame structure itself is unreadable. *)

@@ -79,6 +79,37 @@ let output_string oc s =
     end
   | Some (Rename_fails | Fsync_fails) -> Stdlib.output_string oc s
 
+(* Flip one bit of an object's in-memory state behind the store API, the
+   way a stray pointer or bad DIMM would.  Counts as a fired fault.  The
+   scrubber's in-memory checksum pass is what must catch this. *)
+let flip_string s =
+  if String.length s = 0 then "\x01"
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+    Bytes.unsafe_to_string b
+  end
+
+let corrupt_entry heap oid =
+  let corrupted =
+    match Heap.get heap oid with
+    | Heap.Str s -> Heap.Str (flip_string s)
+    | Heap.Record r -> Heap.Record { r with Heap.class_name = flip_string r.Heap.class_name }
+    | Heap.Array a -> Heap.Array { a with Heap.elem_type = flip_string a.Heap.elem_type }
+    | Heap.Weak c ->
+      Heap.Weak
+        {
+          Heap.target =
+            (match c.Heap.target with
+            | Pvalue.Ref o -> Pvalue.Ref (Oid.of_int (Oid.to_int o + 1))
+            | Pvalue.Null -> Pvalue.Ref (Oid.of_int 999983)
+            | v -> v);
+        }
+  in
+  Heap.remove heap oid;
+  Heap.insert heap oid corrupted;
+  incr fired_count
+
 let rename src dst =
   match !current with
   | Some Rename_fails -> fire (Printf.sprintf "rename %s -> %s failed" src dst)

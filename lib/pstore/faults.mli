@@ -36,6 +36,12 @@ val with_fault : fault -> (unit -> 'a) -> ('a, exn) result
 (** Arm, run, disarm (even on exception).  The raised exception — usually
     {!Fault_injected} — is returned as [Error]. *)
 
+val corrupt_entry : Heap.t -> Oid.t -> unit
+(** Flip one bit of an object's in-memory state behind the store API (a
+    stray pointer / bad DIMM stand-in).  Counts as a fired fault; the
+    scrubber's checksum pass is what must catch it.
+    @raise Heap.Heap_error if the oid is not live. *)
+
 (** {1 Wrapped I/O} *)
 
 val output_string : out_channel -> string -> unit

@@ -1,27 +1,42 @@
-(* Stabilisation: the whole store (heap, roots, blobs) is serialised into a
-   single image, checksummed, and written atomically (temp file + rename).
-   Oids are preserved verbatim so hyper-links survive a close/reopen.
+(* Stabilisation: the whole store (heap, roots, blobs, quarantine) is
+   serialised into a single image and written atomically (temp file +
+   rename).  Oids are preserved verbatim so hyper-links survive a
+   close/reopen.
 
-   Blobs are named byte strings used by higher layers for non-object state;
-   the MiniJava runtime stores its compiled class files there, which is what
-   makes classes persistent. *)
+   Format v2 checksums every object individually: each heap entry is a
+   [length][crc32][payload] frame (the same framing the write-ahead
+   journal uses, via {!Codec.put_frame}), and the tail section (roots,
+   blobs, quarantine) is one more such frame.  A whole-image CRC trailer
+   still identifies the image for journal pairing.  The per-entry frames
+   are what make salvage possible: when the whole-image checksum fails,
+   [decode] walks the entry frames, quarantines exactly the objects whose
+   frames are corrupt, and loads everything else — one flipped bit costs
+   one object, not the store.
+
+   Blobs are named byte strings used by higher layers for non-object
+   state; the MiniJava runtime stores its compiled class files there,
+   which is what makes classes persistent. *)
 
 exception Image_error of string
 
 let image_error fmt = Format.kasprintf (fun s -> raise (Image_error s)) fmt
 
 let magic = "HPJSTORE"
-let version = 1
+let version = 2
 
 type contents = {
   heap : Heap.t;
   roots : Roots.t;
   blobs : (string, string) Hashtbl.t;
+  quarantine : Quarantine.t;
 }
 
-let encode_entry w entry =
+(* -- per-object wire format ----------------------------------------------- *)
+
+let encode_entry_payload entry =
   let open Codec in
-  match entry with
+  let w = writer () in
+  (match entry with
   | Heap.Record r ->
     put_u8 w 0;
     put_string w r.Heap.class_name;
@@ -35,24 +50,39 @@ let encode_entry w entry =
     put_string w s
   | Heap.Weak cell ->
     put_u8 w 3;
-    Pvalue.encode w cell.Heap.target
+    Pvalue.encode w cell.Heap.target);
+  contents w
 
-let decode_entry r =
+(* The per-object checksum: what the image frames store and the online
+   scrubber recomputes. *)
+let entry_crc entry = Codec.crc32 (encode_entry_payload entry)
+
+let decode_entry_payload payload =
   let open Codec in
-  match get_u8 r with
-  | 0 ->
-    let class_name = get_string r in
-    let fields = get_array r Pvalue.decode in
-    Heap.Record { Heap.class_name; fields }
-  | 1 ->
-    let elem_type = get_string r in
-    let elems = get_array r Pvalue.decode in
-    Heap.Array { Heap.elem_type; elems }
-  | 2 -> Heap.Str (get_string r)
-  | 3 -> Heap.Weak { Heap.target = Pvalue.decode r }
-  | n -> Codec.decode_error "Image: invalid entry kind %d" n
+  let r = reader payload in
+  let entry =
+    match get_u8 r with
+    | 0 ->
+      let class_name = get_string r in
+      let fields = get_array r Pvalue.decode in
+      Heap.Record { Heap.class_name; fields }
+    | 1 ->
+      let elem_type = get_string r in
+      let elems = get_array r Pvalue.decode in
+      Heap.Array { Heap.elem_type; elems }
+    | 2 -> Heap.Str (get_string r)
+    | 3 -> Heap.Weak { Heap.target = Pvalue.decode r }
+    | n -> Codec.decode_error "Image: invalid entry kind %d" n
+  in
+  if not (at_end r) then Codec.decode_error "Image: trailing bytes in entry";
+  entry
 
-let encode { heap; roots; blobs } =
+let encode_entry w entry = Codec.put_frame w (encode_entry_payload entry)
+let decode_entry r = decode_entry_payload (Codec.get_frame r)
+
+(* -- whole-image format ---------------------------------------------------- *)
+
+let encode { heap; roots; blobs; quarantine } =
   let open Codec in
   let w = writer () in
   put_bytes w magic;
@@ -69,30 +99,41 @@ let encode { heap; roots; blobs } =
       put_i64 w (Int64.of_int (Oid.to_int oid));
       encode_entry w entry)
     entries;
+  (* The tail (roots, blobs, quarantine) rides in its own frame so a
+     salvage load can still trust it when entry payloads are corrupt. *)
+  let tail = writer () in
   let root_bindings =
     Roots.fold (fun name v acc -> (name, v) :: acc) roots []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  put_int w (List.length root_bindings);
+  put_int tail (List.length root_bindings);
   List.iter
     (fun (name, v) ->
-      put_string w name;
-      Pvalue.encode w v)
+      put_string tail name;
+      Pvalue.encode tail v)
     root_bindings;
   let blob_bindings =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) blobs []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  put_int w (List.length blob_bindings);
+  put_int tail (List.length blob_bindings);
   List.iter
     (fun (k, v) ->
-      put_string w k;
-      put_string w v)
+      put_string tail k;
+      put_string tail v)
     blob_bindings;
+  let quarantined = Quarantine.to_list quarantine in
+  put_int tail (List.length quarantined);
+  List.iter
+    (fun (oid, reason) ->
+      put_i64 tail (Int64.of_int (Oid.to_int oid));
+      put_string tail reason)
+    quarantined;
+  put_frame w (contents tail);
   let body = contents w in
-  let tail = writer () in
-  put_i32 tail (crc32 body);
-  body ^ Codec.contents tail
+  let trailer = writer () in
+  put_i32 trailer (crc32 body);
+  body ^ Codec.contents trailer
 
 let decode data =
   let open Codec in
@@ -101,36 +142,68 @@ let decode data =
   let crc_reader = reader (String.sub data (String.length data - 4) 4) in
   let stored_crc = get_i32 crc_reader in
   let actual_crc = crc32 body in
-  if not (Int32.equal stored_crc actual_crc) then
-    image_error "checksum mismatch: stored %ld, computed %ld" stored_crc actual_crc;
-  let r = reader body in
-  let file_magic = get_bytes r (String.length magic) in
-  if not (String.equal file_magic magic) then image_error "bad magic %S" file_magic;
-  let file_version = get_u8 r in
-  if file_version <> version then image_error "unsupported image version %d" file_version;
-  let next = Int64.to_int (get_i64 r) in
-  let heap = Heap.create () in
-  let n_entries = get_int r in
-  for _ = 1 to n_entries do
-    let oid = Oid.of_int (Int64.to_int (get_i64 r)) in
-    Heap.insert heap oid (decode_entry r)
-  done;
-  Heap.set_next_oid heap next;
-  let roots = Roots.create () in
-  let n_roots = get_int r in
-  for _ = 1 to n_roots do
-    let name = get_string r in
-    Roots.set roots name (Pvalue.decode r)
-  done;
-  let blobs = Hashtbl.create 16 in
-  let n_blobs = get_int r in
-  for _ = 1 to n_blobs do
-    let k = get_string r in
-    let v = get_string r in
-    Hashtbl.replace blobs k v
-  done;
-  if not (at_end r) then image_error "%d trailing bytes after image" (remaining r);
-  { heap; roots; blobs }
+  let checksum_ok = Int32.equal stored_crc actual_crc in
+  let fail_checksum () =
+    image_error "checksum mismatch: stored %ld, computed %ld" stored_crc actual_crc
+  in
+  (* On a whole-image mismatch we attempt salvage: per-entry frames
+     localise the damage.  Salvage is accepted only if it actually finds
+     corrupt entry frames and the tail frame still verifies; corruption
+     anywhere else (header, oid fields, tail) means nothing can be
+     trusted, and the original checksum error is raised. *)
+  let quarantine = Quarantine.create () in
+  let salvaged = ref 0 in
+  try
+    let r = reader body in
+    let file_magic = get_bytes r (String.length magic) in
+    if not (String.equal file_magic magic) then
+      if checksum_ok then image_error "bad magic %S" file_magic else fail_checksum ();
+    let file_version = get_u8 r in
+    if file_version <> version then
+      if checksum_ok then image_error "unsupported image version %d" file_version
+      else fail_checksum ();
+    let next = Int64.to_int (get_i64 r) in
+    let heap = Heap.create () in
+    let n_entries = get_int r in
+    for _ = 1 to n_entries do
+      let oid = Oid.of_int (Int64.to_int (get_i64 r)) in
+      match checked_frame r with
+      | Ok payload -> begin
+        match decode_entry_payload payload with
+        | entry -> Heap.insert heap oid entry
+        | exception Codec.Decode_error msg ->
+          Quarantine.add quarantine oid ("undecodable object: " ^ msg);
+          incr salvaged
+      end
+      | Error msg ->
+        Quarantine.add quarantine oid ("storage " ^ msg);
+        incr salvaged
+    done;
+    Heap.set_next_oid heap next;
+    let tail = reader (get_frame r) in
+    let roots = Roots.create () in
+    let n_roots = get_int tail in
+    for _ = 1 to n_roots do
+      let name = get_string tail in
+      Roots.set roots name (Pvalue.decode tail)
+    done;
+    let blobs = Hashtbl.create 16 in
+    let n_blobs = get_int tail in
+    for _ = 1 to n_blobs do
+      let k = get_string tail in
+      let v = get_string tail in
+      Hashtbl.replace blobs k v
+    done;
+    let n_quarantined = get_int tail in
+    for _ = 1 to n_quarantined do
+      let oid = Oid.of_int (Int64.to_int (get_i64 tail)) in
+      let reason = get_string tail in
+      if not (Quarantine.mem quarantine oid) then Quarantine.add quarantine oid reason
+    done;
+    if not (at_end r) then image_error "%d trailing bytes after image" (remaining r);
+    if (not checksum_ok) && !salvaged = 0 then fail_checksum ();
+    { heap; roots; blobs; quarantine }
+  with Codec.Decode_error _ when not checksum_ok -> fail_checksum ()
 
 (* The CRC that [encode] appended: identifies this image so a journal can
    name the exact snapshot it extends. *)

@@ -1,8 +1,13 @@
 (** Stabilisation: whole-store snapshots.
 
-    The heap, named roots and blob table are serialised into a single
-    checksummed image and written atomically.  Oids are preserved, so
-    hyper-links (which capture oids) survive a close/reopen cycle. *)
+    The heap, named roots, blob table and quarantine set are serialised
+    into a single image and written atomically.  Oids are preserved, so
+    hyper-links (which capture oids) survive a close/reopen cycle.
+
+    Format v2 checksums every object individually ({!Codec.put_frame}
+    framing, shared with the write-ahead journal), so a corrupt image can
+    be {e salvaged}: objects whose frames fail their checksum are
+    quarantined and everything else loads. *)
 
 exception Image_error of string
 
@@ -11,19 +16,39 @@ type contents = {
   roots : Roots.t;
   blobs : (string, string) Hashtbl.t;
       (** named byte strings for non-object state, e.g. compiled class files *)
+  quarantine : Quarantine.t;
+      (** oids whose objects are known-corrupt, persisted across reopen *)
 }
 
 val encode : contents -> string
 (** Serialise to bytes (deterministic: entries sorted by oid). *)
 
 val decode : string -> contents
-(** @raise Image_error on checksum mismatch, bad magic or truncation.
-    @raise Codec.Decode_error on malformed payloads. *)
+(** Decode an image.  If the whole-image checksum fails, a salvage pass
+    loads every entry whose own frame still verifies and quarantines the
+    corrupt ones; salvage is accepted only when at least one corrupt
+    entry frame is found and the tail section verifies.
+    @raise Image_error on bad magic, truncation, or unsalvageable
+    corruption.
+    @raise Codec.Decode_error on malformed payloads in a checksum-clean
+    image. *)
 
 val encode_entry : Codec.writer -> Heap.entry -> unit
-(** The per-object wire format, shared with the write-ahead journal. *)
+(** The per-object wire format — a checksummed frame — shared with the
+    write-ahead journal. *)
 
 val decode_entry : Codec.reader -> Heap.entry
+(** @raise Codec.Decode_error on truncation or checksum mismatch. *)
+
+val encode_entry_payload : Heap.entry -> string
+(** The raw (unframed) per-object encoding, over which {!entry_crc} is
+    computed. *)
+
+val decode_entry_payload : string -> Heap.entry
+
+val entry_crc : Heap.entry -> int32
+(** The per-object checksum: CRC-32 of the entry's encoded payload.  This
+    is what the image frames store and the online scrubber recomputes. *)
 
 val save : ?durable:bool -> string -> contents -> int32
 (** Crash-atomic write (temp file, fsync, rename, directory fsync) through

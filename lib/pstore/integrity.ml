@@ -1,64 +1,109 @@
 (* Referential-integrity checking.  The paper's store contract is "roots,
    reachability and referential integrity": no reachable object may contain
    a dangling reference.  We verify the whole heap (not just the reachable
-   part) so that corruption is caught as early as possible. *)
+   part) so that corruption is caught as early as possible.
+
+   Quarantine-awareness: references INTO the quarantine are reported as
+   their own (non-fatal) violation kind — the degradation has already been
+   surfaced, and readers get a typed error rather than a crash — while the
+   contents of quarantined holders are skipped entirely, since corrupt
+   data proves nothing about the rest of the store. *)
 
 type violation =
   | Dangling_ref of { holder : Oid.t option; slot : string; target : Oid.t }
   | Bad_root of { name : string; target : Oid.t }
+  | Bad_weak_target of { holder : Oid.t; target : Oid.t }
+  | Quarantined_ref of { holder : Oid.t option; slot : string; target : Oid.t }
+  | Bad_blob_anchor of { key : string; target : Oid.t }
+
+let pp_holder ppf = function
+  | Some oid -> Oid.pp ppf oid
+  | None -> Format.pp_print_string ppf "<root>"
 
 let pp_violation ppf = function
   | Dangling_ref { holder; slot; target } ->
-    let pp_holder ppf = function
-      | Some oid -> Oid.pp ppf oid
-      | None -> Format.pp_print_string ppf "<root>"
-    in
     Format.fprintf ppf "dangling reference: %a.%s -> %a" pp_holder holder slot Oid.pp target
   | Bad_root { name; target } ->
     Format.fprintf ppf "root %S -> dangling %a" name Oid.pp target
+  | Bad_weak_target { holder; target } ->
+    Format.fprintf ppf "weak cell %a -> dangling %a" Oid.pp holder Oid.pp target
+  | Quarantined_ref { holder; slot; target } ->
+    Format.fprintf ppf "reference into quarantine: %a.%s -> %a" pp_holder holder slot Oid.pp
+      target
+  | Bad_blob_anchor { key; target } ->
+    Format.fprintf ppf "blob anchor %S -> dangling %a" key Oid.pp target
 
-let check_values heap holder values acc =
-  let check_one i acc v =
-    match v with
-    | Pvalue.Ref target when not (Heap.is_live heap target) ->
-      Dangling_ref { holder = Some holder; slot = string_of_int i; target } :: acc
-    | _ -> acc
-  in
-  let acc = ref acc in
-  Array.iteri (fun i v -> acc := check_one i !acc v) values;
-  !acc
+(* Quarantined references are non-fatal: the degradation is already
+   surfaced through typed read errors. *)
+let fatal = function
+  | Quarantined_ref _ -> false
+  | Dangling_ref _ | Bad_root _ | Bad_weak_target _ | Bad_blob_anchor _ -> true
 
-let check store =
+let check ?(anchors = []) store =
   let heap = Store.heap store in
   let violations = ref [] in
+  let classify ~holder ~slot target =
+    if Store.is_quarantined store target then
+      violations := Quarantined_ref { holder; slot; target } :: !violations
+    else if not (Heap.is_live heap target) then
+      violations :=
+        (match holder with
+        | Some h when String.equal slot "weak-target" ->
+          Bad_weak_target { holder = h; target }
+        | _ -> Dangling_ref { holder; slot; target })
+        :: !violations
+  in
+  let check_values holder values =
+    Array.iteri
+      (fun i v ->
+        match v with
+        | Pvalue.Ref target -> classify ~holder:(Some holder) ~slot:(string_of_int i) target
+        | _ -> ())
+      values
+  in
   Heap.iter
     (fun oid entry ->
-      match entry with
-      | Heap.Record r -> violations := check_values heap oid r.Heap.fields !violations
-      | Heap.Array a -> violations := check_values heap oid a.Heap.elems !violations
-      | Heap.Weak cell -> begin
-        (* A weak target may be cleared but must never dangle between GCs
-           only if GC has not yet run; a dangling weak target is reported
-           as a violation because reads would crash. *)
-        match cell.Heap.target with
-        | Pvalue.Ref target when not (Heap.is_live heap target) ->
-          violations :=
-            Dangling_ref { holder = Some oid; slot = "weak-target"; target } :: !violations
-        | _ -> ()
-      end
-      | Heap.Str _ -> ())
+      if not (Store.is_quarantined store oid) then begin
+        match entry with
+        | Heap.Record r -> check_values oid r.Heap.fields
+        | Heap.Array a -> check_values oid a.Heap.elems
+        | Heap.Weak cell -> begin
+          (* A weak target may be cleared (Null) but must never dangle:
+             GC clears weak cells in the same pass that sweeps their
+             targets, so a dangling weak target means corruption. *)
+          match cell.Heap.target with
+          | Pvalue.Ref target -> classify ~holder:(Some oid) ~slot:"weak-target" target
+          | _ -> ()
+        end
+        | Heap.Str _ -> ()
+      end)
     heap;
   Roots.iter
     (fun name v ->
       match v with
-      | Pvalue.Ref target when not (Heap.is_live heap target) ->
-        violations := Bad_root { name; target } :: !violations
+      | Pvalue.Ref target ->
+        if Store.is_quarantined store target then
+          violations :=
+            Quarantined_ref { holder = None; slot = "root:" ^ name; target } :: !violations
+        else if not (Heap.is_live heap target) then
+          violations := Bad_root { name; target } :: !violations
       | _ -> ())
     (Store.roots store);
+  (* Blob anchors: higher layers keep oid-valued pointers in the blob
+     table (e.g. the registry's hyper.origin:* records); a dead anchor is
+     as much a violation as a dangling root. *)
+  List.iter
+    (fun (key, target) ->
+      if Store.is_quarantined store target then
+        violations :=
+          Quarantined_ref { holder = None; slot = "blob:" ^ key; target } :: !violations
+      else if not (Heap.is_live heap target) then
+        violations := Bad_blob_anchor { key; target } :: !violations)
+    anchors;
   List.rev !violations
 
-let check_exn store =
-  match check store with
+let check_exn ?anchors store =
+  match List.filter fatal (check ?anchors store) with
   | [] -> ()
   | violations ->
     let msg =

@@ -1,15 +1,33 @@
 (** Referential-integrity checking.
 
-    Verifies that no object or root contains a reference to a dead oid. *)
+    Verifies that no object, root or blob anchor contains a reference to
+    a dead oid.  Quarantine-aware: references into the quarantine are
+    reported as the distinct, non-fatal {!Quarantined_ref} kind, and the
+    contents of quarantined holders are skipped (corrupt data proves
+    nothing about the rest of the store). *)
 
 type violation =
   | Dangling_ref of { holder : Oid.t option; slot : string; target : Oid.t }
   | Bad_root of { name : string; target : Oid.t }
+  | Bad_weak_target of { holder : Oid.t; target : Oid.t }
+      (** a weak cell whose target dangles (GC clears weak cells in the
+          same pass that sweeps their targets, so this means corruption) *)
+  | Quarantined_ref of { holder : Oid.t option; slot : string; target : Oid.t }
+      (** a reference into the quarantine set — non-fatal, since readers
+          already get a typed error *)
+  | Bad_blob_anchor of { key : string; target : Oid.t }
+      (** an oid-valued blob pointer (supplied via [?anchors]) that dangles *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
-val check : Store.t -> violation list
-(** All violations found in the store (empty list means the store is sound). *)
+val fatal : violation -> bool
+(** Everything except {!Quarantined_ref}. *)
 
-val check_exn : Store.t -> unit
-(** @raise Heap.Heap_error if any violation is found. *)
+val check : ?anchors:(string * Oid.t) list -> Store.t -> violation list
+(** All violations found in the store (empty list means the store is
+    sound).  [anchors] names oid-valued blob pointers maintained by
+    higher layers (e.g. the registry's class-origin records). *)
+
+val check_exn : ?anchors:(string * Oid.t) list -> Store.t -> unit
+(** @raise Heap.Heap_error if any {e fatal} violation is found
+    (quarantined references alone do not raise). *)

@@ -93,13 +93,12 @@ let decode_op payload =
   if not (at_end r) then decode_error "Journal: trailing bytes in record";
   op
 
+(* Record framing is the shared [Codec.put_frame] layout, the same one
+   protecting each image entry: length, crc32, payload. *)
 let frame payload =
-  let open Codec in
-  let w = writer () in
-  put_int w (String.length payload);
-  put_i32 w (crc32 payload);
-  put_bytes w payload;
-  contents w
+  let w = Codec.writer () in
+  Codec.put_frame w payload;
+  Codec.contents w
 
 (* -- writing ------------------------------------------------------------- *)
 

@@ -1,0 +1,37 @@
+(** The quarantine set: corrupt or undecodable objects, isolated rather
+    than fatal.
+
+    Reads of a quarantined oid raise {!Quarantined} (a typed error the
+    upper layers catch to render broken-link placeholders), while every
+    other object stays readable.  A quarantined oid may still have a heap
+    entry (in-memory corruption keeps the suspect entry for forensics) or
+    none at all (image-load salvage drops the undecodable payload). *)
+
+exception Quarantined of Oid.t * string
+
+type t
+
+(** Typed result of a salvage read ({!Store.try_get} and friends). *)
+type read_error =
+  | Missing of Oid.t  (** the oid is not live in the heap *)
+  | Quarantined_oid of Oid.t * string  (** quarantined, with the reason *)
+
+val pp_read_error : Format.formatter -> read_error -> unit
+val describe_read_error : read_error -> string
+
+val create : unit -> t
+val add : t -> Oid.t -> string -> unit
+val remove : t -> Oid.t -> unit
+val find : t -> Oid.t -> string option
+val mem : t -> Oid.t -> bool
+val size : t -> int
+val is_empty : t -> bool
+
+val check : t -> Oid.t -> unit
+(** @raise Quarantined if the oid is quarantined. *)
+
+val to_list : t -> (Oid.t * string) list
+(** Sorted by oid, for deterministic display and serialisation. *)
+
+val replace_all : t -> from:t -> unit
+(** Replace the whole set with another's contents (transaction rollback). *)

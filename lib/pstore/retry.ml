@@ -1,0 +1,69 @@
+(* Bounded retry with exponential backoff for transient I/O failures.
+
+   Only exceptions that plausibly denote a transient environmental
+   failure are retried: injected faults (the test stand-in for flaky
+   media), [Sys_error] and [Unix_error].  Logic errors —
+   [Invalid_argument], decode errors, integrity violations — propagate
+   immediately: retrying them would only repeat the bug.
+
+   Retrying a *stabilise* is safe because both of its failure paths are
+   idempotent: a failed journal append marks the store as needing a full
+   compaction (so the retry rewrites a fresh image instead of appending
+   after torn bytes), and a failed compaction merely rewrites the temp
+   image from scratch. *)
+
+type policy = {
+  retries : int; (* extra attempts after the first failure *)
+  base_delay : float; (* seconds; doubles per retry *)
+  max_delay : float;
+}
+
+let default_policy = { retries = 3; base_delay = 0.001; max_delay = 0.05 }
+
+type stats = {
+  attempts : int;
+  retries : int;
+  absorbed : int; (* operations that failed then eventually succeeded *)
+  exhausted : int; (* operations that failed even after all retries *)
+}
+
+let zero = { attempts = 0; retries = 0; absorbed = 0; exhausted = 0 }
+let global = ref zero
+
+(* Per-label retry counters, for `shell health`. *)
+let by_label : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let stats () = !global
+let reset_stats () =
+  global := zero;
+  Hashtbl.reset by_label
+
+let counters () =
+  Hashtbl.fold (fun label n acc -> (label, n) :: acc) by_label []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let transient = function
+  | Faults.Fault_injected _ | Sys_error _ | Unix.Unix_error _ -> true
+  | _ -> false
+
+let bump f = global := f !global
+
+let run ?(policy = default_policy) ?(on_retry = fun _ _ -> ()) ~label f =
+  let rec attempt n =
+    bump (fun g -> { g with attempts = g.attempts + 1 });
+    match f () with
+    | v ->
+      if n > 0 then bump (fun g -> { g with absorbed = g.absorbed + 1 });
+      v
+    | exception e when transient e && n < policy.retries ->
+      bump (fun g -> { g with retries = g.retries + 1 });
+      Hashtbl.replace by_label label (1 + Option.value ~default:0 (Hashtbl.find_opt by_label label));
+      on_retry (n + 1) e;
+      let delay = min policy.max_delay (policy.base_delay *. (2. ** float_of_int n)) in
+      if delay > 0. then Unix.sleepf delay;
+      attempt (n + 1)
+    | exception e ->
+      if transient e then bump (fun g -> { g with exhausted = g.exhausted + 1 });
+      raise e
+  in
+  attempt 0

@@ -1,0 +1,38 @@
+(** Bounded retry with exponential backoff for transient I/O failures.
+
+    Retries only exceptions that plausibly denote a transient
+    environmental failure: {!Faults.Fault_injected}, [Sys_error] and
+    [Unix.Unix_error].  Everything else propagates immediately. *)
+
+type policy = {
+  retries : int;  (** extra attempts after the first failure *)
+  base_delay : float;  (** seconds before the first retry; doubles each time *)
+  max_delay : float;  (** backoff cap in seconds *)
+}
+
+val default_policy : policy
+(** 3 retries, 1ms base delay, 50ms cap. *)
+
+type stats = {
+  attempts : int;
+  retries : int;
+  absorbed : int;  (** operations that failed then eventually succeeded *)
+  exhausted : int;  (** operations that failed even after all retries *)
+}
+
+val stats : unit -> stats
+(** Process-wide counters since start (or the last {!reset_stats}). *)
+
+val reset_stats : unit -> unit
+
+val counters : unit -> (string * int) list
+(** Retries per operation label, sorted, for health displays. *)
+
+val transient : exn -> bool
+
+val run :
+  ?policy:policy -> ?on_retry:(int -> exn -> unit) -> label:string -> (unit -> 'a) -> 'a
+(** Run [f], retrying transient failures up to [policy.retries] times
+    with exponential backoff.  [on_retry] is called before each retry
+    with the attempt number and the exception.  The final failure is
+    re-raised. *)

@@ -23,6 +23,11 @@ type t = {
   heap : Heap.t;
   roots : Roots.t;
   blobs : (string, string) Hashtbl.t;
+  quarantine : Quarantine.t; (* corrupt objects, isolated not fatal *)
+  crcs : int32 Oid.Table.t; (* per-object checksums, primed by the scrubber *)
+  scrub_state : Scrub.state;
+  mutable retry : Retry.policy option; (* transient-I/O retry, opt-in *)
+  mutable io_retries : int;
   mutable backing : string option;
   mutable pins : (unit -> Oid.t list) list;
   mutable stabilise_count : int;
@@ -46,6 +51,11 @@ let create () =
     heap = Heap.create ();
     roots = Roots.create ();
     blobs = Hashtbl.create 16;
+    quarantine = Quarantine.create ();
+    crcs = Oid.Table.create 64;
+    scrub_state = Scrub.create ();
+    retry = None;
+    io_retries = 0;
     backing = None;
     pins = [];
     stabilise_count = 0;
@@ -107,7 +117,11 @@ let set_compaction_limit store n =
   if n < 0 then invalid_arg "Store.set_compaction_limit: negative";
   store.compaction_limit <- n
 
-let mark_dirty store = store.needs_full <- true
+let mark_dirty store =
+  store.needs_full <- true;
+  (* Direct heap surgery invalidates every recorded checksum; the
+     scrubber re-primes them on its next pass. *)
+  Oid.Table.reset store.crcs
 
 let record store op =
   store.pending <- op :: store.pending;
@@ -157,27 +171,103 @@ let alloc_weak store target =
   if journalling store then journal_alloc store oid;
   oid
 
-let get store oid = Heap.get store.heap oid
-let find store oid = Heap.find store.heap oid
+(* Reads of a quarantined oid fail with the typed [Quarantined] error so
+   callers can degrade gracefully instead of consuming corrupt state. *)
+let check_q store oid = Quarantine.check store.quarantine oid
+
+(* A mutation invalidates the object's recorded checksum; the scrubber
+   re-primes it on its next pass (trust-on-first-scan — no per-write
+   hashing cost on the hot path). *)
+let invalidate_crc store oid = Oid.Table.remove store.crcs oid
+
+let get store oid =
+  check_q store oid;
+  Heap.get store.heap oid
+
+let find store oid =
+  if Quarantine.mem store.quarantine oid then None else Heap.find store.heap oid
+
 let is_live store oid = Heap.is_live store.heap oid
-let class_of store oid = Heap.class_of store.heap oid
-let get_record store oid = Heap.get_record store.heap oid
-let get_array store oid = Heap.get_array store.heap oid
-let get_string store oid = Heap.get_string store.heap oid
-let get_weak store oid = Heap.get_weak store.heap oid
-let field store oid idx = Heap.field store.heap oid idx
+
+let class_of store oid =
+  check_q store oid;
+  Heap.class_of store.heap oid
+
+let get_record store oid =
+  check_q store oid;
+  Heap.get_record store.heap oid
+
+let get_array store oid =
+  check_q store oid;
+  Heap.get_array store.heap oid
+
+let get_string store oid =
+  check_q store oid;
+  Heap.get_string store.heap oid
+
+let get_weak store oid =
+  check_q store oid;
+  Heap.get_weak store.heap oid
+
+let field store oid idx =
+  check_q store oid;
+  Heap.field store.heap oid idx
 
 let set_field store oid idx v =
+  check_q store oid;
   Heap.set_field store.heap oid idx v;
+  invalidate_crc store oid;
   if journalling store then record store (Journal.Set_field (oid, idx, v))
 
-let elem store oid idx = Heap.elem store.heap oid idx
+let elem store oid idx =
+  check_q store oid;
+  Heap.elem store.heap oid idx
 
 let set_elem store oid idx v =
+  check_q store oid;
   Heap.set_elem store.heap oid idx v;
+  invalidate_crc store oid;
   if journalling store then record store (Journal.Set_elem (oid, idx, v))
 
-let array_length store oid = Heap.array_length store.heap oid
+let array_length store oid =
+  check_q store oid;
+  Heap.array_length store.heap oid
+
+(* -- salvage reads -------------------------------------------------------- *)
+
+let try_get store oid =
+  match Quarantine.find store.quarantine oid with
+  | Some reason -> Error (Quarantine.Quarantined_oid (oid, reason))
+  | None -> begin
+    match Heap.find store.heap oid with
+    | Some entry -> Ok entry
+    | None -> Error (Quarantine.Missing oid)
+  end
+
+let try_field store oid idx =
+  match try_get store oid with
+  | Error e -> Error e
+  | Ok _ -> Ok (Heap.field store.heap oid idx)
+
+(* -- quarantine ----------------------------------------------------------- *)
+
+(* Quarantine membership changes cannot be expressed as journal ops, so
+   they force a full image at the next compaction point — which is also
+   what persists the quarantine set across reopen. *)
+let quarantine_oid store oid reason =
+  Quarantine.add store.quarantine oid reason;
+  invalidate_crc store oid;
+  store.needs_full <- true
+
+let clear_quarantine store oid =
+  if Quarantine.mem store.quarantine oid then begin
+    Quarantine.remove store.quarantine oid;
+    store.needs_full <- true
+  end
+
+let quarantine_reason store oid = Quarantine.find store.quarantine oid
+let is_quarantined store oid = Quarantine.mem store.quarantine oid
+let quarantined store = Quarantine.to_list store.quarantine
 let size store = Heap.size store.heap
 
 (* Interned string allocation would be possible, but Java semantics gives
@@ -210,17 +300,62 @@ let pinned_oids store = List.concat_map (fun f -> f ()) store.pins
 
 (* -- GC & stabilisation -------------------------------------------------- *)
 
+(* Quarantined objects that still have heap entries are kept across GC
+   (corrupt data is evidence, and structure reachable only through them
+   may still be salvageable), so they seed the mark alongside the pins.
+   Quarantine records for already-dead oids contribute nothing. *)
+let quarantine_roots store =
+  List.filter (Heap.is_live store.heap) (List.map fst (Quarantine.to_list store.quarantine))
+
 let gc store =
   store.gc_count <- store.gc_count + 1;
   (* A sweep removes objects and clears weak cells behind the journal's
      back; the next stabilise must therefore compact. *)
   if journalling store then store.needs_full <- true;
-  Gc.collect ~extra_roots:(pinned_oids store) store.heap store.roots
+  let stats =
+    Gc.collect
+      ~extra_roots:(quarantine_roots store @ pinned_oids store)
+      store.heap store.roots
+  in
+  (* Recorded checksums of swept objects are stale, and the sweep may
+     have cleared weak-cell targets behind the checksum's back. *)
+  let stale =
+    Oid.Table.fold
+      (fun oid _ acc ->
+        match Heap.find store.heap oid with
+        | None | Some (Heap.Weak _) -> oid :: acc
+        | Some _ -> acc)
+      store.crcs []
+  in
+  List.iter (Oid.Table.remove store.crcs) stale;
+  stats
 
-let reachable store = Gc.reachable ~extra_roots:(pinned_oids store) store.heap store.roots
+let reachable store =
+  Gc.reachable
+    ~extra_roots:(quarantine_roots store @ pinned_oids store)
+    store.heap store.roots
 
 let contents store =
-  { Image.heap = store.heap; roots = store.roots; blobs = store.blobs }
+  {
+    Image.heap = store.heap;
+    roots = store.roots;
+    blobs = store.blobs;
+    quarantine = store.quarantine;
+  }
+
+(* -- scrubbing ------------------------------------------------------------ *)
+
+let default_scrub_budget = 256
+
+let scrub ?(budget = default_scrub_budget) store =
+  let report =
+    Scrub.step store.scrub_state ~heap:store.heap ~crcs:store.crcs
+      ~quarantine:store.quarantine ~budget
+  in
+  if report.Scrub.newly_quarantined <> [] then store.needs_full <- true;
+  report
+
+let scrub_progress store = store.scrub_state
 
 let wal_depth store =
   match store.wal with
@@ -239,16 +374,12 @@ let compact store path =
   store.needs_full <- false;
   store.compactions <- store.compactions + 1
 
-let stabilise ?path store =
-  let path =
-    match path, store.backing with
-    | Some p, _ ->
-      store.backing <- Some p;
-      p
-    | None, Some p -> p
-    | None, None -> invalid_arg "Store.stabilise: no backing file"
-  in
-  store.stabilise_count <- store.stabilise_count + 1;
+(* One stabilisation attempt.  Both failure paths are idempotent, which
+   is what makes the retry wrapper below safe: a failed journal append
+   has already set [needs_full] (so a retry compacts instead of appending
+   after torn bytes), and a failed compaction just rewrites the temp
+   image from scratch. *)
+let stabilise_once store path =
   match store.durability with
   | Snapshot -> ignore (Image.save path (contents store) : int32)
   | Journalled ->
@@ -278,11 +409,36 @@ let stabilise ?path store =
         raise e
     end
 
-let of_contents ?backing { Image.heap; roots; blobs } =
+let set_retry_policy store policy = store.retry <- policy
+let retry_policy store = store.retry
+
+let stabilise ?path store =
+  let path =
+    match path, store.backing with
+    | Some p, _ ->
+      store.backing <- Some p;
+      p
+    | None, Some p -> p
+    | None, None -> invalid_arg "Store.stabilise: no backing file"
+  in
+  store.stabilise_count <- store.stabilise_count + 1;
+  match store.retry with
+  | None -> stabilise_once store path
+  | Some policy ->
+    Retry.run ~policy ~label:"stabilise"
+      ~on_retry:(fun _ _ -> store.io_retries <- store.io_retries + 1)
+      (fun () -> stabilise_once store path)
+
+let of_contents ?backing { Image.heap; roots; blobs; quarantine } =
   {
     heap;
     roots;
     blobs;
+    quarantine;
+    crcs = Oid.Table.create 64;
+    scrub_state = Scrub.create ();
+    retry = None;
+    io_retries = 0;
     backing;
     pins = [];
     stabilise_count = 0;
@@ -333,8 +489,16 @@ let open_file path =
     store.durability <- Journalled;
     store.needs_full <- true
   | None -> ());
+  (* A salvage load quarantined objects the on-disk image does not yet
+     record as such; force a compaction so the next stabilise persists
+     the quarantine set. *)
+  if not (Quarantine.is_empty store.quarantine) then store.needs_full <- true;
   store
 
+(* Both [close] and [crash] are idempotent and safe on any durability
+   mode: each drops the journal handle (a no-op when there is none, as in
+   snapshot mode or after a previous close/crash), so calling them twice,
+   in either order, is harmless. *)
 let close store = close_wal store
 
 let crash store =
@@ -352,6 +516,8 @@ type stats = {
   journal_replayed : int;
   compactions : int;
   recovered_torn_tail : bool;
+  quarantined : int;
+  io_retries : int;
 }
 
 let stats store =
@@ -364,6 +530,8 @@ let stats store =
     journal_replayed = store.replayed;
     compactions = store.compactions;
     recovered_torn_tail = store.recovered_torn;
+    quarantined = Quarantine.size store.quarantine;
+    io_retries = store.io_retries;
   }
 
 (* -- transactions ---------------------------------------------------------- *)
@@ -374,7 +542,11 @@ let restore_contents store (restored : Image.contents) =
   Heap.replace_all store.heap ~from:restored.Image.heap;
   Roots.replace_all store.roots ~from:restored.Image.roots;
   Hashtbl.reset store.blobs;
-  Hashtbl.iter (Hashtbl.replace store.blobs) restored.Image.blobs
+  Hashtbl.iter (Hashtbl.replace store.blobs) restored.Image.blobs;
+  Quarantine.replace_all store.quarantine ~from:restored.Image.quarantine;
+  (* The rollback replaced objects wholesale; recorded checksums no
+     longer describe the live entries. *)
+  Oid.Table.reset store.crcs
 
 (* Run [f] with whole-store rollback: on an exception the heap, roots and
    blobs are restored to their state at entry (oids included) and the

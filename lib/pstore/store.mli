@@ -19,12 +19,13 @@ val open_file : string -> t
 val close : t -> unit
 (** Release the journal file handle, if any.  The store stays usable in
     memory; the next journalled stabilise recreates the handle by
-    compaction. *)
+    compaction.  Idempotent, and safe on any durability mode. *)
 
 val crash : t -> unit
 (** Test support: simulate a process crash.  The journal descriptor is
     closed without flushing, so buffered-but-unsynced bytes are lost;
-    the in-memory store should be discarded and the image reopened. *)
+    the in-memory store should be discarded and the image reopened.
+    Idempotent, safe on any durability mode, and safe after {!close}. *)
 
 val heap : t -> Heap.t
 val roots : t -> Roots.t
@@ -69,7 +70,13 @@ val alloc_string : t -> string -> Oid.t
 val alloc_weak : t -> Pvalue.t -> Oid.t
 
 val get : t -> Oid.t -> Heap.entry
+(** @raise Quarantine.Quarantined if the oid is quarantined.
+    @raise Heap.Heap_error if it is dangling.  (So do the other accessors
+    below; use {!try_get} / {!try_field} to salvage instead.) *)
+
 val find : t -> Oid.t -> Heap.entry option
+(** [None] for dangling {e and} quarantined oids. *)
+
 val is_live : t -> Oid.t -> bool
 val class_of : t -> Oid.t -> string
 val get_record : t -> Oid.t -> Heap.record
@@ -86,6 +93,59 @@ val size : t -> int
 val string_value : t -> Pvalue.t -> string
 (** Dereference a value expected to be a string reference.
     @raise Heap.Heap_error otherwise. *)
+
+(** {1 Salvage reads and quarantine}
+
+    Corrupt or dangling objects are isolated, not fatal: reads of a
+    quarantined oid raise the typed {!Quarantine.Quarantined} error, and
+    the [try_]-style variants return the failure as data so callers can
+    render broken-link placeholders. *)
+
+val try_get : t -> Oid.t -> (Heap.entry, Quarantine.read_error) result
+
+val try_field : t -> Oid.t -> int -> (Pvalue.t, Quarantine.read_error) result
+(** Liveness and quarantine are reported as [Error]; an out-of-range
+    index on a healthy object is still a logic error and raises. *)
+
+val quarantine_oid : t -> Oid.t -> string -> unit
+(** Isolate an object (the scrubber and the image salvage loader call
+    this; it is also available to operators).  Forces a full image at the
+    next compaction point, which persists the quarantine set. *)
+
+val clear_quarantine : t -> Oid.t -> unit
+(** Release an oid from quarantine (repair workflows). *)
+
+val quarantine_reason : t -> Oid.t -> string option
+val is_quarantined : t -> Oid.t -> bool
+
+val quarantined : t -> (Oid.t * string) list
+(** Sorted by oid. *)
+
+(** {1 Scrubbing}
+
+    The online scrubber: incremental, budgeted passes verifying
+    per-object checksums (trust-on-first-scan) and reference health.
+    See {!Scrub}. *)
+
+val default_scrub_budget : int
+
+val scrub : ?budget:int -> t -> Scrub.report
+(** Scan at most [budget] (default {!default_scrub_budget}) objects,
+    resuming where the last call stopped; quarantines objects whose
+    recorded checksum no longer matches and targets of dangling
+    references. *)
+
+val scrub_progress : t -> Scrub.state
+
+(** {1 Retry}
+
+    Opt-in bounded retry with backoff for transient I/O failures during
+    {!stabilise} (both journal appends and compactions are idempotent to
+    retry).  Off by default so crash-injection tests observe raw
+    failures. *)
+
+val set_retry_policy : t -> Retry.policy option -> unit
+val retry_policy : t -> Retry.policy option
 
 (** {1 Blobs}
 
@@ -132,6 +192,8 @@ type stats = {
   journal_replayed : int;  (** records replayed when this store was opened *)
   compactions : int;
   recovered_torn_tail : bool;  (** open_file dropped a torn journal tail *)
+  quarantined : int;  (** objects currently quarantined *)
+  io_retries : int;  (** stabilise retries absorbed by the retry policy *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "self-healing"
+    [
+      ("store scrubbing and quarantine", Test_scrub_store.suite);
+      ("broken-link degradation", Test_scrub_degrade.suite);
+    ]

@@ -121,9 +121,11 @@ let pvalue_truncation_at_every_offset () =
         (Pvalue.equal v (Pvalue.decode (Codec.reader data))))
     samples
 
-(* The same property for a whole image: any truncation, and any
-   single-bit corruption, is reported as Image_error/Decode_error.  The
-   trailing CRC covers the entire body, so nothing slips through. *)
+(* The same property for a whole image, updated for the v2 salvage
+   loader: any truncation still fails outright, and any single-bit
+   corruption is either fatal (header, framing, tail) or localised —
+   decode succeeds with at least one object quarantined.  No flip goes
+   silently unnoticed. *)
 let image_truncation_and_corruption () =
   let store = fresh_store () in
   let s = Store.alloc_string store "payload" in
@@ -140,10 +142,46 @@ let image_truncation_and_corruption () =
     let corrupt = Bytes.of_string data in
     Bytes.set corrupt off (Char.chr (Char.code (Bytes.get corrupt off) lxor 0x01));
     match Image.decode (Bytes.unsafe_to_string corrupt) with
-    | _ -> Alcotest.failf "bit flip at offset %d went undetected" off
+    | salvaged ->
+      if Quarantine.is_empty salvaged.Image.quarantine then
+        Alcotest.failf "bit flip at offset %d went undetected" off
     | exception (Image.Image_error _ | Codec.Decode_error _) -> ()
   done;
   ignore (Image.decode data)
+
+(* Salvage precision: a flip inside one entry's payload quarantines
+   exactly that object and nothing else; the rest of the image (sibling
+   objects, roots, blobs) loads intact. *)
+let image_salvage_is_precise () =
+  let store = fresh_store () in
+  let victim = Store.alloc_string store "sentinel-victim-payload" in
+  let sibling = Store.alloc_string store "sibling" in
+  Store.set_root store "sib" (Pvalue.Ref sibling);
+  Store.set_blob store "b" "blob";
+  let data = Image.encode (Store.contents store) in
+  let needle = "sentinel-victim-payload" in
+  let off =
+    let rec find i =
+      if i + String.length needle > String.length data then
+        Alcotest.fail "sentinel not found in image"
+      else if String.equal (String.sub data i (String.length needle)) needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let corrupt = Bytes.of_string data in
+  Bytes.set corrupt off (Char.chr (Char.code (Bytes.get corrupt off) lxor 0xff));
+  let salvaged = Image.decode (Bytes.unsafe_to_string corrupt) in
+  check_int "exactly one quarantined" 1 (Quarantine.size salvaged.Image.quarantine);
+  check_bool "victim quarantined" true (Quarantine.mem salvaged.Image.quarantine victim);
+  (match Heap.find salvaged.Image.heap sibling with
+  | Some (Heap.Str s) -> check_output "sibling intact" "sibling" s
+  | _ -> Alcotest.fail "sibling lost in salvage");
+  check_bool "root intact" true
+    (match Roots.find salvaged.Image.roots "sib" with
+    | Some (Pvalue.Ref oid) -> Oid.equal oid sibling
+    | _ -> false);
+  check_bool "blob intact" true (Hashtbl.find_opt salvaged.Image.blobs "b" = Some "blob")
 
 let suite =
   [
@@ -156,6 +194,7 @@ let suite =
     test "crc32 known values" crc32_known_values;
     test "pvalue truncation at every offset" pvalue_truncation_at_every_offset;
     test "image truncation and corruption detected" image_truncation_and_corruption;
+    test "image salvage is precise" image_salvage_is_precise;
   ]
 
 (* Property: any sequence of puts reads back identically. *)

@@ -177,21 +177,54 @@ let image_roundtrip () =
       let fresh = Store.alloc_string store2 "fresh" in
       check_bool "fresh oid distinct" false (List.mem fresh [ s; r; a; w ]))
 
+(* v2 images localise damage: a flipped byte inside one object's payload
+   quarantines that object on reopen (reads get a typed error, siblings
+   stay readable), while corruption the per-entry frames cannot localise
+   (the header) still fails the whole load. *)
 let image_detects_corruption () =
   with_temp_file (fun path ->
       let store = fresh_store () in
-      ignore (Store.alloc_string store "x");
+      let victim = Store.alloc_string store "sentinel-victim-payload" in
+      let sibling = Store.alloc_string store "healthy neighbour" in
+      Store.set_root store "sib" (Pvalue.Ref sibling);
       Store.stabilise ~path store;
-      (* flip one byte in the middle *)
-      let ic = open_in_bin path in
-      let data = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      let corrupted = Bytes.of_string data in
-      let mid = Bytes.length corrupted / 2 in
-      Bytes.set corrupted mid (Char.chr (Char.code (Bytes.get corrupted mid) lxor 0xff));
-      let oc = open_out_bin path in
-      output_bytes oc corrupted;
-      close_out oc;
+      let read_image () =
+        let ic = open_in_bin path in
+        let data = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        data
+      in
+      let write_image data =
+        let oc = open_out_bin path in
+        output_string oc data;
+        close_out oc
+      in
+      let pristine = read_image () in
+      (* flip a byte inside the victim's payload *)
+      let needle = "sentinel-victim-payload" in
+      let off =
+        let rec find i =
+          if i + String.length needle > String.length pristine then
+            Alcotest.fail "sentinel not found in image"
+          else if String.equal (String.sub pristine i (String.length needle)) needle then i
+          else find (i + 1)
+        in
+        find 0
+      in
+      let corrupted = Bytes.of_string pristine in
+      Bytes.set corrupted off (Char.chr (Char.code (Bytes.get corrupted off) lxor 0xff));
+      write_image (Bytes.unsafe_to_string corrupted);
+      let store2 = Store.open_file path in
+      check_bool "victim quarantined" true (Store.is_quarantined store2 victim);
+      check_int "only the victim" 1 (List.length (Store.quarantined store2));
+      check_output "sibling readable" "healthy neighbour" (Store.get_string store2 sibling);
+      (match Store.get store2 victim with
+      | _ -> Alcotest.fail "expected Quarantined"
+      | exception Quarantine.Quarantined _ -> ());
+      (* header corruption cannot be localised: the load fails outright *)
+      let headerless = Bytes.of_string pristine in
+      Bytes.set headerless 0 '!';
+      write_image (Bytes.unsafe_to_string headerless);
       match Store.open_file path with
       | _ -> Alcotest.fail "expected Image_error"
       | exception Image.Image_error _ -> ())
@@ -479,7 +512,7 @@ let prop_image_roundtrip_preserves_graph =
     (fun spec ->
       let store = fresh_store () in
       let oids = build_graph store spec in
-      let data = Image.encode { Image.heap = Store.heap store; roots = Store.roots store; blobs = Hashtbl.create 1 } in
+      let data = Image.encode { Image.heap = Store.heap store; roots = Store.roots store; blobs = Hashtbl.create 1; quarantine = Quarantine.create () } in
       let recovered = Image.decode data in
       Array.for_all
         (fun oid ->

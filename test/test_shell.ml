@@ -101,6 +101,15 @@ let errors_are_reported () =
   check_bool "error surfaced" true (contains output "error:");
   check_bool "in hyper-program terms" true (contains output "in the hyper-program")
 
+let scrub_and_health_report () =
+  let script = "scrub 100000\nhealth\nquit\n" in
+  let output, _ = run_script script in
+  check_bool "scrub reports a scan" true (contains output "scanned");
+  check_bool "big budget drains the pass" true (contains output "(pass complete)");
+  check_bool "health shows the quarantine" true (contains output "quarantined: 0");
+  check_bool "health shows store retries" true (contains output "io retries absorbed");
+  check_bool "health shows retry totals" true (contains output "retry totals:")
+
 let unknown_commands_are_safe () =
   let script = "frobnicate\nhelp\nroots\nquit\n" in
   let output, _ = run_script script in
@@ -113,6 +122,7 @@ let suite =
     test "full composition through the shell" full_composition;
     test "browse and insert by row" browse_and_insert_by_row;
     test "compile errors are reported" errors_are_reported;
+    test "scrub and health report" scrub_and_health_report;
     test "unknown commands are safe" unknown_commands_are_safe;
   ]
 
