@@ -680,21 +680,29 @@ let vm_micro () =
 (* ---------------------------------------------------------------------- *)
 
 let () =
-  Printf.printf "hyper-programming in Java — benchmark harness\n";
+  let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  Printf.printf "hyper-programming in Java — benchmark harness%s\n"
+    (if smoke then " (smoke slice)" else "");
   Printf.printf "(shapes and ratios matter; absolute numbers are this machine's)\n";
-  table1 ();
-  figs_compose ();
-  fig7 ();
-  fig8 ();
-  fig9 ();
-  fig10 ();
-  fig11 ();
-  fig12 ();
-  concl_link_times ();
-  concl_evolution ();
-  substrate ();
-  substrate_scrub ();
-  substrate_rollback ();
-  substrate_stabilise ();
-  vm_micro ();
-  Printf.printf "\ndone.\n"
+  if not smoke then begin
+    table1 ();
+    figs_compose ();
+    fig7 ();
+    fig8 ();
+    fig9 ();
+    fig10 ();
+    fig11 ();
+    fig12 ();
+    concl_link_times ();
+    concl_evolution ();
+    substrate ();
+    substrate_scrub ();
+    substrate_rollback ();
+    substrate_stabilise ();
+    vm_micro ()
+  end;
+  (* The store trajectory runs in both modes and emits BENCH_pstore.json;
+     --smoke shrinks it to a ~1 s slice (the @bench-smoke alias). *)
+  let ok = Pstore_bench.run ~smoke () in
+  Printf.printf "\ndone.\n";
+  if not ok then exit 1

@@ -1,0 +1,316 @@
+(* Store-operation benchmark with a machine-readable trajectory: each
+   section measures one store op class (ops/sec plus p50/p99 of the
+   per-sample ns/op distribution) and the results are written to
+   BENCH_pstore.json so runs can be compared over time.
+
+   The file is self-validated after writing (re-read, structural check)
+   and the run hard-fails if the tracing-disabled instrumentation
+   overhead on the hottest read path exceeds a generous bound — the
+   observability layer must stay invisible while tracing is off.
+
+   `--smoke` shrinks every budget so the whole thing is a ~1 s slice
+   suitable for the @bench-smoke alias. *)
+
+open Pstore
+open Hyperprog
+
+(* ---------------------------------------------------------------------- *)
+(* Sampling                                                                *)
+(* ---------------------------------------------------------------------- *)
+
+type section = {
+  name : string;
+  ops_per_sec : float;
+  p50_ns : float;
+  p99_ns : float;
+  samples : int;  (* timed batches *)
+  iters : int;  (* ops per batch *)
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+(* Time [f] in batches for [budget_s] seconds.  The batch size is
+   calibrated so one batch costs a couple of milliseconds, which keeps
+   the clock read out of the measured op and yields enough batches for
+   stable percentiles. *)
+let measure ~budget_s ~name f =
+  for _ = 1 to 3 do
+    f ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. t0 in
+  let iters = max 1 (min 10_000 (int_of_float (0.002 /. Float.max once 1e-9))) in
+  let samples = ref [] in
+  let n_samples = ref 0 in
+  let total_iters = ref 0 in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. budget_s in
+  while !n_samples = 0 || Unix.gettimeofday () < deadline do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    samples := (dt /. float_of_int iters *. 1e9) :: !samples;
+    incr n_samples;
+    total_iters := !total_iters + iters
+  done;
+  let elapsed = Unix.gettimeofday () -. start in
+  let sorted = Array.of_list !samples in
+  Array.sort compare sorted;
+  let s =
+    {
+      name;
+      ops_per_sec = float_of_int !total_iters /. elapsed;
+      p50_ns = percentile sorted 0.50;
+      p99_ns = percentile sorted 0.99;
+      samples = !n_samples;
+      iters;
+    }
+  in
+  Printf.printf "  %-20s %14.0f ops/s   p50 %10.1f ns   p99 %10.1f ns   (%d x %d)\n%!"
+    s.name s.ops_per_sec s.p50_ns s.p99_ns s.samples s.iters;
+  s
+
+(* ---------------------------------------------------------------------- *)
+(* Sections: one per store op class                                        *)
+(* ---------------------------------------------------------------------- *)
+
+let in_temp_store f =
+  let path = Filename.temp_file "bench_pstore" ".img" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".wal"; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let sections ~budget_s =
+  Printf.printf "\n== pstore: store operation trajectory ==\n%!";
+  let store = Store.create () in
+  let n = 1024 in
+  let oids =
+    Array.init n (fun i ->
+        Store.alloc_record store "Bench" [| Pvalue.Int (Int32.of_int i); Pvalue.Null |])
+  in
+  Store.set_root store "bench" (Pvalue.Ref oids.(0));
+  let cursor = ref 0 in
+  let next () =
+    cursor := (!cursor + 1) land (n - 1);
+    Array.unsafe_get oids !cursor
+  in
+  (* sequenced lets: list elements would evaluate right-to-left *)
+  let get = measure ~budget_s ~name:"get" (fun () -> ignore (Store.field store (next ()) 0)) in
+  let set =
+    measure ~budget_s ~name:"set" (fun () -> Store.set_field store (next ()) 1 Pvalue.Null)
+  in
+  let alloc =
+    measure ~budget_s ~name:"alloc" (fun () ->
+        ignore (Store.alloc_record store "Bench" [| Pvalue.Int 0l; Pvalue.Null |]))
+  in
+  let root =
+    measure ~budget_s ~name:"root-lookup" (fun () -> ignore (Store.root store "bench"))
+  in
+  let core = [ get; set; alloc; root ] in
+  (* registry getLink: the paper's Figure 7 retrieval, through the full
+     instrumented path *)
+  let get_link =
+    let _store, vm, persons = Workloads.vm_with_persons 2 in
+    let hp =
+      Workloads.marry_example vm (List.nth persons 0) (List.nth persons 1)
+    in
+    Store.set_root Minijava.Rt.(vm.store) "hp" (Pvalue.Ref hp);
+    let uid = Registry.add_hp vm ~password:Registry.built_in_password hp in
+    measure ~budget_s ~name:"get-link" (fun () ->
+        ignore (Registry.get_link vm ~password:Registry.built_in_password ~hp:uid ~link:1))
+  in
+  (* journalled stabilise: one mutation per op, delta append + fsync *)
+  let stabilise =
+    in_temp_store (fun path ->
+        let s = Workloads.store_with_objects 1000 in
+        Store.set_durability s Store.Journalled;
+        Store.stabilise ~path s;
+        let tick = ref 0 in
+        let r =
+          measure ~budget_s ~name:"stabilise-journal" (fun () ->
+              incr tick;
+              Store.set_root s "tick" (Pvalue.Int (Int32.of_int !tick));
+              Store.stabilise s)
+        in
+        Store.close s;
+        r)
+  in
+  core @ [ get_link; stabilise ]
+
+(* ---------------------------------------------------------------------- *)
+(* The overhead assertion                                                  *)
+(* ---------------------------------------------------------------------- *)
+
+type overhead = {
+  baseline_ns : float;
+  instrumented_ns : float;
+  ratio : float;
+  limit : float;
+  ok : bool;
+}
+
+(* Compare the instrumented hot read (Store.field, tracing off) against
+   the same work without the observability layer: the quarantine check
+   plus the raw heap read, i.e. what the pre-instrumentation field read
+   did.  Best-of-k interleaved rounds, so scheduler noise hits both
+   sides alike.  The hard bound is deliberately generous (2x) — the
+   point is to catch an accidental clock read or allocation sneaking
+   onto the disabled path, not to referee nanoseconds; an absolute
+   slack of a few ns per op also passes, since a sub-clock-resolution
+   delta on a ~100 ns op is noise, not overhead. *)
+let overhead_check ~smoke () =
+  Printf.printf "\n== pstore: tracing-disabled overhead ==\n%!";
+  let store = Store.create () in
+  let oid = Store.alloc_record store "Bench" [| Pvalue.Int 1l |] in
+  let heap = Store.heap store in
+  let baseline () =
+    (match Store.quarantine_reason store oid with Some _ -> () | None -> ());
+    ignore (Heap.field heap oid 0)
+  in
+  let instrumented () = ignore (Store.field store oid 0) in
+  let iters = if smoke then 50_000 else 200_000 in
+  let rounds = if smoke then 3 else 5 in
+  let once f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+  in
+  ignore (once baseline);
+  ignore (once instrumented);
+  let best_base = ref infinity and best_instr = ref infinity in
+  for _ = 1 to rounds do
+    best_base := Float.min !best_base (once baseline);
+    best_instr := Float.min !best_instr (once instrumented)
+  done;
+  let limit = 2.0 in
+  let ratio = !best_instr /. Float.max !best_base 1e-9 in
+  let ok = ratio <= limit || !best_instr -. !best_base <= 25.0 in
+  Printf.printf
+    "  raw field read %8.1f ns   instrumented (tracing off) %8.1f ns   ratio %.2fx (bound %.1fx)  %s\n%!"
+    !best_base !best_instr ratio limit
+    (if ok then "ok" else "FAILED");
+  { baseline_ns = !best_base; instrumented_ns = !best_instr; ratio; limit; ok }
+
+(* ---------------------------------------------------------------------- *)
+(* JSON out                                                                *)
+(* ---------------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json ~smoke sections overhead =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"benchmark\": \"pstore\",\n";
+  Buffer.add_string buf "  \"schema_version\": 1,\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf "  \"sections\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"ops_per_sec\": %.1f, \"p50_ns\": %.1f, \
+            \"p99_ns\": %.1f, \"samples\": %d, \"iters_per_sample\": %d }%s\n"
+           (json_escape s.name) s.ops_per_sec s.p50_ns s.p99_ns s.samples s.iters
+           (if i < List.length sections - 1 then "," else "")))
+    sections;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"tracing_overhead\": { \"baseline_ns\": %.1f, \"instrumented_ns\": %.1f, \
+        \"ratio\": %.3f, \"limit\": %.1f, \"ok\": %b }\n"
+       overhead.baseline_ns overhead.instrumented_ns overhead.ratio overhead.limit
+       overhead.ok);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* A structural re-read of the emitted file: balanced braces/brackets
+   outside strings, and every key the trajectory consumers rely on.
+   Not a JSON parser — a tripwire against a malformed emitter. *)
+let validate_file ~path sections =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  let depth = ref 0 and in_string = ref false and escaped = ref false in
+  let balanced = ref true in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_string then begin
+        if c = '\\' then escaped := true else if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | '"' -> in_string := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then balanced := false
+        | _ -> ())
+    data;
+  let contains needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length data && (String.sub data i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  let missing =
+    List.filter
+      (fun k -> not (contains k))
+      ([ "\"benchmark\": \"pstore\""; "\"sections\""; "\"tracing_overhead\"" ]
+      @ List.map (fun s -> Printf.sprintf "\"name\": \"%s\"" s.name) sections)
+  in
+  if (not !balanced) || !depth <> 0 || !in_string then
+    Error "unbalanced structure"
+  else if missing <> [] then Error ("missing " ^ String.concat ", " missing)
+  else if List.exists (fun s -> s.ops_per_sec <= 0.) sections then
+    Error "non-positive throughput"
+  else Ok ()
+
+(* ---------------------------------------------------------------------- *)
+
+let output_file = "BENCH_pstore.json"
+
+(* Run the store trajectory; returns false if the overhead bound or the
+   emitted file's validation failed (the caller exits nonzero). *)
+let run ~smoke () =
+  let budget_s = if smoke then 0.12 else 0.5 in
+  let sections = sections ~budget_s in
+  let overhead = overhead_check ~smoke () in
+  let oc = open_out output_file in
+  output_string oc (render_json ~smoke sections overhead);
+  close_out oc;
+  match validate_file ~path:output_file sections with
+  | Error e ->
+    Printf.printf "  %s INVALID: %s\n%!" output_file e;
+    false
+  | Ok () ->
+    Printf.printf "  wrote %s (%d sections, validated)\n%!" output_file
+      (List.length sections);
+    overhead.ok

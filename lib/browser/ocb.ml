@@ -79,8 +79,8 @@ let bring_to_front b id =
 (* Unreadable objects display distinctly instead of crashing the panel:
    the scrubber may quarantine any object while the browser is open. *)
 let damaged_title oid = function
-  | Quarantine.Quarantined_oid _ -> Printf.sprintf "<quarantined @%d>" (Oid.to_int oid)
-  | Quarantine.Missing _ -> Printf.sprintf "<dangling @%d>" (Oid.to_int oid)
+  | Failure.Quarantined _ -> Printf.sprintf "<quarantined @%d>" (Oid.to_int oid)
+  | _ -> Printf.sprintf "<dangling @%d>" (Oid.to_int oid)
 
 let entity_title b = function
   | E_object oid -> begin
@@ -137,7 +137,7 @@ let object_rows b oid =
       | None -> []
     in
     { row_label = "status";
-      row_display = Quarantine.describe_read_error e;
+      row_display = Failure.describe e;
       row_value = None;
       row_location = None;
     }

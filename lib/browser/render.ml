@@ -50,4 +50,10 @@ let census store =
   (match List.length (Store.quarantined store) with
   | 0 -> ()
   | n -> Buffer.add_string buf (Printf.sprintf "  %6d  <quarantined>\n" n));
+  (* One observability line: total operations this store has served, and
+     whether span tracing is currently capturing events. *)
+  let obs = Store.obs store in
+  Buffer.add_string buf
+    (Printf.sprintf "  store ops: %d (tracing %s)\n" (Obs.total obs)
+       (if Obs.enabled obs then "on" else "off"));
   Buffer.contents buf

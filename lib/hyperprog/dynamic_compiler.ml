@@ -143,16 +143,23 @@ and compile_forked vm sources =
   Linker.load_or_redefine_batch vm cfs
 
 and compile_with_mode ?(mode = Auto) vm sources =
-  match mode with
-  | Direct -> compile_direct vm sources
-  | Forked -> compile_forked vm sources
-  | Auto -> begin
-    (* Figure 9: try the direct invocation, ignore errors, fall back to
-       forking.  Compile errors in the source itself are not caught —
-       only failures of the invocation mechanism are. *)
-    try compile_direct vm sources with
-    | Failure _ -> compile_forked vm sources
-  end
+  let mode_label =
+    match mode with
+    | Direct -> "direct"
+    | Forked -> "forked"
+    | Auto -> "auto"
+  in
+  Obs.span (Store.obs Rt.(vm.store)) Obs.Compile ~label:mode_label (fun () ->
+      match mode with
+      | Direct -> compile_direct vm sources
+      | Forked -> compile_forked vm sources
+      | Auto -> begin
+        (* Figure 9: try the direct invocation, ignore errors, fall back to
+           forking.  Compile errors in the source itself are not caught —
+           only failures of the invocation mechanism are. *)
+        try compile_direct vm sources with
+        | Failure _ -> compile_forked vm sources
+      end)
 
 (* Compile plain source strings.  [names] documents the expected class
    names (as in Figure 9's compileClasses(String[], String[])); mismatches

@@ -117,39 +117,19 @@ let add_hp vm ~password hp_oid =
 
 (* -- link retrieval with degradation ------------------------------------- *)
 
-type broken =
-  | Collected of int
-  | No_such_link of { hp : int; link : int }
-  | Target_quarantined of { oid : Oid.t; reason : string }
-
-type link_result =
-  | Link of Pvalue.t
-  | Broken of broken
-
-let describe_broken = function
-  | Collected hp -> Printf.sprintf "hyper-program %d has been garbage collected" hp
-  | No_such_link { hp; link } ->
-    Printf.sprintf "no hyper-link %d in hyper-program %d" link hp
-  | Target_quarantined { oid; reason } ->
-    Printf.sprintf "link target @%d is quarantined: %s" (Oid.to_int oid) reason
-
 (* Health of a HyperLinkHP instance: the instance itself, and the entity
-   its hyperLinkObject field references, must both be readable. *)
+   its hyperLinkObject field references, must both be readable.  Both
+   checks report through the shared {!Failure.t}, so this is one match
+   per hop. *)
 let link_damage vm link_oid =
   let store = Rt.(vm.store) in
   let slot = Rt.field_slot vm Hyper_src.hyper_link_class "hyperLinkObject" in
   match Store.try_field store link_oid slot with
-  | Error (Quarantine.Quarantined_oid (oid, reason)) ->
-    Some (Target_quarantined { oid; reason })
-  | Error (Quarantine.Missing oid) ->
-    Some (Target_quarantined { oid; reason = "dangling reference" })
+  | Error e -> Some e
   | Ok (Pvalue.Ref target) -> begin
     match Store.try_get store target with
     | Ok _ -> None
-    | Error (Quarantine.Quarantined_oid (oid, reason)) ->
-      Some (Target_quarantined { oid; reason })
-    | Error (Quarantine.Missing oid) ->
-      Some (Target_quarantined { oid; reason = "dangling reference" })
+    | Error e -> Some e
   end
   | Ok _ -> None
 
@@ -157,23 +137,29 @@ let link_damage vm link_oid =
    failure as data rather than raising: broken links degrade. *)
 let try_get_link vm ~password ~hp ~link =
   if not (check_password vm password) then bad_password ();
-  match hp_at vm hp with
-  | Pvalue.Ref hp_oid -> begin
-    match Storage_form.link_oids vm hp_oid with
-    | exception Quarantine.Quarantined (oid, reason) ->
-      (* the hyper-program's own storage form is damaged *)
-      Broken (Target_quarantined { oid; reason })
-    | link_oids -> begin
-      match List.nth_opt link_oids link with
-      | None -> Broken (No_such_link { hp; link })
-      | Some link_oid -> begin
-        match link_damage vm link_oid with
-        | Some damage -> Broken damage
-        | None -> Link (Pvalue.Ref link_oid)
+  Obs.span (Store.obs Rt.(vm.store)) Obs.Get_link
+    ~label:(Printf.sprintf "hp=%d link=%d" hp link)
+    (fun () ->
+      match hp_at vm hp with
+      | Pvalue.Ref hp_oid -> begin
+        match Storage_form.link_oids vm hp_oid with
+        | exception Quarantine.Quarantined (oid, reason) ->
+          (* the hyper-program's own storage form is damaged *)
+          Error (Failure.Quarantined { oid; reason })
+        | link_oids -> begin
+          match List.nth_opt link_oids link with
+          | None ->
+            Error
+              (Failure.Bad_index
+                 { container = Printf.sprintf "hyper-program %d" hp; index = link })
+          | Some link_oid -> begin
+            match link_damage vm link_oid with
+            | Some damage -> Error damage
+            | None -> Ok (Pvalue.Ref link_oid)
+          end
+        end
       end
-    end
-  end
-  | _ -> Broken (Collected hp)
+      | _ -> Error (Failure.Collected hp))
 
 (* A hyper.BrokenLink instance standing in for an unreachable target:
    compiled textual forms receive it from getLink instead of an
@@ -188,7 +174,7 @@ let broken_link_value vm ~link damage =
       Store.set_field store oid (Rt.field_slot vm Hyper_src.broken_link_class name) value
     in
     set "label" (Rt.jstring vm (Printf.sprintf "broken link %d" link));
-    set "reason" (Rt.jstring vm (describe_broken damage));
+    set "reason" (Rt.jstring vm (Failure.describe damage));
     v
   end
 
@@ -197,14 +183,15 @@ let broken_link_value vm ~link damage =
    degrades to a BrokenLink instance instead of killing the caller. *)
 let get_link vm ~password ~hp ~link =
   match try_get_link vm ~password ~hp ~link with
-  | Link v -> v
-  | Broken (Collected hp) ->
+  | Ok v -> v
+  | Error (Failure.Collected hp) ->
     Rt.jerror "java.lang.IllegalStateException"
       "hyper-program %d has been garbage collected" hp
-  | Broken (No_such_link { hp; link }) ->
-    Rt.jerror "java.lang.IndexOutOfBoundsException" "hyper-link %d of hyper-program %d" link
-      hp
-  | Broken (Target_quarantined _ as damage) -> broken_link_value vm ~link damage
+  | Error (Failure.Bad_index { index; _ }) ->
+    Rt.jerror "java.lang.IndexOutOfBoundsException" "hyper-link %d of hyper-program %d"
+      index hp
+  | Error ((Failure.Quarantined _ | Failure.Dangling _) as damage) ->
+    broken_link_value vm ~link damage
 
 (* Live registered programs: (uid, oid) pairs whose weak target survives. *)
 let live_programs vm =
@@ -257,8 +244,8 @@ let prune vm =
     | Pvalue.Ref cell ->
       let dead =
         match Store.try_get store cell with
-        | Error (Quarantine.Missing _) -> true
-        | Error (Quarantine.Quarantined_oid _) -> false
+        | Error (Failure.Dangling _) -> true
+        | Error _ -> false
         | Ok (Pstore.Heap.Weak c) -> begin
           match c.Pstore.Heap.target with
           | Pvalue.Ref oid -> not (Store.is_live store oid)

@@ -35,24 +35,16 @@ val add_hp : Rt.t -> password:string -> Oid.t -> int
 (** {1 Link retrieval}
 
     Broken hyper-links degrade instead of crashing: {!try_get_link}
-    reports failure as data, and {!get_link} hands quarantined targets
-    back as [hyper.BrokenLink] instances. *)
+    reports failure as data — the same {!Pstore.Failure.t} the store's
+    salvage reads use — and {!get_link} hands quarantined targets back
+    as [hyper.BrokenLink] instances. *)
 
-type broken =
-  | Collected of int  (** the hyper-program was garbage collected *)
-  | No_such_link of { hp : int; link : int }
-  | Target_quarantined of { oid : Oid.t; reason : string }
-      (** the linked entity (or the link/storage form itself) is
-          quarantined or dangling *)
-
-type link_result =
-  | Link of Pvalue.t  (** the [HyperLinkHP] instance *)
-  | Broken of broken
-
-val describe_broken : broken -> string
-
-val try_get_link : Rt.t -> password:string -> hp:int -> link:int -> link_result
-(** Like {!get_link}, but failures come back as data.
+val try_get_link :
+  Rt.t -> password:string -> hp:int -> link:int -> (Pvalue.t, Failure.t) result
+(** Like {!get_link}, but failures come back as data: [Collected] for a
+    garbage-collected program, [Bad_index] for a link number the program
+    does not have, [Quarantined]/[Dangling] for an unreadable link or
+    target.
     @raise Rt.Jerror [java.lang.SecurityException] on a bad password. *)
 
 val get_link : Rt.t -> password:string -> hp:int -> link:int -> Pvalue.t

@@ -55,8 +55,8 @@ let target_oid_of = function
 let target_damage vm oid =
   match Store.try_get Rt.(vm.store) oid with
   | Ok _ -> None
-  | Error (Quarantine.Quarantined_oid (_, reason)) -> Some reason
-  | Error (Quarantine.Missing _) -> Some "dangling reference"
+  | Error (Failure.Quarantined { reason; _ }) -> Some reason
+  | Error e -> Some (Failure.describe e)
 
 (* Keep damage reasons from closing the generated comment early: without
    a '/' no "*/" can appear. *)

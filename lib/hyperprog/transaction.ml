@@ -36,20 +36,21 @@ let commit_barrier store =
   | (Store.Journalled | Store.Snapshot), _ -> ()
 
 let transact store (body : Rt.t -> 'a) : 'a outcome =
-  let result =
-    Store.with_rollback store (fun () ->
-        let vm = fresh_vm store in
-        let value = body vm in
-        (value, vm))
-  in
-  match result with
-  | Ok (value, vm) ->
-    commit_barrier store;
-    Committed (value, vm)
-  | Error e ->
-    (* The store is back to its pre-transaction image; discard the
-       transaction's VM and boot one over the restored state. *)
-    Aborted (e, fresh_vm store)
+  Obs.span (Store.obs store) Obs.Transaction (fun () ->
+      let result =
+        Store.with_rollback store (fun () ->
+            let vm = fresh_vm store in
+            let value = body vm in
+            (value, vm))
+      in
+      match result with
+      | Ok (value, vm) ->
+        commit_barrier store;
+        Committed (value, vm)
+      | Error e ->
+        (* The store is back to its pre-transaction image; discard the
+           transaction's VM and boot one over the restored state. *)
+        Aborted (e, fresh_vm store))
 
 (* Schema evolution inside a transaction: the paper's live-evolution
    scenario.  If recompilation or the converter fails, every store

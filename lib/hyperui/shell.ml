@@ -29,6 +29,8 @@ let help_text =
   roots | census | gc | stabilise
   scrub [BUDGET]           run one scrubber step: verify object checksums and references
   health                   store health: scrub progress, quarantine set, retry counters
+  stats                    operation counters (and latencies while tracing is on)
+  trace on|off|dump        toggle span tracing / dump the in-memory trace ring
   log                      show the session event log
   help | quit
 |}
@@ -63,8 +65,11 @@ let run ~store_path ~input ~echo =
     end
   in
   (* The interactive shell absorbs transient I/O hiccups with bounded
-     retries; the `health` command surfaces the counters. *)
-  Store.set_retry_policy store (Some Retry.default_policy);
+     retries; the `health` command surfaces the counters.  Configured
+     through the unified record so the recovered durability mode (and
+     everything else) is kept as-is. *)
+  Store.configure store
+    { (Store.config store) with Store.Config.retry = Some Retry.default_policy };
   let session = Session.create ~echo store in
   let vm = Session.vm session in
   let b = Session.browser session in
@@ -217,6 +222,34 @@ let run ~store_path ~input ~echo =
       say "retry totals: %d attempts, %d retried, %d absorbed, %d exhausted\n" rs.Retry.attempts
         rs.Retry.retries rs.Retry.absorbed rs.Retry.exhausted;
       List.iter (fun (label, n) -> say "  %s: %d\n" label n) (Retry.counters ())
+    | "stats" :: _ ->
+      let obs = Store.obs store in
+      say "operations: %d (tracing %s)\n" (Obs.total obs)
+        (if Obs.enabled obs then "on" else "off");
+      List.iter
+        (fun (op, n) ->
+          match Obs.latency obs op with
+          | Some l ->
+            say "  %-14s %8d   p50 %.0fns  p99 %.0fns  max %.0fns\n" (Obs.op_name op) n
+              l.Obs.p50_ns l.Obs.p99_ns l.Obs.max_ns
+          | None -> say "  %-14s %8d\n" (Obs.op_name op) n)
+        (Obs.counts obs)
+    | [ "trace"; "on" ] ->
+      Obs.set_enabled (Store.obs store) true;
+      say "tracing on\n"
+    | [ "trace"; "off" ] ->
+      Obs.set_enabled (Store.obs store) false;
+      say "tracing off\n"
+    | [ "trace"; "dump" ] -> begin
+      let obs = Store.obs store in
+      match Obs.events obs with
+      | [] ->
+        say "trace ring empty%s\n"
+          (if Obs.enabled obs then "" else " (tracing is off; `trace on` first)")
+      | events ->
+        List.iter (fun e -> say "%s\n" (Format.asprintf "%a" Obs.pp_event e)) events
+    end
+    | "trace" :: _ -> say "usage: trace on|off|dump\n"
     | "stabilise" :: _ | "stabilize" :: _ ->
       Store.stabilise store;
       say "stabilised (%d objects)\n" (Store.size store)

@@ -1,0 +1,26 @@
+(* The unified typed failure for salvage reads: one variant shared by
+   Store.try_get / try_field and the registry's try_get_link, so the
+   layers above degrade broken links with a single match. *)
+
+type t =
+  | Quarantined of {
+      oid : Oid.t;
+      reason : string;
+    }
+  | Dangling of Oid.t
+  | Collected of int
+  | Bad_index of {
+      container : string;
+      index : int;
+    }
+
+let pp ppf = function
+  | Quarantined { oid; reason } ->
+    Format.fprintf ppf "quarantined %a: %s" Oid.pp oid reason
+  | Dangling oid -> Format.fprintf ppf "dangling reference %a" Oid.pp oid
+  | Collected uid ->
+    Format.fprintf ppf "hyper-program %d has been garbage collected" uid
+  | Bad_index { container; index } ->
+    Format.fprintf ppf "no index %d in %s" index container
+
+let describe t = Format.asprintf "%a" pp t

@@ -1,0 +1,26 @@
+(** The unified typed failure for salvage reads.
+
+    Every [try_]-style accessor in the store stack — {!Store.try_get},
+    {!Store.try_field}, and the registry's [try_get_link] above — returns
+    [('a, Failure.t) result] with this one variant, so callers render
+    broken-link placeholders with a single match instead of juggling
+    per-module error shapes. *)
+
+type t =
+  | Quarantined of {
+      oid : Oid.t;
+      reason : string;
+    }  (** the object is in the quarantine set (corrupt or undecodable) *)
+  | Dangling of Oid.t  (** the oid has no live heap entry *)
+  | Collected of int
+      (** a registry uid whose weakly-held program was garbage collected *)
+  | Bad_index of {
+      container : string;  (** human description, e.g. ["hyper-program 3"] *)
+      index : int;
+    }  (** an index with no entry in an otherwise healthy container *)
+
+val pp : Format.formatter -> t -> unit
+
+val describe : t -> string
+(** One-line human rendering, e.g.
+    ["quarantined @7: checksum mismatch"]. *)

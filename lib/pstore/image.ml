@@ -215,31 +215,43 @@ let crc_of_encoded data =
    target, then fsync the directory so the rename itself is durable.
    Rename alone is not crash-atomic on ext4: the new name can be lost on
    power failure if the directory entry was never flushed. *)
-let save ?(durable = true) path contents =
+let save ?(durable = true) ?obs path contents =
   let data = encode contents in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     Faults.output_string oc data;
-     if durable then Faults.fsync_channel oc;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  Faults.rename tmp path;
-  if durable then Faults.fsync_dir (Filename.dirname path);
-  crc_of_encoded data
-
-let load_with_crc path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let data =
-    try really_input_string ic len
-    with e ->
-      close_in_noerr ic;
-      raise e
+  let write () =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       Faults.output_string oc data;
+       if durable then Faults.fsync_channel oc;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Faults.rename tmp path;
+    if durable then Faults.fsync_dir (Filename.dirname path);
+    crc_of_encoded data
   in
-  close_in ic;
-  (decode data, crc_of_encoded data)
+  match obs with
+  | None -> write ()
+  | Some o ->
+    Obs.span o Obs.Image_save ~bytes:(String.length data)
+      ~label:(Filename.basename path) write
+
+let load_with_crc ?obs path =
+  let read () =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let data =
+      try really_input_string ic len
+      with e ->
+        close_in_noerr ic;
+        raise e
+    in
+    close_in ic;
+    (decode data, crc_of_encoded data)
+  in
+  match obs with
+  | None -> read ()
+  | Some o -> Obs.span o Obs.Image_load ~label:(Filename.basename path) read
 
 let load path = fst (load_with_crc path)

@@ -50,12 +50,15 @@ val entry_crc : Heap.entry -> int32
 (** The per-object checksum: CRC-32 of the entry's encoded payload.  This
     is what the image frames store and the online scrubber recomputes. *)
 
-val save : ?durable:bool -> string -> contents -> int32
+val save : ?durable:bool -> ?obs:Obs.t -> string -> contents -> int32
 (** Crash-atomic write (temp file, fsync, rename, directory fsync) through
     the {!Faults} layer.  Returns the image's checksum, which names this
-    snapshot for journal pairing.  [?durable:false] skips the fsyncs. *)
+    snapshot for journal pairing.  [?durable:false] skips the fsyncs.
+    [obs], when given, records the write as an [Image_save] span with the
+    encoded byte count. *)
 
-val load_with_crc : string -> contents * int32
-(** Like {!load}, also returning the image checksum. *)
+val load_with_crc : ?obs:Obs.t -> string -> contents * int32
+(** Like {!load}, also returning the image checksum.  [obs] records the
+    read as an [Image_load] span. *)
 
 val load : string -> contents

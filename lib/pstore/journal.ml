@@ -23,6 +23,7 @@ type op =
 type t = {
   oc : out_channel;
   mutable count : int;
+  obs : Obs.t option; (* bumps Journal_append per record written *)
 }
 
 let path_for image_path = image_path ^ ".wal"
@@ -102,7 +103,7 @@ let frame payload =
 
 (* -- writing ------------------------------------------------------------- *)
 
-let create path ~base_crc =
+let create ?obs path ~base_crc =
   let oc = open_out_bin path in
   let header =
     let open Codec in
@@ -117,13 +118,16 @@ let create path ~base_crc =
    with e ->
      close_out_noerr oc;
      raise e);
-  { oc; count = 0 }
+  { oc; count = 0; obs }
 
 let append t ops =
   List.iter
     (fun op ->
       Faults.output_string t.oc (frame (encode_op op));
-      t.count <- t.count + 1)
+      t.count <- t.count + 1;
+      match t.obs with
+      | Some o -> Obs.incr o Obs.Journal_append
+      | None -> ())
     ops
 
 let sync t = Faults.fsync_channel t.oc
@@ -198,10 +202,10 @@ let read path =
     end
   end
 
-let open_for_append path ~valid_bytes ~depth =
+let open_for_append ?obs path ~valid_bytes ~depth =
   Unix.truncate path valid_bytes;
   let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
-  { oc; count = depth }
+  { oc; count = depth; obs }
 
 (* Inserted entries are copied: a journal op may alias a live heap object
    (the store records allocations by reference), and replay must not give

@@ -27,8 +27,10 @@ type t
 val path_for : string -> string
 (** The journal path paired with an image path ([<image>.wal]). *)
 
-val create : string -> base_crc:int32 -> t
-(** Truncate [path] and write a fresh header naming the base image. *)
+val create : ?obs:Obs.t -> string -> base_crc:int32 -> t
+(** Truncate [path] and write a fresh header naming the base image.
+    [obs], when given, has its [Journal_append] counter bumped once per
+    record appended. *)
 
 val append : t -> op list -> unit
 (** Append records in order.  Not durable until {!sync}. *)
@@ -66,7 +68,7 @@ val read : string -> replay option
     short payload, checksum mismatch, undecodable body) rather than
     raising.  [None] if the file is missing or its header is unreadable. *)
 
-val open_for_append : string -> valid_bytes:int -> depth:int -> t
+val open_for_append : ?obs:Obs.t -> string -> valid_bytes:int -> depth:int -> t
 (** Reopen an existing journal for appending, physically truncating any
     torn tail beyond [valid_bytes] first. *)
 

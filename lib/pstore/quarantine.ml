@@ -13,17 +13,6 @@ exception Quarantined of Oid.t * string
 
 type t = string Oid.Table.t
 
-type read_error =
-  | Missing of Oid.t
-  | Quarantined_oid of Oid.t * string
-
-let pp_read_error ppf = function
-  | Missing oid -> Format.fprintf ppf "dangling reference %a" Oid.pp oid
-  | Quarantined_oid (oid, reason) ->
-    Format.fprintf ppf "quarantined %a: %s" Oid.pp oid reason
-
-let describe_read_error e = Format.asprintf "%a" pp_read_error e
-
 let create () : t = Oid.Table.create 8
 
 let add t oid reason = Oid.Table.replace t oid reason

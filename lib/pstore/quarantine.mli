@@ -11,13 +11,8 @@ exception Quarantined of Oid.t * string
 
 type t
 
-(** Typed result of a salvage read ({!Store.try_get} and friends). *)
-type read_error =
-  | Missing of Oid.t  (** the oid is not live in the heap *)
-  | Quarantined_oid of Oid.t * string  (** quarantined, with the reason *)
-
-val pp_read_error : Format.formatter -> read_error -> unit
-val describe_read_error : read_error -> string
+(** Salvage reads ({!Store.try_get} and friends) report their failures
+    through the shared {!Failure.t} variant. *)
 
 val create : unit -> t
 val add : t -> Oid.t -> string -> unit

@@ -48,7 +48,7 @@ let transient = function
 
 let bump f = global := f !global
 
-let run ?(policy = default_policy) ?(on_retry = fun _ _ -> ()) ~label f =
+let run ?(policy = default_policy) ?(on_retry = fun _ _ -> ()) ?obs ~label f =
   let rec attempt n =
     bump (fun g -> { g with attempts = g.attempts + 1 });
     match f () with
@@ -57,6 +57,7 @@ let run ?(policy = default_policy) ?(on_retry = fun _ _ -> ()) ~label f =
       v
     | exception e when transient e && n < policy.retries ->
       bump (fun g -> { g with retries = g.retries + 1 });
+      (match obs with Some o -> Obs.incr o Obs.Retry | None -> ());
       Hashtbl.replace by_label label (1 + Option.value ~default:0 (Hashtbl.find_opt by_label label));
       on_retry (n + 1) e;
       let delay = min policy.max_delay (policy.base_delay *. (2. ** float_of_int n)) in

@@ -31,8 +31,13 @@ val counters : unit -> (string * int) list
 val transient : exn -> bool
 
 val run :
-  ?policy:policy -> ?on_retry:(int -> exn -> unit) -> label:string -> (unit -> 'a) -> 'a
+  ?policy:policy ->
+  ?on_retry:(int -> exn -> unit) ->
+  ?obs:Obs.t ->
+  label:string ->
+  (unit -> 'a) ->
+  'a
 (** Run [f], retrying transient failures up to [policy.retries] times
     with exponential backoff.  [on_retry] is called before each retry
-    with the attempt number and the exception.  The final failure is
-    re-raised. *)
+    with the attempt number and the exception; [obs], when given, has its
+    [Retry] counter bumped per retry.  The final failure is re-raised. *)

@@ -13,7 +13,13 @@
    journal ops, stabilise appends and fsyncs just the delta, and the image
    is rewritten only at compaction points (first stabilise, journal over
    the compaction limit, or after operations the journal cannot express —
-   a GC sweep, or direct heap surgery flagged via [mark_dirty]). *)
+   a GC sweep, or direct heap surgery flagged via [mark_dirty]).
+
+   Every operation is counted through the store's [Obs.t].  Counting is a
+   single array increment; latency timing and trace events only happen
+   when tracing is enabled, so the hot accessors below branch on
+   [Obs.enabled] explicitly rather than paying a closure on the untraced
+   path. *)
 
 type durability =
   | Snapshot
@@ -26,6 +32,7 @@ type t = {
   quarantine : Quarantine.t; (* corrupt objects, isolated not fatal *)
   crcs : int32 Oid.Table.t; (* per-object checksums, primed by the scrubber *)
   scrub_state : Scrub.state;
+  obs : Obs.t;
   mutable retry : Retry.policy option; (* transient-I/O retry, opt-in *)
   mutable io_retries : int;
   mutable backing : string option;
@@ -46,7 +53,28 @@ type t = {
 
 let default_compaction_limit = 4096
 
-let create () =
+module Config = struct
+  type nonrec t = {
+    durability : durability;
+    compaction_limit : int;
+    retry : Retry.policy option;
+    backing : string option;
+    trace_ring : int;
+    tracing : bool;
+  }
+
+  let default =
+    {
+      durability = Snapshot;
+      compaction_limit = default_compaction_limit;
+      retry = None;
+      backing = None;
+      trace_ring = Obs.default_ring_capacity;
+      tracing = false;
+    }
+end
+
+let make ?(obs = Obs.create ()) () =
   {
     heap = Heap.create ();
     roots = Roots.create ();
@@ -54,6 +82,7 @@ let create () =
     quarantine = Quarantine.create ();
     crcs = Oid.Table.create 64;
     scrub_state = Scrub.create ();
+    obs;
     retry = None;
     io_retries = 0;
     backing = None;
@@ -74,6 +103,7 @@ let create () =
 
 let heap store = store.heap
 let roots store = store.roots
+let obs store = store.obs
 
 let backing store = store.backing
 let set_backing store path = store.backing <- Some path
@@ -117,6 +147,38 @@ let set_compaction_limit store n =
   if n < 0 then invalid_arg "Store.set_compaction_limit: negative";
   store.compaction_limit <- n
 
+let set_retry_policy store policy = store.retry <- policy
+let retry_policy store = store.retry
+
+(* -- configuration --------------------------------------------------------- *)
+
+let configure store (c : Config.t) =
+  set_durability store c.Config.durability;
+  set_compaction_limit store c.Config.compaction_limit;
+  store.retry <- c.Config.retry;
+  (* [backing = None] leaves the current backing alone: store identity is
+     not a tunable, and [open_file ?config] must not clear the path it
+     just opened. *)
+  (match c.Config.backing with Some p -> store.backing <- Some p | None -> ());
+  if Obs.ring_capacity store.obs <> c.Config.trace_ring then
+    Obs.set_ring_capacity store.obs c.Config.trace_ring;
+  Obs.set_enabled store.obs c.Config.tracing
+
+let config store : Config.t =
+  {
+    Config.durability = store.durability;
+    compaction_limit = store.compaction_limit;
+    retry = store.retry;
+    backing = store.backing;
+    trace_ring = Obs.ring_capacity store.obs;
+    tracing = Obs.enabled store.obs;
+  }
+
+let create ?config () =
+  let store = make () in
+  Option.iter (configure store) config;
+  store
+
 let mark_dirty store =
   store.needs_full <- true;
   (* Direct heap surgery invalidates every recorded checksum; the
@@ -130,12 +192,16 @@ let record store op =
 (* -- roots --------------------------------------------------------------- *)
 
 let set_root store name v =
+  Obs.incr store.obs Obs.Set;
   Roots.set store.roots name v;
   if journalling store then record store (Journal.Set_root (name, v))
 
-let root store name = Roots.find store.roots name
+let root store name =
+  Obs.incr store.obs Obs.Root_lookup;
+  Roots.find store.roots name
 
 let remove_root store name =
+  Obs.incr store.obs Obs.Set;
   Roots.remove store.roots name;
   if journalling store then record store (Journal.Remove_root name)
 
@@ -152,28 +218,38 @@ let journal_alloc store oid =
   record store (Journal.Alloc (oid, Journal.copy_entry (Heap.get store.heap oid)))
 
 let alloc_record store class_name fields =
-  let oid = Heap.alloc_record store.heap class_name fields in
-  if journalling store then journal_alloc store oid;
-  oid
+  Obs.span store.obs Obs.Alloc ~label:class_name (fun () ->
+      let oid = Heap.alloc_record store.heap class_name fields in
+      if journalling store then journal_alloc store oid;
+      oid)
 
 let alloc_array store elem_type elems =
-  let oid = Heap.alloc_array store.heap elem_type elems in
-  if journalling store then journal_alloc store oid;
-  oid
+  Obs.span store.obs Obs.Alloc ~label:elem_type (fun () ->
+      let oid = Heap.alloc_array store.heap elem_type elems in
+      if journalling store then journal_alloc store oid;
+      oid)
 
 let alloc_string store s =
-  let oid = Heap.alloc_string store.heap s in
-  if journalling store then journal_alloc store oid;
-  oid
+  Obs.span store.obs Obs.Alloc ~label:"string" (fun () ->
+      let oid = Heap.alloc_string store.heap s in
+      if journalling store then journal_alloc store oid;
+      oid)
 
 let alloc_weak store target =
-  let oid = Heap.alloc_weak store.heap target in
-  if journalling store then journal_alloc store oid;
-  oid
+  Obs.span store.obs Obs.Alloc ~label:"weak" (fun () ->
+      let oid = Heap.alloc_weak store.heap target in
+      if journalling store then journal_alloc store oid;
+      oid)
 
 (* Reads of a quarantined oid fail with the typed [Quarantined] error so
-   callers can degrade gracefully instead of consuming corrupt state. *)
-let check_q store oid = Quarantine.check store.quarantine oid
+   callers can degrade gracefully instead of consuming corrupt state.
+   One lookup: the reason doubles as the membership test. *)
+let check_q store oid =
+  match Quarantine.find store.quarantine oid with
+  | Some reason ->
+    Obs.incr store.obs Obs.Quarantine_hit;
+    raise (Quarantine.Quarantined (oid, reason))
+  | None -> ()
 
 (* A mutation invalidates the object's recorded checksum; the scrubber
    re-primes it on its next pass (trust-on-first-scan — no per-write
@@ -181,73 +257,134 @@ let check_q store oid = Quarantine.check store.quarantine oid
 let invalidate_crc store oid = Oid.Table.remove store.crcs oid
 
 let get store oid =
-  check_q store oid;
-  Heap.get store.heap oid
+  if Obs.enabled store.obs then
+    Obs.span store.obs Obs.Get ~oid (fun () ->
+        check_q store oid;
+        Heap.get store.heap oid)
+  else begin
+    Obs.incr store.obs Obs.Get;
+    check_q store oid;
+    Heap.get store.heap oid
+  end
 
 let find store oid =
+  Obs.incr store.obs Obs.Get;
   if Quarantine.mem store.quarantine oid then None else Heap.find store.heap oid
 
 let is_live store oid = Heap.is_live store.heap oid
 
 let class_of store oid =
+  Obs.incr store.obs Obs.Get;
   check_q store oid;
   Heap.class_of store.heap oid
 
 let get_record store oid =
+  Obs.incr store.obs Obs.Get;
   check_q store oid;
   Heap.get_record store.heap oid
 
 let get_array store oid =
+  Obs.incr store.obs Obs.Get;
   check_q store oid;
   Heap.get_array store.heap oid
 
 let get_string store oid =
+  Obs.incr store.obs Obs.Get;
   check_q store oid;
   Heap.get_string store.heap oid
 
 let get_weak store oid =
+  Obs.incr store.obs Obs.Get;
   check_q store oid;
   Heap.get_weak store.heap oid
 
 let field store oid idx =
-  check_q store oid;
-  Heap.field store.heap oid idx
+  if Obs.enabled store.obs then
+    Obs.span store.obs Obs.Get ~oid (fun () ->
+        check_q store oid;
+        Heap.field store.heap oid idx)
+  else begin
+    Obs.incr store.obs Obs.Get;
+    check_q store oid;
+    Heap.field store.heap oid idx
+  end
 
 let set_field store oid idx v =
-  check_q store oid;
-  Heap.set_field store.heap oid idx v;
-  invalidate_crc store oid;
-  if journalling store then record store (Journal.Set_field (oid, idx, v))
+  if Obs.enabled store.obs then
+    Obs.span store.obs Obs.Set ~oid (fun () ->
+        check_q store oid;
+        Heap.set_field store.heap oid idx v;
+        invalidate_crc store oid;
+        if journalling store then record store (Journal.Set_field (oid, idx, v)))
+  else begin
+    Obs.incr store.obs Obs.Set;
+    check_q store oid;
+    Heap.set_field store.heap oid idx v;
+    invalidate_crc store oid;
+    if journalling store then record store (Journal.Set_field (oid, idx, v))
+  end
 
 let elem store oid idx =
-  check_q store oid;
-  Heap.elem store.heap oid idx
+  if Obs.enabled store.obs then
+    Obs.span store.obs Obs.Get ~oid (fun () ->
+        check_q store oid;
+        Heap.elem store.heap oid idx)
+  else begin
+    Obs.incr store.obs Obs.Get;
+    check_q store oid;
+    Heap.elem store.heap oid idx
+  end
 
 let set_elem store oid idx v =
-  check_q store oid;
-  Heap.set_elem store.heap oid idx v;
-  invalidate_crc store oid;
-  if journalling store then record store (Journal.Set_elem (oid, idx, v))
+  if Obs.enabled store.obs then
+    Obs.span store.obs Obs.Set ~oid (fun () ->
+        check_q store oid;
+        Heap.set_elem store.heap oid idx v;
+        invalidate_crc store oid;
+        if journalling store then record store (Journal.Set_elem (oid, idx, v)))
+  else begin
+    Obs.incr store.obs Obs.Set;
+    check_q store oid;
+    Heap.set_elem store.heap oid idx v;
+    invalidate_crc store oid;
+    if journalling store then record store (Journal.Set_elem (oid, idx, v))
+  end
 
 let array_length store oid =
+  Obs.incr store.obs Obs.Get;
   check_q store oid;
   Heap.array_length store.heap oid
 
 (* -- salvage reads -------------------------------------------------------- *)
 
 let try_get store oid =
+  Obs.incr store.obs Obs.Get;
   match Quarantine.find store.quarantine oid with
-  | Some reason -> Error (Quarantine.Quarantined_oid (oid, reason))
+  | Some reason ->
+    Obs.incr store.obs Obs.Quarantine_hit;
+    Error (Failure.Quarantined { oid; reason })
   | None -> begin
     match Heap.find store.heap oid with
     | Some entry -> Ok entry
-    | None -> Error (Quarantine.Missing oid)
+    | None -> Error (Failure.Dangling oid)
   end
 
 let try_field store oid idx =
   match try_get store oid with
   | Error e -> Error e
-  | Ok _ -> Ok (Heap.field store.heap oid idx)
+  | Ok entry -> begin
+    match Heap.field store.heap oid idx with
+    | v -> Ok v
+    | exception Heap.Heap_error _ ->
+      let container =
+        match entry with
+        | Heap.Record r -> r.Heap.class_name
+        | Heap.Array a -> a.Heap.elem_type ^ "[]"
+        | Heap.Str _ -> "string"
+        | Heap.Weak _ -> "weak cell"
+      in
+      Error (Failure.Bad_index { container; index = idx })
+  end
 
 (* -- quarantine ----------------------------------------------------------- *)
 
@@ -280,12 +417,16 @@ let string_value store = function
 (* -- blobs --------------------------------------------------------------- *)
 
 let set_blob store key data =
+  Obs.incr store.obs Obs.Set;
   Hashtbl.replace store.blobs key data;
   if journalling store then record store (Journal.Set_blob (key, data))
 
-let blob store key = Hashtbl.find_opt store.blobs key
+let blob store key =
+  Obs.incr store.obs Obs.Get;
+  Hashtbl.find_opt store.blobs key
 
 let remove_blob store key =
+  Obs.incr store.obs Obs.Set;
   Hashtbl.remove store.blobs key;
   if journalling store then record store (Journal.Remove_blob key)
 
@@ -308,27 +449,28 @@ let quarantine_roots store =
   List.filter (Heap.is_live store.heap) (List.map fst (Quarantine.to_list store.quarantine))
 
 let gc store =
-  store.gc_count <- store.gc_count + 1;
-  (* A sweep removes objects and clears weak cells behind the journal's
-     back; the next stabilise must therefore compact. *)
-  if journalling store then store.needs_full <- true;
-  let stats =
-    Gc.collect
-      ~extra_roots:(quarantine_roots store @ pinned_oids store)
-      store.heap store.roots
-  in
-  (* Recorded checksums of swept objects are stale, and the sweep may
-     have cleared weak-cell targets behind the checksum's back. *)
-  let stale =
-    Oid.Table.fold
-      (fun oid _ acc ->
-        match Heap.find store.heap oid with
-        | None | Some (Heap.Weak _) -> oid :: acc
-        | Some _ -> acc)
-      store.crcs []
-  in
-  List.iter (Oid.Table.remove store.crcs) stale;
-  stats
+  Obs.span store.obs Obs.Gc (fun () ->
+      store.gc_count <- store.gc_count + 1;
+      (* A sweep removes objects and clears weak cells behind the journal's
+         back; the next stabilise must therefore compact. *)
+      if journalling store then store.needs_full <- true;
+      let stats =
+        Gc.collect
+          ~extra_roots:(quarantine_roots store @ pinned_oids store)
+          store.heap store.roots
+      in
+      (* Recorded checksums of swept objects are stale, and the sweep may
+         have cleared weak-cell targets behind the checksum's back. *)
+      let stale =
+        Oid.Table.fold
+          (fun oid _ acc ->
+            match Heap.find store.heap oid with
+            | None | Some (Heap.Weak _) -> oid :: acc
+            | Some _ -> acc)
+          store.crcs []
+      in
+      List.iter (Oid.Table.remove store.crcs) stale;
+      stats)
 
 let reachable store =
   Gc.reachable
@@ -348,12 +490,13 @@ let contents store =
 let default_scrub_budget = 256
 
 let scrub ?(budget = default_scrub_budget) store =
-  let report =
-    Scrub.step store.scrub_state ~heap:store.heap ~crcs:store.crcs
-      ~quarantine:store.quarantine ~budget
-  in
-  if report.Scrub.newly_quarantined <> [] then store.needs_full <- true;
-  report
+  Obs.span store.obs Obs.Scrub_step (fun () ->
+      let report =
+        Scrub.step store.scrub_state ~heap:store.heap ~crcs:store.crcs
+          ~quarantine:store.quarantine ~budget
+      in
+      if report.Scrub.newly_quarantined <> [] then store.needs_full <- true;
+      report)
 
 let scrub_progress store = store.scrub_state
 
@@ -363,16 +506,17 @@ let wal_depth store =
   | None -> 0
 
 let compact store path =
-  close_wal store;
-  let crc = Image.save path (contents store) in
-  (* The image now contains every pending effect; a crash before the new
-     journal header lands leaves a stale journal (old base checksum) that
-     recovery discards. *)
-  store.pending <- [];
-  store.pending_count <- 0;
-  store.wal <- Some (Journal.create (Journal.path_for path) ~base_crc:crc);
-  store.needs_full <- false;
-  store.compactions <- store.compactions + 1
+  Obs.span store.obs Obs.Compaction (fun () ->
+      close_wal store;
+      let crc = Image.save ~obs:store.obs path (contents store) in
+      (* The image now contains every pending effect; a crash before the new
+         journal header lands leaves a stale journal (old base checksum) that
+         recovery discards. *)
+      store.pending <- [];
+      store.pending_count <- 0;
+      store.wal <- Some (Journal.create ~obs:store.obs (Journal.path_for path) ~base_crc:crc);
+      store.needs_full <- false;
+      store.compactions <- store.compactions + 1)
 
 (* One stabilisation attempt.  Both failure paths are idempotent, which
    is what makes the retry wrapper below safe: a failed journal append
@@ -381,7 +525,7 @@ let compact store path =
    image from scratch. *)
 let stabilise_once store path =
   match store.durability with
-  | Snapshot -> ignore (Image.save path (contents store) : int32)
+  | Snapshot -> ignore (Image.save ~obs:store.obs path (contents store) : int32)
   | Journalled ->
     let in_rollback = store.rollback_depth > 0 in
     let must_compact = store.needs_full || store.wal = None in
@@ -409,9 +553,6 @@ let stabilise_once store path =
         raise e
     end
 
-let set_retry_policy store policy = store.retry <- policy
-let retry_policy store = store.retry
-
 let stabilise ?path store =
   let path =
     match path, store.backing with
@@ -422,54 +563,39 @@ let stabilise ?path store =
     | None, None -> invalid_arg "Store.stabilise: no backing file"
   in
   store.stabilise_count <- store.stabilise_count + 1;
-  match store.retry with
-  | None -> stabilise_once store path
-  | Some policy ->
-    Retry.run ~policy ~label:"stabilise"
-      ~on_retry:(fun _ _ -> store.io_retries <- store.io_retries + 1)
-      (fun () -> stabilise_once store path)
+  let mode =
+    match store.durability with
+    | Snapshot -> "snapshot"
+    | Journalled -> "journalled"
+  in
+  Obs.span store.obs Obs.Stabilise ~label:mode (fun () ->
+      match store.retry with
+      | None -> stabilise_once store path
+      | Some policy ->
+        Retry.run ~policy ~obs:store.obs ~label:"stabilise"
+          ~on_retry:(fun _ _ -> store.io_retries <- store.io_retries + 1)
+          (fun () -> stabilise_once store path))
 
-let of_contents ?backing { Image.heap; roots; blobs; quarantine } =
-  {
-    heap;
-    roots;
-    blobs;
-    quarantine;
-    crcs = Oid.Table.create 64;
-    scrub_state = Scrub.create ();
-    retry = None;
-    io_retries = 0;
-    backing;
-    pins = [];
-    stabilise_count = 0;
-    gc_count = 0;
-    durability = Snapshot;
-    wal = None;
-    pending = [];
-    pending_count = 0;
-    needs_full = true;
-    compaction_limit = default_compaction_limit;
-    compactions = 0;
-    replayed = 0;
-    recovered_torn = false;
-    rollback_depth = 0;
-  }
+let of_contents ?obs ?backing { Image.heap; roots; blobs; quarantine } =
+  let base = make ?obs () in
+  { base with heap; roots; blobs; quarantine; backing }
 
-let open_file path =
+let open_file ?config path =
+  let obs = Obs.create () in
   let contents, crc =
-    try Image.load_with_crc path
+    try Image.load_with_crc ~obs path
     with (Image.Image_error _ | Codec.Decode_error _ | Sys_error _) as e -> begin
       (* A crash between writing and renaming a snapshot can leave a
          complete image under the temp name; promote it rather than fail. *)
       let tmp = path ^ ".tmp" in
-      match (try Some (Image.load_with_crc tmp) with _ -> None) with
+      match (try Some (Image.load_with_crc ~obs tmp) with _ -> None) with
       | Some (c, crc) ->
         Faults.rename tmp path;
         (c, crc)
       | None -> raise e
     end
   in
-  let store = of_contents ~backing:path contents in
+  let store = of_contents ~obs ~backing:path contents in
   (match Journal.read (Journal.path_for path) with
   | Some replay when Int32.equal replay.Journal.base_crc crc ->
     List.iter
@@ -480,7 +606,7 @@ let open_file path =
     store.durability <- Journalled;
     store.wal <-
       Some
-        (Journal.open_for_append (Journal.path_for path)
+        (Journal.open_for_append ~obs (Journal.path_for path)
            ~valid_bytes:replay.Journal.valid_bytes ~depth:store.replayed);
     store.needs_full <- false
   | Some _ ->
@@ -493,19 +619,27 @@ let open_file path =
      record as such; force a compaction so the next stabilise persists
      the quarantine set. *)
   if not (Quarantine.is_empty store.quarantine) then store.needs_full <- true;
+  (* An explicit configuration is applied last, so it wins over the
+     recovered durability mode. *)
+  Option.iter (configure store) config;
   store
 
 (* Both [close] and [crash] are idempotent and safe on any durability
    mode: each drops the journal handle (a no-op when there is none, as in
-   snapshot mode or after a previous close/crash), so calling them twice,
-   in either order, is harmless. *)
-let close store = close_wal store
+   snapshot mode or after a previous close/crash).  [close] additionally
+   seals a final observability snapshot and empties the trace ring;
+   [crash] drops the ring without snapshotting, exactly as a process
+   crash would lose in-flight trace state. *)
+let close store =
+  close_wal store;
+  Obs.flush store.obs
 
 let crash store =
   (match store.wal with
   | Some w -> Journal.crash w
   | None -> ());
-  store.wal <- None
+  store.wal <- None;
+  Obs.drop store.obs
 
 type stats = {
   live : int;

@@ -6,33 +6,6 @@
 
 type t
 
-val create : unit -> t
-(** A fresh, empty, unbacked store (snapshot durability). *)
-
-val open_file : string -> t
-(** Recover a store from a stabilised image.  If a write-ahead journal
-    paired with the image exists it is replayed on top (truncating at the
-    first torn record) and the store reopens in journalled mode; a crash
-    that left a complete-but-unrenamed snapshot is promoted.
-    @raise Image.Image_error on a corrupt image with nothing to recover. *)
-
-val close : t -> unit
-(** Release the journal file handle, if any.  The store stays usable in
-    memory; the next journalled stabilise recreates the handle by
-    compaction.  Idempotent, and safe on any durability mode. *)
-
-val crash : t -> unit
-(** Test support: simulate a process crash.  The journal descriptor is
-    closed without flushing, so buffered-but-unsynced bytes are lost;
-    the in-memory store should be discarded and the image reopened.
-    Idempotent, safe on any durability mode, and safe after {!close}. *)
-
-val heap : t -> Heap.t
-val roots : t -> Roots.t
-
-val backing : t -> string option
-val set_backing : t -> string -> unit
-
 (** {1 Durability}
 
     [Snapshot] (the default) rewrites the full image on every stabilise.
@@ -44,11 +17,91 @@ type durability =
   | Snapshot
   | Journalled
 
+(** {1 Configuration}
+
+    All store tunables in one record, applied atomically with
+    {!configure} or at construction time via [?config] on {!create} and
+    {!open_file}.  The legacy per-knob setters below remain as thin
+    shims over this record. *)
+
+module Config : sig
+  type t = {
+    durability : durability;
+    compaction_limit : int;
+        (** journal records tolerated before stabilise compacts *)
+    retry : Retry.policy option;
+        (** transient-I/O retry for stabilise; [None] = fail fast *)
+    backing : string option;
+        (** [Some p] points the store at a backing file; [None] leaves
+            the current backing untouched (identity is not a tunable) *)
+    trace_ring : int;  (** trace-ring capacity, in events *)
+    tracing : bool;  (** latency histograms + trace ring on/off *)
+  }
+
+  val default : t
+  (** Snapshot durability, default compaction limit, no retry, backing
+      untouched, {!Obs.default_ring_capacity} ring, tracing off. *)
+end
+
+val create : ?config:Config.t -> unit -> t
+(** A fresh, empty, unbacked store (snapshot durability unless [config]
+    says otherwise). *)
+
+val open_file : ?config:Config.t -> string -> t
+(** Recover a store from a stabilised image.  If a write-ahead journal
+    paired with the image exists it is replayed on top (truncating at the
+    first torn record) and the store reopens in journalled mode; a crash
+    that left a complete-but-unrenamed snapshot is promoted.  An explicit
+    [config] is applied after recovery, so its durability wins over the
+    recovered mode.
+    @raise Image.Image_error on a corrupt image with nothing to recover. *)
+
+val configure : t -> Config.t -> unit
+(** Apply a whole configuration.  [backing = None] keeps the current
+    backing file; switching durability behaves like the legacy
+    [set_durability] (entering [Journalled] forces a full image at the
+    next stabilise, entering [Snapshot] discards the journal). *)
+
+val config : t -> Config.t
+(** The store's current configuration ([backing] is the current backing
+    file, so [configure s (config s)] is the identity). *)
+
+val close : t -> unit
+(** Release the journal file handle, if any, and seal the observability
+    state: a final counter snapshot is recorded ({!Obs.flush}) and the
+    trace ring is emptied.  The store stays usable in memory; the next
+    journalled stabilise recreates the handle by compaction.  Idempotent,
+    and safe on any durability mode. *)
+
+val crash : t -> unit
+(** Test support: simulate a process crash.  The journal descriptor is
+    closed without flushing, so buffered-but-unsynced bytes are lost, and
+    in-flight trace state is dropped without a final snapshot
+    ({!Obs.drop}).  The in-memory store should be discarded and the image
+    reopened.  Idempotent, safe on any durability mode, and safe after
+    {!close}. *)
+
+val heap : t -> Heap.t
+val roots : t -> Roots.t
+
+val obs : t -> Obs.t
+(** The store's observability state: operation counters (always on),
+    latency histograms and the bounded trace ring (on when tracing is
+    enabled via {!configure} or [Obs.set_enabled]). *)
+
+val backing : t -> string option
+
+val set_backing : t -> string -> unit
+(** @deprecated Use {!configure} with [{config with backing = Some p}]. *)
+
 val durability : t -> durability
+
 val set_durability : t -> durability -> unit
+(** @deprecated Use {!configure}. *)
 
 val set_compaction_limit : t -> int -> unit
-(** Journal records tolerated before stabilise compacts (default 4096). *)
+(** Journal records tolerated before stabilise compacts (default 4096).
+    @deprecated Use {!configure}. *)
 
 val mark_dirty : t -> unit
 (** Tell the store its heap was mutated behind its back (direct record
@@ -98,14 +151,14 @@ val string_value : t -> Pvalue.t -> string
 
     Corrupt or dangling objects are isolated, not fatal: reads of a
     quarantined oid raise the typed {!Quarantine.Quarantined} error, and
-    the [try_]-style variants return the failure as data so callers can
-    render broken-link placeholders. *)
+    the [try_]-style variants return the shared {!Failure.t} as data so
+    callers can render broken-link placeholders with a single match. *)
 
-val try_get : t -> Oid.t -> (Heap.entry, Quarantine.read_error) result
+val try_get : t -> Oid.t -> (Heap.entry, Failure.t) result
 
-val try_field : t -> Oid.t -> int -> (Pvalue.t, Quarantine.read_error) result
-(** Liveness and quarantine are reported as [Error]; an out-of-range
-    index on a healthy object is still a logic error and raises. *)
+val try_field : t -> Oid.t -> int -> (Pvalue.t, Failure.t) result
+(** Liveness, quarantine {e and} a bad field index are reported as
+    [Error] ([Failure.Bad_index] for the latter). *)
 
 val quarantine_oid : t -> Oid.t -> string -> unit
 (** Isolate an object (the scrubber and the image salvage loader call
@@ -145,6 +198,8 @@ val scrub_progress : t -> Scrub.state
     failures. *)
 
 val set_retry_policy : t -> Retry.policy option -> unit
+(** @deprecated Use {!configure}. *)
+
 val retry_policy : t -> Retry.policy option
 
 (** {1 Blobs}

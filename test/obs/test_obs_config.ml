@@ -1,0 +1,98 @@
+(* The unified Store.Config record: equivalent to the legacy per-knob
+   setters, round-trippable, and authoritative over recovery on
+   open_file. *)
+
+open Pstore
+open Obs_util
+
+let config_matches_legacy_setters () =
+  let legacy = Store.create () in
+  Store.set_durability legacy Store.Journalled;
+  Store.set_compaction_limit legacy 128;
+  Store.set_retry_policy legacy (Some Retry.default_policy);
+  let unified = Store.create () in
+  Store.configure unified
+    {
+      Store.Config.durability = Store.Journalled;
+      compaction_limit = 128;
+      retry = Some Retry.default_policy;
+      backing = None;
+      trace_ring = Obs.default_ring_capacity;
+      tracing = false;
+    };
+  check_bool "one record equals four setter calls" true
+    (Store.config legacy = Store.config unified)
+
+let configure_config_is_identity () =
+  with_store_file (fun path ->
+      let store = Store.create () in
+      Store.set_backing store path;
+      Store.set_durability store Store.Journalled;
+      Store.set_retry_policy store (Some Retry.default_policy);
+      let before = Store.config store in
+      Store.configure store before;
+      check_bool "configure (config s) changes nothing" true
+        (Store.config store = before);
+      check_bool "backing round-trips" true
+        (before.Store.Config.backing = Some path))
+
+let default_config_leaves_backing_alone () =
+  with_store_file (fun path ->
+      let store = Store.create () in
+      Store.set_backing store path;
+      Store.configure store Store.Config.default;
+      check_bool "backing = None means keep, not clear" true
+        (Store.backing store = Some path))
+
+let open_file_config_wins_over_recovery () =
+  with_store_file (fun path ->
+      let store = Store.create () in
+      Store.set_durability store Store.Journalled;
+      let a = Store.alloc_record store "A" [| Pvalue.Int 1l |] in
+      Store.set_root store "a" (Pvalue.Ref a);
+      Store.stabilise ~path store;
+      Store.close store;
+      (* default open recovers the journalled mode from the WAL... *)
+      let recovered = Store.open_file path in
+      check_bool "recovery restores journalled mode" true
+        (Store.durability recovered = Store.Journalled);
+      Store.close recovered;
+      (* ...but an explicit config is applied after recovery, so it wins *)
+      let overridden =
+        Store.open_file
+          ~config:{ Store.Config.default with durability = Store.Snapshot }
+          path
+      in
+      check_bool "explicit config overrides the recovered mode" true
+        (Store.durability overridden = Store.Snapshot);
+      Store.close overridden)
+
+let construction_config_reaches_obs () =
+  let store =
+    Store.create
+      ~config:{ Store.Config.default with tracing = true; trace_ring = 4 }
+      ()
+  in
+  let obs = Store.obs store in
+  check_bool "tracing enabled at construction" true (Obs.enabled obs);
+  check_int "ring capacity applied" 4 (Obs.ring_capacity obs);
+  for _ = 1 to 10 do
+    ignore (Store.alloc_string store "x")
+  done;
+  check_int "ring bounded by the configured capacity" 4
+    (List.length (Obs.events obs));
+  (* and the config reads back what the obs state says *)
+  let c = Store.config store in
+  check_bool "tracing reads back" true c.Store.Config.tracing;
+  check_int "ring reads back" 4 c.Store.Config.trace_ring
+
+let suite =
+  [
+    test "a config record equals the legacy setters" config_matches_legacy_setters;
+    test "configure (config s) is the identity" configure_config_is_identity;
+    test "the default config leaves backing alone" default_config_leaves_backing_alone;
+    test "open_file applies an explicit config after recovery"
+      open_file_config_wins_over_recovery;
+    test "construction config reaches the observability state"
+      construction_config_reaches_obs;
+  ]

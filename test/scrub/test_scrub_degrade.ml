@@ -18,11 +18,11 @@ let get_link_degrades_to_broken_link () =
   Store.quarantine_oid store (oid_of vangelis) "checksum mismatch (test)";
   (* the typed variant reports the damage as data *)
   (match Registry.try_get_link vm ~password:Registry.built_in_password ~hp:uid ~link:1 with
-  | Registry.Broken (Registry.Target_quarantined { oid; reason }) ->
+  | Error (Failure.Quarantined { oid; reason }) ->
     check_bool "names the target" true (Oid.equal oid (oid_of vangelis));
     check_bool "carries the reason" true (contains reason "checksum mismatch");
-  | Registry.Broken b -> Alcotest.failf "wrong damage: %s" (Registry.describe_broken b)
-  | Registry.Link _ -> Alcotest.fail "quarantined target must not retrieve");
+  | Error e -> Alcotest.failf "wrong damage: %s" (Failure.describe e)
+  | Ok _ -> Alcotest.fail "quarantined target must not retrieve");
   (* the raising getLink hands back a BrokenLink instance instead *)
   let v = Registry.get_link vm ~password:Registry.built_in_password ~hp:uid ~link:1 in
   check_output "degraded class" Hyper_src.broken_link_class (Store.class_of store (oid_of v));
@@ -43,15 +43,15 @@ let paper_exceptions_are_kept () =
   let uid = Registry.add_hp vm ~password:Registry.built_in_password hp in
   (* a bad index is a caller bug, not store damage: still an exception *)
   (match Registry.try_get_link vm ~password:Registry.built_in_password ~hp:uid ~link:99 with
-  | Registry.Broken (Registry.No_such_link { link = 99; _ }) -> ()
-  | _ -> Alcotest.fail "expected No_such_link");
+  | Error (Failure.Bad_index { index = 99; _ }) -> ()
+  | _ -> Alcotest.fail "expected Bad_index");
   expect_jerror "java.lang.IndexOutOfBoundsException" (fun () ->
       ignore (Registry.get_link vm ~password:Registry.built_in_password ~hp:uid ~link:99));
   (* a collected program keeps its IllegalStateException *)
   Store.remove_root store "program";
   ignore (Store.gc store);
   (match Registry.try_get_link vm ~password:Registry.built_in_password ~hp:uid ~link:0 with
-  | Registry.Broken (Registry.Collected u) -> check_int "collected uid" uid u
+  | Error (Failure.Collected u) -> check_int "collected uid" uid u
   | _ -> Alcotest.fail "expected Collected");
   expect_jerror "java.lang.IllegalStateException" (fun () ->
       ignore (Registry.get_link vm ~password:Registry.built_in_password ~hp:uid ~link:0))

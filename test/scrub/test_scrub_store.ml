@@ -55,9 +55,9 @@ let bit_flip_in_big_store_detected () =
   | exception Quarantine.Quarantined (o, _) ->
     check_bool "typed error names the oid" true (Oid.equal o victim));
   match Store.try_get store victim with
-  | Error (Quarantine.Quarantined_oid (o, _)) ->
+  | Error (Failure.Quarantined { oid = o; _ }) ->
     check_bool "try_get salvages" true (Oid.equal o victim)
-  | Error (Quarantine.Missing _) -> Alcotest.fail "quarantined, not missing"
+  | Error _ -> Alcotest.fail "quarantined, not missing"
   | Ok _ -> Alcotest.fail "try_get must report the quarantine"
 
 let mutation_reprimes_instead_of_quarantining () =
@@ -92,7 +92,7 @@ let dangling_target_quarantined () =
   match Store.try_field store holder 0 with
   | Ok (Pvalue.Ref o) -> (
     match Store.try_get store o with
-    | Error (Quarantine.Quarantined_oid _) -> ()
+    | Error (Failure.Quarantined _) -> ()
     | _ -> Alcotest.fail "hole must read as quarantined")
   | _ -> Alcotest.fail "holder field must read"
 
