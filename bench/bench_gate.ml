@@ -1,0 +1,103 @@
+(* Bench regression gate for the @bench-smoke alias.
+
+   Usage: bench_gate FRESH.json BASELINE.json
+
+   Compares the p50 latency of every op-class section present in BOTH
+   files and fails (exit 1) when the fresh run has regressed more than
+   2x against the committed baseline.  Sections new to the fresh run
+   are reported but never gate — the baseline grows when they are
+   committed.  The 2x bound is deliberately loose: smoke budgets are
+   ~100 ms per section, so the gate catches order-of-magnitude
+   regressions (a lost cache, an extra fsync), not noise. *)
+
+let tolerance = 2.0
+
+(* -- minimal parsing of the BENCH_pstore.json shape ----------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Extract [(name, p50_ns)] from the sections array.  The file is
+   produced by our own renderer, so positional scanning over the known
+   key order is sufficient — no JSON library needed. *)
+let sections_of json =
+  let find_from pos pat =
+    let n = String.length pat in
+    let limit = String.length json - n in
+    let rec go i =
+      if i > limit then None
+      else if String.sub json i n = pat then Some (i + n)
+      else go (i + 1)
+    in
+    go pos
+  in
+  let string_at pos =
+    let close = String.index_from json pos '"' in
+    (String.sub json pos (close - pos), close)
+  in
+  let float_at pos =
+    let stop = ref pos in
+    let len = String.length json in
+    while
+      !stop < len
+      && (match json.[!stop] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string (String.sub json pos (!stop - pos))
+  in
+  let rec collect pos acc =
+    match find_from pos {|"name": "|} with
+    | None -> List.rev acc
+    | Some p -> (
+        let name, after = string_at p in
+        match find_from after {|"p50_ns": |} with
+        | None -> List.rev acc
+        | Some q -> collect q ((name, float_at q) :: acc))
+  in
+  collect 0 []
+
+let () =
+  let fresh_path, base_path =
+    match Sys.argv with
+    | [| _; f; b |] -> (f, b)
+    | _ ->
+        prerr_endline "usage: bench_gate FRESH.json BASELINE.json";
+        exit 2
+  in
+  let fresh = sections_of (read_file fresh_path) in
+  let base = sections_of (read_file base_path) in
+  if fresh = [] then begin
+    Printf.eprintf "bench gate: no sections found in %s\n" fresh_path;
+    exit 2
+  end;
+  let failures = ref 0 in
+  Printf.printf "== bench gate: p50 vs committed baseline (tolerance %.1fx) ==\n"
+    tolerance;
+  List.iter
+    (fun (name, p50) ->
+      match List.assoc_opt name base with
+      | None -> Printf.printf "  %-20s %12.1f ns   (new section, not gated)\n" name p50
+      | Some base_p50 ->
+          let ratio = p50 /. Float.max base_p50 1e-9 in
+          let verdict = if ratio > tolerance then "FAIL" else "ok" in
+          if ratio > tolerance then incr failures;
+          Printf.printf "  %-20s %12.1f ns   baseline %12.1f ns   %5.2fx  %s\n"
+            name p50 base_p50 ratio verdict)
+    fresh;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name fresh) then
+        Printf.printf "  %-20s missing from the fresh run (not gated)\n" name)
+    base;
+  if !failures > 0 then begin
+    Printf.eprintf "bench gate: %d op class(es) regressed more than %.1fx in p50\n"
+      !failures tolerance;
+    exit 1
+  end;
+  print_endline "bench gate: ok"

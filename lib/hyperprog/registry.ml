@@ -27,6 +27,88 @@ let field vm oid name = Store.field Rt.(vm.store) oid (Rt.field_slot vm Hyper_sr
 let set_field vm oid name v =
   Store.set_field Rt.(vm.store) oid (Rt.field_slot vm Hyper_src.registry_class name) v
 
+(* -- getLink memoisation ---------------------------------------------------
+
+   Compiled textual forms call getLink on every hyper-link dereference,
+   and the resolution walks the registry object, a weak cell, the
+   hyper-program's storage form and the link's health checks — a dozen
+   store reads for an answer that almost never changes.  A bounded
+   per-store memo caches the full [try_get_link] result per (hp, link).
+
+   Invalidation is two-tier.  Registry-API mutations ([add_hp], [prune])
+   flush explicitly.  Everything that can change an answer WITHOUT going
+   through this module — quarantine add/clear (operator or scrubber), a
+   GC sweep clearing weak targets, transaction rollback, evolution's
+   in-place instance surgery — bumps [Store.invalidation_epoch], which is
+   revalidated before every memo read.  Storage forms are immutable after
+   creation (editing builds a fresh instance), so a cached link list
+   cannot go stale behind our back.  Raw field writes to the registry
+   object itself (not expressible through this module's API) are the one
+   untracked path. *)
+
+type memo_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  capacity : int;
+}
+
+type memo = {
+  mutable m_enabled : bool;
+  mutable m_hits : int;
+  mutable m_misses : int;
+  mutable m_epoch : int; (* Store.invalidation_epoch at last validation *)
+  m_table : (int * int, (Pvalue.t, Failure.t) result) Hashtbl.t;
+  mutable m_password : string option; (* the registry password, as last read *)
+  m_capacity : int;
+}
+
+let memo_capacity = 512
+let memo_key : memo Props.key = Props.new_key ()
+
+let memo_of vm =
+  let store = Rt.(vm.store) in
+  Props.get_or_create (Store.props store) memo_key (fun () ->
+      {
+        m_enabled = true;
+        m_hits = 0;
+        m_misses = 0;
+        m_epoch = Store.invalidation_epoch store;
+        m_table = Hashtbl.create 64;
+        m_password = None;
+        m_capacity = memo_capacity;
+      })
+
+let memo_flush m =
+  Hashtbl.reset m.m_table;
+  m.m_password <- None
+
+(* Flush when a side channel (quarantine, gc, rollback, mark_dirty)
+   invalidated reads since the memo was last used. *)
+let memo_validate vm m =
+  let epoch = Store.invalidation_epoch Rt.(vm.store) in
+  if epoch <> m.m_epoch then begin
+    memo_flush m;
+    m.m_epoch <- epoch
+  end
+
+let clear_memo vm = memo_flush (memo_of vm)
+let memo_enabled vm = (memo_of vm).m_enabled
+
+let set_memo_enabled vm flag =
+  let m = memo_of vm in
+  if not flag then memo_flush m;
+  m.m_enabled <- flag
+
+let memo_stats vm =
+  let m = memo_of vm in
+  {
+    hits = m.m_hits;
+    misses = m.m_misses;
+    entries = Hashtbl.length m.m_table;
+    capacity = m.m_capacity;
+  }
+
 (* Get or create the registry object rooted at [root_name]. *)
 let ensure vm =
   let store = Rt.(vm.store) in
@@ -44,11 +126,32 @@ let ensure vm =
     Store.set_root store root_name (Pvalue.Ref oid);
     oid
 
-let check_password vm password =
+let read_password vm =
   let reg = ensure vm in
   match field vm reg "password" with
-  | Pvalue.Ref soid -> String.equal (Store.get_string Rt.(vm.store) soid) password
-  | _ -> false
+  | Pvalue.Ref soid -> Some (Store.get_string Rt.(vm.store) soid)
+  | _ -> None
+
+let check_password_m vm m password =
+  let stored =
+    if m.m_enabled then begin
+      match m.m_password with
+      | Some _ as s -> s
+      | None ->
+        let s = read_password vm in
+        m.m_password <- s;
+        s
+    end
+    else read_password vm
+  in
+  match stored with
+  | Some s -> String.equal s password
+  | None -> false
+
+let check_password vm password =
+  let m = memo_of vm in
+  memo_validate vm m;
+  check_password_m vm m password
 
 let count vm =
   let reg = ensure vm in
@@ -104,6 +207,7 @@ let add_hp vm ~password hp_oid =
   in
   if still_there then existing
   else begin
+    clear_memo vm;
     let reg = ensure vm in
     let n = count vm in
     grow vm reg (n + 1);
@@ -135,31 +239,54 @@ let link_damage vm link_oid =
 
 (* Retrieve a HyperLinkHP instance (the getLink of Figure 9), reporting
    failure as data rather than raising: broken links degrade. *)
-let try_get_link vm ~password ~hp ~link =
-  if not (check_password vm password) then bad_password ();
-  Obs.span (Store.obs Rt.(vm.store)) Obs.Get_link
-    ~label:(Printf.sprintf "hp=%d link=%d" hp link)
-    (fun () ->
-      match hp_at vm hp with
-      | Pvalue.Ref hp_oid -> begin
-        match Storage_form.link_oids vm hp_oid with
-        | exception Quarantine.Quarantined (oid, reason) ->
-          (* the hyper-program's own storage form is damaged *)
-          Error (Failure.Quarantined { oid; reason })
-        | link_oids -> begin
-          match List.nth_opt link_oids link with
-          | None ->
-            Error
-              (Failure.Bad_index
-                 { container = Printf.sprintf "hyper-program %d" hp; index = link })
-          | Some link_oid -> begin
-            match link_damage vm link_oid with
-            | Some damage -> Error damage
-            | None -> Ok (Pvalue.Ref link_oid)
-          end
-        end
+let resolve_link vm ~hp ~link =
+  match hp_at vm hp with
+  | Pvalue.Ref hp_oid -> begin
+    match Storage_form.link_oids vm hp_oid with
+    | exception Quarantine.Quarantined (oid, reason) ->
+      (* the hyper-program's own storage form is damaged *)
+      Error (Failure.Quarantined { oid; reason })
+    | link_oids -> begin
+      match List.nth_opt link_oids link with
+      | None ->
+        Error
+          (Failure.Bad_index
+             { container = Printf.sprintf "hyper-program %d" hp; index = link })
+      | Some link_oid -> begin
+        match link_damage vm link_oid with
+        | Some damage -> Error damage
+        | None -> Ok (Pvalue.Ref link_oid)
       end
-      | _ -> Error (Failure.Collected hp))
+    end
+  end
+  | _ -> Error (Failure.Collected hp)
+
+let try_get_link vm ~password ~hp ~link =
+  let obs = Store.obs Rt.(vm.store) in
+  let m = memo_of vm in
+  memo_validate vm m;
+  if not (check_password_m vm m password) then bad_password ();
+  (* the span label costs a [sprintf]: only pay it while tracing *)
+  let label =
+    if Obs.enabled obs then Some (Printf.sprintf "hp=%d link=%d" hp link)
+    else None
+  in
+  Obs.span obs Obs.Get_link ?label (fun () ->
+      if not m.m_enabled then resolve_link vm ~hp ~link
+      else begin
+        match Hashtbl.find_opt m.m_table (hp, link) with
+        | Some r ->
+          m.m_hits <- m.m_hits + 1;
+          Obs.incr obs Obs.Cache_hit;
+          r
+        | None ->
+          let r = resolve_link vm ~hp ~link in
+          m.m_misses <- m.m_misses + 1;
+          Obs.incr obs Obs.Cache_miss;
+          if Hashtbl.length m.m_table >= m.m_capacity then Hashtbl.reset m.m_table;
+          Hashtbl.replace m.m_table (hp, link) r;
+          r
+      end)
 
 (* A hyper.BrokenLink instance standing in for an unreachable target:
    compiled textual forms receive it from getLink instead of an
@@ -235,6 +362,7 @@ type prune_stats = {
    Quarantined programs are NOT pruned: they are live-but-corrupt, and
    their registry entry is what lets repair tools find them. *)
 let prune vm =
+  clear_memo vm;
   let store = Rt.(vm.store) in
   let reg = ensure vm in
   let arr = programs_array vm reg in

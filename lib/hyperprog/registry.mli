@@ -57,6 +57,30 @@ val get_link : Rt.t -> password:string -> hp:int -> link:int -> Pvalue.t
 val live_programs : Rt.t -> (int * Oid.t) list
 (** Registered programs whose weak target is still alive. *)
 
+(** {1 getLink memoisation}
+
+    A bounded per-store memo of {!try_get_link} results keyed by
+    [(hp, link)], on by default.  Registry mutations ({!add_hp},
+    {!prune}) flush it; side channels — quarantine add/clear, GC sweeps,
+    rollback, evolution's instance surgery — are caught by revalidating
+    against [Store.invalidation_epoch] before every read, so broken-link
+    degradation surfaces exactly as it would cold.  State lives in
+    [Store.props]: per store, never persisted. *)
+
+type memo_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  capacity : int;
+}
+
+val memo_enabled : Rt.t -> bool
+val set_memo_enabled : Rt.t -> bool -> unit
+val memo_stats : Rt.t -> memo_stats
+
+val clear_memo : Rt.t -> unit
+(** Flush the memo (also called internally by {!add_hp} / {!prune}). *)
+
 (** {1 Maintenance} *)
 
 val origin_anchors : Rt.t -> (string * Oid.t) list

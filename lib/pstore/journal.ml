@@ -6,7 +6,13 @@
    the file: a crash mid-append leaves a record whose length runs past
    end-of-file or whose checksum does not match, and replay simply stops
    there.  Nothing before the torn record is affected, so everything up to
-   the last successful sync is recovered intact. *)
+   the last successful sync is recovered intact.
+
+   A record payload holds either one op (tag 0-6) or a GROUP-COMMIT
+   batch (tag 7): a whole multi-op stabilise delta in a single frame.
+   Because the frame's CRC covers the entire batch, a crash mid-write
+   tears the batch as a unit — recovery lands on the pre-batch state,
+   never on a prefix of a transaction's mutations. *)
 
 let magic = "HPJWAL01"
 let header_size = String.length magic + 4
@@ -64,35 +70,58 @@ let encode_op op =
     put_string w key);
   contents w
 
-let decode_op payload =
+let batch_tag = 7
+
+let decode_one r =
+  let open Codec in
+  let oid () = Oid.of_int (Int64.to_int (get_i64 r)) in
+  match get_u8 r with
+  | 0 ->
+    let name = get_string r in
+    Set_root (name, Pvalue.decode r)
+  | 1 -> Remove_root (get_string r)
+  | 2 ->
+    let oid = oid () in
+    Alloc (oid, Image.decode_entry r)
+  | 3 ->
+    let oid = oid () in
+    let idx = get_int r in
+    Set_field (oid, idx, Pvalue.decode r)
+  | 4 ->
+    let oid = oid () in
+    let idx = get_int r in
+    Set_elem (oid, idx, Pvalue.decode r)
+  | 5 ->
+    let key = get_string r in
+    Set_blob (key, get_string r)
+  | 6 -> Remove_blob (get_string r)
+  | n -> decode_error "Journal: invalid record kind %d" n
+
+(* A record payload is one op, or a tag-7 batch of length-prefixed ops. *)
+let decode_record payload =
   let open Codec in
   let r = reader payload in
-  let oid () = Oid.of_int (Int64.to_int (get_i64 r)) in
-  let op =
-    match get_u8 r with
-    | 0 ->
-      let name = get_string r in
-      Set_root (name, Pvalue.decode r)
-    | 1 -> Remove_root (get_string r)
-    | 2 ->
-      let oid = oid () in
-      Alloc (oid, Image.decode_entry r)
-    | 3 ->
-      let oid = oid () in
-      let idx = get_int r in
-      Set_field (oid, idx, Pvalue.decode r)
-    | 4 ->
-      let oid = oid () in
-      let idx = get_int r in
-      Set_elem (oid, idx, Pvalue.decode r)
-    | 5 ->
-      let key = get_string r in
-      Set_blob (key, get_string r)
-    | 6 -> Remove_blob (get_string r)
-    | n -> decode_error "Journal: invalid record kind %d" n
+  let ops =
+    if String.length payload > 0 && Char.code payload.[0] = batch_tag then begin
+      ignore (get_u8 r);
+      get_list r (fun r ->
+          let body = get_string r in
+          let br = reader body in
+          let op = decode_one br in
+          if not (at_end br) then decode_error "Journal: trailing bytes in batched op";
+          op)
+    end
+    else [ decode_one r ]
   in
   if not (at_end r) then decode_error "Journal: trailing bytes in record";
-  op
+  ops
+
+let encode_batch ops =
+  let open Codec in
+  let w = writer () in
+  put_u8 w batch_tag;
+  put_list w (fun w op -> put_string w (encode_op op)) ops;
+  contents w
 
 (* Record framing is the shared [Codec.put_frame] layout, the same one
    protecting each image entry: length, crc32, payload. *)
@@ -129,6 +158,23 @@ let append t ops =
       | Some o -> Obs.incr o Obs.Journal_append
       | None -> ())
     ops
+
+(* Group commit: the whole delta as ONE framed record.  The frame's CRC
+   covers every op, so a crash mid-write tears the batch atomically —
+   replay recovers the pre-batch state, never a prefix.  A single op
+   keeps the plain framing (byte-compatible with pre-batch journals). *)
+let append_batch t ops =
+  match ops with
+  | [] -> ()
+  | [ _ ] -> append t ops
+  | ops ->
+    Faults.output_string t.oc (frame (encode_batch ops));
+    t.count <- t.count + List.length ops;
+    (match t.obs with
+    | Some o ->
+      Obs.incr o Obs.Journal_append;
+      Obs.incr o Obs.Group_commit
+    | None -> ())
 
 let sync t = Faults.fsync_channel t.oc
 
@@ -189,10 +235,12 @@ let read path =
              let payload = String.sub data (!pos + 8) payload_len in
              if not (Int32.equal (Codec.crc32 payload) crc) then torn := true
              else begin
-               let op = decode_op payload in
+               let ops = decode_record payload in
                pos := !pos + 8 + payload_len;
                valid := !pos;
-               records := (op, !pos) :: !records
+               (* every op of a batch shares the batch's end offset: a
+                  truncation point is always a whole-record boundary *)
+               List.iter (fun op -> records := (op, !pos) :: !records) ops
              end
            end
          done;

@@ -33,7 +33,15 @@ val create : ?obs:Obs.t -> string -> base_crc:int32 -> t
     record appended. *)
 
 val append : t -> op list -> unit
-(** Append records in order.  Not durable until {!sync}. *)
+(** Append one record per op, in order.  Not durable until {!sync}. *)
+
+val append_batch : t -> op list -> unit
+(** Group commit: append the whole op list as ONE framed batch record
+    (a single op keeps the plain per-op framing; the bytes are then
+    identical to {!append}).  The frame checksum covers every op, so a
+    crash mid-write tears the batch as a unit and recovery lands on the
+    pre-batch state — never on a prefix of the delta.  {!depth} still
+    advances by the number of ops.  Not durable until {!sync}. *)
 
 val sync : t -> unit
 (** Fsync — the stabilise barrier. *)

@@ -25,12 +25,15 @@ type op =
   | Get_link
   | Compile
   | Transaction
+  | Cache_hit
+  | Cache_miss
+  | Group_commit
 
 let all_ops =
   [
     Get; Set; Alloc; Root_lookup; Stabilise; Journal_append; Compaction;
     Image_save; Image_load; Scrub_step; Retry; Quarantine_hit; Gc; Get_link;
-    Compile; Transaction;
+    Compile; Transaction; Cache_hit; Cache_miss; Group_commit;
   ]
 
 let op_index = function
@@ -50,6 +53,9 @@ let op_index = function
   | Get_link -> 13
   | Compile -> 14
   | Transaction -> 15
+  | Cache_hit -> 16
+  | Cache_miss -> 17
+  | Group_commit -> 18
 
 let n_ops = List.length all_ops
 
@@ -70,6 +76,9 @@ let op_name = function
   | Get_link -> "get-link"
   | Compile -> "compile"
   | Transaction -> "transaction"
+  | Cache_hit -> "cache-hit"
+  | Cache_miss -> "cache-miss"
+  | Group_commit -> "group-commit"
 
 type event = {
   seq : int;

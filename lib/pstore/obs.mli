@@ -32,6 +32,9 @@ type op =
   | Get_link  (** registry link retrievals *)
   | Compile  (** dynamic-compiler invocations *)
   | Transaction
+  | Cache_hit  (** compile-cache / link-memo lookups answered from cache *)
+  | Cache_miss  (** cache lookups that fell through to the slow path *)
+  | Group_commit  (** multi-op journal deltas coalesced into one batch record *)
 
 val all_ops : op list
 val op_name : op -> string

@@ -1,0 +1,51 @@
+(* A typed, heterogeneous property bag.  The store carries one so layers
+   above it (the hyper-program registry, the dynamic compiler's cache)
+   can attach per-store transient state — memo tables, fingerprints —
+   without the store depending on their types.
+
+   Keys use the classic existential-via-exception encoding: each key
+   owns a private exception constructor, so injection and projection are
+   type-safe without [Obj]. *)
+
+type binding = exn
+
+type 'a key = {
+  uid : int;
+  inj : 'a -> binding;
+  prj : binding -> 'a option;
+}
+
+type t = (int, binding) Hashtbl.t
+
+let next_uid = ref 0
+
+let new_key (type a) () : a key =
+  let module M = struct
+    exception E of a
+  end in
+  incr next_uid;
+  {
+    uid = !next_uid;
+    inj = (fun v -> M.E v);
+    prj = (function M.E v -> Some v | _ -> None);
+  }
+
+let create () : t = Hashtbl.create 8
+
+let set t key v = Hashtbl.replace t key.uid (key.inj v)
+
+let find t key =
+  match Hashtbl.find_opt t key.uid with
+  | None -> None
+  | Some b -> key.prj b
+
+let remove t key = Hashtbl.remove t key.uid
+
+(* Get the binding, creating it with [make] on first access. *)
+let get_or_create t key make =
+  match find t key with
+  | Some v -> v
+  | None ->
+    let v = make () in
+    set t key v;
+    v

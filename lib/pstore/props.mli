@@ -1,0 +1,22 @@
+(** A typed, heterogeneous property bag.
+
+    Each store carries one ({!Store.props}) so layers above the store
+    can attach per-store transient state — memo tables, cached
+    fingerprints — without the store depending on their types.  Bindings
+    are in-memory only: they are never stabilised, and a reopened store
+    starts with an empty bag. *)
+
+type t
+
+type 'a key
+
+val new_key : unit -> 'a key
+(** A fresh key.  Keys are usually created once at module toplevel. *)
+
+val create : unit -> t
+val set : t -> 'a key -> 'a -> unit
+val find : t -> 'a key -> 'a option
+val remove : t -> 'a key -> unit
+
+val get_or_create : t -> 'a key -> (unit -> 'a) -> 'a
+(** The binding for a key, created (and remembered) on first access. *)

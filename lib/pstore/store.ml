@@ -33,6 +33,8 @@ type t = {
   crcs : int32 Oid.Table.t; (* per-object checksums, primed by the scrubber *)
   scrub_state : Scrub.state;
   obs : Obs.t;
+  props : Props.t; (* transient per-store state attached by higher layers *)
+  mutable side_epoch : int; (* bumped on events that invalidate side caches *)
   mutable retry : Retry.policy option; (* transient-I/O retry, opt-in *)
   mutable io_retries : int;
   mutable backing : string option;
@@ -45,6 +47,8 @@ type t = {
   mutable pending_count : int;
   mutable needs_full : bool; (* journal can't express state since last image *)
   mutable compaction_limit : int;
+  mutable group_window : int; (* stabilises per fsync; 1 = every stabilise *)
+  mutable unsynced : int; (* group-committed batches not yet fsynced *)
   mutable compactions : int;
   mutable replayed : int;
   mutable recovered_torn : bool;
@@ -57,6 +61,7 @@ module Config = struct
   type nonrec t = {
     durability : durability;
     compaction_limit : int;
+    group_window : int;
     retry : Retry.policy option;
     backing : string option;
     trace_ring : int;
@@ -67,6 +72,7 @@ module Config = struct
     {
       durability = Snapshot;
       compaction_limit = default_compaction_limit;
+      group_window = 1;
       retry = None;
       backing = None;
       trace_ring = Obs.default_ring_capacity;
@@ -83,6 +89,8 @@ let make ?(obs = Obs.create ()) () =
     crcs = Oid.Table.create 64;
     scrub_state = Scrub.create ();
     obs;
+    props = Props.create ();
+    side_epoch = 0;
     retry = None;
     io_retries = 0;
     backing = None;
@@ -95,6 +103,8 @@ let make ?(obs = Obs.create ()) () =
     pending_count = 0;
     needs_full = true;
     compaction_limit = default_compaction_limit;
+    group_window = 1;
+    unsynced = 0;
     compactions = 0;
     replayed = 0;
     recovered_torn = false;
@@ -104,6 +114,14 @@ let make ?(obs = Obs.create ()) () =
 let heap store = store.heap
 let roots store = store.roots
 let obs store = store.obs
+let props store = store.props
+
+(* Side-cache invalidation: higher layers (the registry's getLink memo)
+   stamp their cached entries with this epoch; any event that can change
+   what a read observes without going through their own API — quarantine
+   churn, a GC sweep, rollback, direct heap surgery — bumps it. *)
+let invalidation_epoch store = store.side_epoch
+let bump_epoch store = store.side_epoch <- store.side_epoch + 1
 
 let backing store = store.backing
 let set_backing store path = store.backing <- Some path
@@ -120,6 +138,10 @@ let journalling store =
 let close_wal store =
   match store.wal with
   | Some w ->
+    (* An orderly close is a durability barrier: batches whose fsync was
+       deferred by the group window must land before the handle goes. *)
+    if store.unsynced > 0 then (try Journal.sync w with _ -> ());
+    store.unsynced <- 0;
     Journal.close w;
     store.wal <- None
   | None -> ()
@@ -147,6 +169,16 @@ let set_compaction_limit store n =
   if n < 0 then invalid_arg "Store.set_compaction_limit: negative";
   store.compaction_limit <- n
 
+let group_window store = store.group_window
+
+(* Group commit: with window n > 1, journalled stabilise coalesces each
+   delta into one batch record and fsyncs only every n-th stabilise (and
+   at compaction and close).  A crash can lose up to n-1 recent batches,
+   but each lost batch vanishes whole — never a prefix of a delta. *)
+let set_group_window store n =
+  if n < 1 then invalid_arg "Store.set_group_window: window must be >= 1";
+  store.group_window <- n
+
 let set_retry_policy store policy = store.retry <- policy
 let retry_policy store = store.retry
 
@@ -155,6 +187,7 @@ let retry_policy store = store.retry
 let configure store (c : Config.t) =
   set_durability store c.Config.durability;
   set_compaction_limit store c.Config.compaction_limit;
+  set_group_window store c.Config.group_window;
   store.retry <- c.Config.retry;
   (* [backing = None] leaves the current backing alone: store identity is
      not a tunable, and [open_file ?config] must not clear the path it
@@ -168,6 +201,7 @@ let config store : Config.t =
   {
     Config.durability = store.durability;
     compaction_limit = store.compaction_limit;
+    group_window = store.group_window;
     retry = store.retry;
     backing = store.backing;
     trace_ring = Obs.ring_capacity store.obs;
@@ -181,6 +215,7 @@ let create ?config () =
 
 let mark_dirty store =
   store.needs_full <- true;
+  bump_epoch store;
   (* Direct heap surgery invalidates every recorded checksum; the
      scrubber re-primes them on its next pass. *)
   Oid.Table.reset store.crcs
@@ -394,11 +429,13 @@ let try_field store oid idx =
 let quarantine_oid store oid reason =
   Quarantine.add store.quarantine oid reason;
   invalidate_crc store oid;
+  bump_epoch store;
   store.needs_full <- true
 
 let clear_quarantine store oid =
   if Quarantine.mem store.quarantine oid then begin
     Quarantine.remove store.quarantine oid;
+    bump_epoch store;
     store.needs_full <- true
   end
 
@@ -451,6 +488,7 @@ let quarantine_roots store =
 let gc store =
   Obs.span store.obs Obs.Gc (fun () ->
       store.gc_count <- store.gc_count + 1;
+      bump_epoch store;
       (* A sweep removes objects and clears weak cells behind the journal's
          back; the next stabilise must therefore compact. *)
       if journalling store then store.needs_full <- true;
@@ -495,7 +533,10 @@ let scrub ?(budget = default_scrub_budget) store =
         Scrub.step store.scrub_state ~heap:store.heap ~crcs:store.crcs
           ~quarantine:store.quarantine ~budget
       in
-      if report.Scrub.newly_quarantined <> [] then store.needs_full <- true;
+      if report.Scrub.newly_quarantined <> [] then begin
+        store.needs_full <- true;
+        bump_epoch store
+      end;
       report)
 
 let scrub_progress store = store.scrub_state
@@ -516,6 +557,7 @@ let compact store path =
       store.pending_count <- 0;
       store.wal <- Some (Journal.create ~obs:store.obs (Journal.path_for path) ~base_crc:crc);
       store.needs_full <- false;
+      store.unsynced <- 0;
       store.compactions <- store.compactions + 1)
 
 (* One stabilisation attempt.  Both failure paths are idempotent, which
@@ -540,8 +582,16 @@ let stabilise_once store path =
          cannot be undone by an abort, the next top-level stabilise does it. *)
       let wal = Option.get store.wal in
       match
-        Journal.append wal (List.rev store.pending);
-        Journal.sync wal
+        (* The delta rides as one batch record — atomic under a torn
+           write.  With a group window, the fsync is amortised over
+           [group_window] stabilises; a crash loses whole recent batches,
+           never part of one. *)
+        Journal.append_batch wal (List.rev store.pending);
+        if store.unsynced + 1 >= store.group_window then begin
+          Journal.sync wal;
+          store.unsynced <- 0
+        end
+        else store.unsynced <- store.unsynced + 1
       with
       | () ->
         store.pending <- [];
@@ -639,6 +689,7 @@ let crash store =
   | Some w -> Journal.crash w
   | None -> ());
   store.wal <- None;
+  store.unsynced <- 0;
   Obs.drop store.obs
 
 type stats = {
@@ -652,6 +703,7 @@ type stats = {
   recovered_torn_tail : bool;
   quarantined : int;
   io_retries : int;
+  unsynced_batches : int;
 }
 
 let stats store =
@@ -666,6 +718,7 @@ let stats store =
     recovered_torn_tail = store.recovered_torn;
     quarantined = Quarantine.size store.quarantine;
     io_retries = store.io_retries;
+    unsynced_batches = store.unsynced;
   }
 
 (* -- transactions ---------------------------------------------------------- *)
@@ -673,6 +726,7 @@ let stats store =
 let clear_pins store = store.pins <- []
 
 let restore_contents store (restored : Image.contents) =
+  bump_epoch store;
   Heap.replace_all store.heap ~from:restored.Image.heap;
   Roots.replace_all store.roots ~from:restored.Image.roots;
   Hashtbl.reset store.blobs;

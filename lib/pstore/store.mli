@@ -29,6 +29,13 @@ module Config : sig
     durability : durability;
     compaction_limit : int;
         (** journal records tolerated before stabilise compacts *)
+    group_window : int;
+        (** group commit: journalled stabilises per fsync.  [1] (the
+            default) fsyncs every stabilise; [n > 1] coalesces each
+            delta into one atomic batch record and fsyncs every n-th
+            stabilise (and at compaction/close), trading bounded recent
+            durability for throughput — a crash can lose up to [n - 1]
+            whole batches, never part of one *)
     retry : Retry.policy option;
         (** transient-I/O retry for stabilise; [None] = fail fast *)
     backing : string option;
@@ -89,6 +96,18 @@ val obs : t -> Obs.t
     latency histograms and the bounded trace ring (on when tracing is
     enabled via {!configure} or [Obs.set_enabled]). *)
 
+val props : t -> Props.t
+(** A typed property bag for per-store transient state attached by
+    higher layers (memo tables, cached fingerprints).  Never stabilised;
+    a reopened store starts empty. *)
+
+val invalidation_epoch : t -> int
+(** Side-cache invalidation stamp.  Bumped by every event that can
+    change what a read observes without going through a higher layer's
+    own API: quarantine add/clear (including the scrubber's), a GC
+    sweep, transaction rollback, and {!mark_dirty}.  Caches attached via
+    {!props} stamp entries with this epoch and flush on mismatch. *)
+
 val backing : t -> string option
 
 val set_backing : t -> string -> unit
@@ -102,6 +121,12 @@ val set_durability : t -> durability -> unit
 val set_compaction_limit : t -> int -> unit
 (** Journal records tolerated before stabilise compacts (default 4096).
     @deprecated Use {!configure}. *)
+
+val group_window : t -> int
+
+val set_group_window : t -> int -> unit
+(** See {!Config.t}[.group_window].
+    @raise Invalid_argument if the window is < 1. *)
 
 val mark_dirty : t -> unit
 (** Tell the store its heap was mutated behind its back (direct record
@@ -233,8 +258,9 @@ val contents : t -> Image.contents
 val stabilise : ?path:string -> t -> unit
 (** Make the store durable at [path] (or the backing file).  Snapshot
     mode writes the whole image atomically; journalled mode appends the
-    mutation delta to the write-ahead journal and fsyncs, compacting into
-    a fresh image when required.
+    mutation delta to the write-ahead journal as one atomic batch record
+    and fsyncs (every [group_window]-th stabilise when group commit is
+    on), compacting into a fresh image when required.
     @raise Invalid_argument if no path is available, or if a compaction
     is required inside {!with_rollback}. *)
 
@@ -249,6 +275,8 @@ type stats = {
   recovered_torn_tail : bool;  (** open_file dropped a torn journal tail *)
   quarantined : int;  (** objects currently quarantined *)
   io_retries : int;  (** stabilise retries absorbed by the retry policy *)
+  unsynced_batches : int;
+      (** group-committed batches written but not yet fsynced *)
 }
 
 val stats : t -> stats

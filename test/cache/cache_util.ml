@@ -1,0 +1,5 @@
+(* Shared helpers for the cache suites — see test/support/support.ml. *)
+
+include Test_support.Support
+
+let with_store_file f = with_store_file ~prefix:"cache" f

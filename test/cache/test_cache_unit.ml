@@ -1,0 +1,234 @@
+(* Unit tests for the two hot-path caches: the persistent compile cache
+   (hits, persistence across reopen, evolution purge, corruption
+   fallback, LRU eviction) and the registry's getLink memo (hits,
+   explicit flushes, epoch invalidation, boundedness). *)
+
+open Pstore
+open Minijava
+open Hyperprog
+open Cache_util
+
+let password = Registry.built_in_password
+
+let source_v n body =
+  Printf.sprintf "public class K%d { public static int v() { return %s; } }" n body
+
+(* -- compile cache -------------------------------------------------------- *)
+
+let second_compile_hits () =
+  let store, vm = fresh_hyper_vm () in
+  let src = source_v 0 "41" in
+  let rcs1 = Dynamic_compiler.compile_strings vm ~names:[ "K0" ] [ src ] in
+  let compiles_before = Obs.count (Store.obs store) Obs.Compile in
+  let rcs2 = Dynamic_compiler.compile_strings vm ~names:[ "K0" ] [ src ] in
+  let s = Compile_cache.stats vm in
+  check_int "one miss" 1 s.Compile_cache.misses;
+  check_int "one hit" 1 s.Compile_cache.hits;
+  check_int "the hit did not invoke the compiler" compiles_before
+    (Obs.count (Store.obs store) Obs.Compile);
+  check_output "same classes"
+    (String.concat "," (List.map (fun rc -> rc.Rt.rc_name) rcs1))
+    (String.concat "," (List.map (fun rc -> rc.Rt.rc_name) rcs2))
+
+let cache_survives_reopen () =
+  with_store_file (fun path ->
+      let config =
+        { Store.Config.default with Store.Config.backing = Some path }
+      in
+      let store = Store.create ~config () in
+      let vm = Boot.boot_fresh store in
+      Dynamic_compiler.install vm;
+      let src = source_v 1 "7" in
+      ignore (Dynamic_compiler.compile_strings vm ~names:[ "K1" ] [ src ]);
+      Store.stabilise store;
+      Store.close store;
+      let store2 = Store.open_file path in
+      let vm2 = Boot.vm_for store2 in
+      Dynamic_compiler.install vm2;
+      let compiles_before = Obs.count (Store.obs store2) Obs.Compile in
+      ignore (Dynamic_compiler.compile_strings vm2 ~names:[ "K1" ] [ src ]);
+      let s = Compile_cache.stats vm2 in
+      check_int "hit from the reopened store's blob" 1 s.Compile_cache.hits;
+      check_int "no compiler invocation after reopen" compiles_before
+        (Obs.count (Store.obs store2) Obs.Compile))
+
+let ccache_blobs store =
+  List.filter
+    (String.starts_with ~prefix:Compile_cache.blob_prefix)
+    (Store.blob_keys store)
+
+let evolution_purges () =
+  let store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  ignore (Dynamic_compiler.compile_hyper_programs vm [ hp ]);
+  check_bool "cache populated" true (ccache_blobs store <> []);
+  let result =
+    Evolution.evolve vm ~class_name:"Person"
+      ~new_source:
+        {|public class Person {
+  private String name;
+  private Person spouse;
+  private int age;
+  public Person(String n) { name = n; }
+  public String getName() { return name; }
+  public Person getSpouse() { return spouse; }
+  public static void marry(Person a, Person b) { a.spouse = b; b.spouse = a; }
+  public String toString() { return "Person(" + name + ")"; }
+}|}
+      ()
+  in
+  check_output "evolved the right class" "Person" result.Evolution.class_name;
+  (* the evolve's own recompile may repopulate one entry; everything
+     compiled against the old schema must be gone *)
+  check_bool "at most the evolve's own entry survives" true
+    (List.length (ccache_blobs store) <= 1)
+
+let corrupt_entry_falls_back () =
+  let store, vm = fresh_hyper_vm () in
+  let src = source_v 2 "13" in
+  ignore (Dynamic_compiler.compile_strings vm ~names:[ "K2" ] [ src ]);
+  (match ccache_blobs store with
+  | [ key ] -> Store.set_blob store key "garbage, not a classfile batch"
+  | keys -> Alcotest.failf "expected one cache blob, found %d" (List.length keys));
+  let rcs = Dynamic_compiler.compile_strings vm ~names:[ "K2" ] [ src ] in
+  check_bool "fell back to a real compile" true
+    (List.exists (fun rc -> rc.Rt.rc_name = "K2") rcs);
+  let s = Compile_cache.stats vm in
+  check_int "the corrupt entry counted as a miss" 2 s.Compile_cache.misses;
+  (* and the corrupt blob was replaced by a good one *)
+  match ccache_blobs store with
+  | [ key ] ->
+    check_bool "refreshed entry decodes" true
+      (match Classfile.decode_batch (Option.get (Store.blob store key)) with
+      | _ -> true
+      | exception _ -> false)
+  | keys -> Alcotest.failf "expected one cache blob after refresh, found %d" (List.length keys)
+
+let lru_eviction_bounds_residency () =
+  let store, vm = fresh_hyper_vm () in
+  let src0 = source_v 0 "0" in
+  ignore (Dynamic_compiler.compile_strings vm ~names:[ "K0" ] [ src0 ]);
+  let first_key =
+    match ccache_blobs store with
+    | [ k ] -> k
+    | _ -> Alcotest.fail "expected exactly one cache blob"
+  in
+  for i = 1 to Compile_cache.default_capacity do
+    ignore
+      (Dynamic_compiler.compile_strings vm ~names:[] [ source_v (i mod 7) (string_of_int i) ])
+  done;
+  let s = Compile_cache.stats vm in
+  check_bool "residency bounded by capacity" true
+    (s.Compile_cache.entries <= s.Compile_cache.capacity);
+  check_int "blob count matches the index" s.Compile_cache.entries
+    (List.length (ccache_blobs store));
+  check_bool "the oldest entry was evicted" true (Store.blob store first_key = None)
+
+let disabled_cache_always_compiles () =
+  let store, vm = fresh_hyper_vm () in
+  Compile_cache.set_enabled vm false;
+  let src = source_v 3 "3" in
+  ignore (Dynamic_compiler.compile_strings vm ~names:[ "K3" ] [ src ]);
+  ignore (Dynamic_compiler.compile_strings vm ~names:[ "K3" ] [ src ]);
+  let s = Compile_cache.stats vm in
+  check_int "no hits" 0 s.Compile_cache.hits;
+  check_int "no misses counted either" 0 s.Compile_cache.misses;
+  check_int "no cache blobs written" 0 (List.length (ccache_blobs store))
+
+(* -- getLink memo --------------------------------------------------------- *)
+
+let repeated_get_link_hits () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  let uid = Registry.add_hp vm ~password hp in
+  let r1 = Registry.try_get_link vm ~password ~hp:uid ~link:1 in
+  let r2 = Registry.try_get_link vm ~password ~hp:uid ~link:1 in
+  check_bool "identical results" true (r1 = r2);
+  let s = Registry.memo_stats vm in
+  check_int "one miss" 1 s.Registry.misses;
+  check_int "one hit" 1 s.Registry.hits
+
+let add_hp_flushes () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  let uid = Registry.add_hp vm ~password hp in
+  ignore (Registry.try_get_link vm ~password ~hp:uid ~link:0);
+  check_bool "memo populated" true ((Registry.memo_stats vm).Registry.entries > 0);
+  let hp2 =
+    Storage_form.create vm ~class_name:"Other" ~text:"public class Other {}" ~links:[]
+  in
+  ignore (Registry.add_hp vm ~password hp2);
+  check_int "add_hp flushed the memo" 0 (Registry.memo_stats vm).Registry.entries
+
+let quarantine_invalidates () =
+  let store, vm = fresh_hyper_vm () in
+  let hp, _, mary = marry_example vm in
+  let uid = Registry.add_hp vm ~password hp in
+  (match Registry.try_get_link vm ~password ~hp:uid ~link:2 with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "expected a live link, got %s" (Failure.describe f));
+  Store.quarantine_oid store (oid_of mary) "unit-test damage";
+  (match Registry.try_get_link vm ~password ~hp:uid ~link:2 with
+  | Error (Failure.Quarantined _) -> ()
+  | Ok _ -> Alcotest.fail "memo served a stale Ok across a quarantine"
+  | Error f -> Alcotest.failf "expected Quarantined, got %s" (Failure.describe f));
+  Store.clear_quarantine store (oid_of mary);
+  match Registry.try_get_link vm ~password ~hp:uid ~link:2 with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "expected recovery after clear, got %s" (Failure.describe f)
+
+let gc_invalidates () =
+  let store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  let uid = Registry.add_hp vm ~password hp in
+  (* the hyper-program is only weakly registered: once nothing else
+     references it, a GC collects it *)
+  (match Registry.try_get_link vm ~password ~hp:uid ~link:0 with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "expected a live link, got %s" (Failure.describe f));
+  ignore (Store.gc store);
+  ignore (Registry.prune vm);
+  match Registry.try_get_link vm ~password ~hp:uid ~link:0 with
+  | Error (Failure.Collected _) -> ()
+  | Ok _ -> Alcotest.fail "memo served a link to a collected program"
+  | Error f -> Alcotest.failf "expected Collected, got %s" (Failure.describe f)
+
+let memo_is_bounded () =
+  let _store, vm = fresh_hyper_vm () in
+  let cap = (Registry.memo_stats vm).Registry.capacity in
+  for hp = 0 to cap + 50 do
+    ignore (Registry.try_get_link vm ~password ~hp ~link:0)
+  done;
+  check_bool "entries bounded by capacity" true
+    ((Registry.memo_stats vm).Registry.entries <= cap)
+
+let disabled_memo_takes_slow_path () =
+  let _store, vm = fresh_hyper_vm () in
+  let hp, _, _ = marry_example vm in
+  let uid = Registry.add_hp vm ~password hp in
+  Registry.set_memo_enabled vm false;
+  ignore (Registry.try_get_link vm ~password ~hp:uid ~link:0);
+  ignore (Registry.try_get_link vm ~password ~hp:uid ~link:0);
+  let s = Registry.memo_stats vm in
+  check_int "no hits when disabled" 0 s.Registry.hits;
+  check_int "nothing memoised" 0 s.Registry.entries
+
+let compile_suite =
+  [
+    test "a second compile of the same source hits" second_compile_hits;
+    test "the cache survives stabilise and reopen" cache_survives_reopen;
+    test "evolution purges the cache" evolution_purges;
+    test "a corrupt entry falls back to the compiler" corrupt_entry_falls_back;
+    test "LRU eviction bounds residency" lru_eviction_bounds_residency;
+    test "a disabled cache always compiles" disabled_cache_always_compiles;
+  ]
+
+let memo_suite =
+  [
+    test "repeated getLink hits the memo" repeated_get_link_hits;
+    test "add_hp flushes the memo" add_hp_flushes;
+    test "quarantine invalidates through the epoch" quarantine_invalidates;
+    test "gc + prune expose collected programs" gc_invalidates;
+    test "the memo is bounded" memo_is_bounded;
+    test "a disabled memo takes the slow path" disabled_memo_takes_slow_path;
+  ]

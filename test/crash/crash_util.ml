@@ -1,49 +1,7 @@
-(* Shared plumbing for the crash-recovery tests: scratch store directories,
-   whole-store fingerprints, and file surgery (copy, truncate). *)
+(* Shared plumbing for the crash-recovery tests: scratch store
+   directories, whole-store fingerprints, and file surgery — all from
+   the shared support library (test/support/support.ml). *)
 
-open Pstore
+include Test_support.Support
 
-(* A deterministic byte-exact digest of everything persistent: heap
-   (sorted by oid, next-oid counter included), roots, blobs.  Two stores
-   with equal fingerprints agree on all reachable state and oid identity. *)
-let fingerprint store = Image.encode (Store.contents store)
-
-let temp_dir prefix =
-  let path = Filename.temp_file prefix "" in
-  Sys.remove path;
-  Unix.mkdir path 0o700;
-  path
-
-let rec rm_rf path =
-  if Sys.is_directory path then begin
-    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
-    Unix.rmdir path
-  end
-  else Sys.remove path
-
-let with_dir f =
-  let dir = temp_dir "crash" in
-  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) (fun () -> f dir)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let write_file path data =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data)
-
-let copy_dir src dst =
-  Unix.mkdir dst 0o700;
-  Array.iter
-    (fun f -> write_file (Filename.concat dst f) (read_file (Filename.concat src f)))
-    (Sys.readdir src)
-
-let file_size path = (Unix.stat path).Unix.st_size
-
-let check_output = Alcotest.(check string)
-let check_int = Alcotest.(check int)
-let check_bool = Alcotest.(check bool)
-let test name f = Alcotest.test_case name `Quick f
+let with_dir f = with_dir ~prefix:"crash" f

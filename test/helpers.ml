@@ -1,122 +1,4 @@
-(* Shared test fixtures. *)
+(* Shared test fixtures — see test/support/support.ml, the one home for
+   helpers that used to be copied per-suite. *)
 
-open Pstore
-open Minijava
-
-let fresh_store () = Store.create ()
-
-(* A freshly booted VM over a fresh store. *)
-let fresh_vm () =
-  let store = fresh_store () in
-  let vm = Boot.boot_fresh store in
-  (store, vm)
-
-(* A VM with the hyper-programming runtime installed. *)
-let fresh_hyper_vm () =
-  let store, vm = fresh_vm () in
-  Hyperprog.Dynamic_compiler.install vm;
-  (store, vm)
-
-let compile_into vm sources = ignore (Jcompiler.compile_and_load vm sources)
-
-(* Compile and run `Main.main([])`, returning captured System output. *)
-let run_program ?(cls = "Main") vm sources =
-  compile_into vm sources;
-  Vm.run_main vm ~cls [];
-  Rt.take_output vm
-
-(* Compile and run a statement block wrapped in a main method. *)
-let run_body vm body =
-  run_program vm
-    [ "public class Main { public static void main(String[] args) {\n" ^ body ^ "\n} }" ]
-
-let person_source =
-  {|public class Person {
-  private String name;
-  private Person spouse;
-  public Person(String n) { name = n; }
-  public String getName() { return name; }
-  public Person getSpouse() { return spouse; }
-  public static void marry(Person a, Person b) { a.spouse = b; b.spouse = a; }
-  public String toString() { return "Person(" + name + ")"; }
-}
-|}
-
-let new_person vm name =
-  Vm.new_instance vm ~cls:"Person" ~desc:"(Ljava.lang.String;)V" [ Rt.jstring vm name ]
-
-let oid_of = function
-  | Pvalue.Ref oid -> oid
-  | v -> Alcotest.failf "expected a reference, got %s" (Pvalue.to_string v)
-
-(* Find a substring's index. *)
-let index_of haystack needle =
-  let n = String.length needle in
-  let rec go i =
-    if i + n > String.length haystack then
-      Alcotest.failf "%S not found in %S" needle haystack
-    else if String.sub haystack i n = needle then i
-    else go (i + 1)
-  in
-  go 0
-
-let contains haystack needle =
-  let n = String.length needle in
-  let rec go i =
-    if i + n > String.length haystack then false
-    else String.sub haystack i n = needle || go (i + 1)
-  in
-  go 0
-
-(* Build the MarryExample hyper-program over two fresh persons; returns
-   (hp oid, vangelis value, mary value). *)
-let marry_example vm =
-  compile_into vm [ person_source ];
-  let vangelis = new_person vm "vangelis" in
-  let mary = new_person vm "mary" in
-  let text =
-    "public class MarryExample {\n  public static void main(String[] args) {\n    (, );\n  }\n}\n"
-  in
-  let base = index_of text "(, );" in
-  let links =
-    [
-      {
-        Hyperprog.Storage_form.link =
-          Hyperprog.Hyperlink.L_static_method
-            { cls = "Person"; name = "marry"; desc = "(LPerson;LPerson;)V" };
-        label = "Person.marry";
-        pos = base;
-      };
-      {
-        Hyperprog.Storage_form.link = Hyperprog.Hyperlink.L_object (oid_of vangelis);
-        label = "vangelis";
-        pos = base + 1;
-      };
-      {
-        Hyperprog.Storage_form.link = Hyperprog.Hyperlink.L_object (oid_of mary);
-        label = "mary";
-        pos = base + 3;
-      };
-    ]
-  in
-  let hp = Hyperprog.Storage_form.create vm ~class_name:"MarryExample" ~text ~links in
-  (hp, vangelis, mary)
-
-let check_output = Alcotest.(check string)
-let check_int = Alcotest.(check int)
-let check_bool = Alcotest.(check bool)
-
-let test name f = Alcotest.test_case name `Quick f
-
-(* Expect a Java-level error of the given class. *)
-let expect_jerror jclass f =
-  match f () with
-  | _ -> Alcotest.failf "expected %s, but no error was raised" jclass
-  | exception Rt.Jerror { jclass = actual; _ } ->
-    Alcotest.(check string) "error class" jclass actual
-
-(* Expect a compile error. *)
-let expect_compile_error f =
-  match f () with
-  | _ -> Alcotest.fail "expected a compile error"
-  | exception Jcompiler.Compile_error _ -> ()
+include Test_support.Support

@@ -1,24 +1,6 @@
-(* Shared helpers for the observability suites. *)
+(* Shared helpers for the observability suites — see
+   test/support/support.ml. *)
 
-let check_output = Alcotest.(check string)
-let check_int = Alcotest.(check int)
-let check_bool = Alcotest.(check bool)
-let test name f = Alcotest.test_case name `Quick f
+include Test_support.Support
 
-let contains haystack needle =
-  let n = String.length needle in
-  let rec go i =
-    if i + n > String.length haystack then false
-    else String.sub haystack i n = needle || go (i + 1)
-  in
-  go 0
-
-let with_store_file f =
-  let path = Filename.temp_file "obs" ".hpj" in
-  Sys.remove path;
-  Fun.protect
-    ~finally:(fun () ->
-      List.iter
-        (fun p -> if Sys.file_exists p then Sys.remove p)
-        [ path; path ^ ".wal"; path ^ ".tmp" ])
-    (fun () -> f path)
+let with_store_file f = with_store_file ~prefix:"obs" f

@@ -15,6 +15,7 @@ let config_matches_legacy_setters () =
     {
       Store.Config.durability = Store.Journalled;
       compaction_limit = 128;
+      group_window = 1;
       retry = Some Retry.default_policy;
       backing = None;
       trace_ring = Obs.default_ring_capacity;

@@ -1,138 +1,7 @@
-(* Shared fixtures for the self-healing suites: store/VM builders, a
-   drive-the-scrubber-to-pass-completion loop, and tiny file helpers. *)
+(* Shared fixtures for the self-healing suites — see
+   test/support/support.ml. *)
 
-open Pstore
-open Minijava
+include Test_support.Support
 
-let check_output = Alcotest.(check string)
-let check_int = Alcotest.(check int)
-let check_bool = Alcotest.(check bool)
-let test name f = Alcotest.test_case name `Quick f
-
-let contains haystack needle =
-  let n = String.length needle in
-  let rec go i =
-    if i + n > String.length haystack then false
-    else String.sub haystack i n = needle || go (i + 1)
-  in
-  go 0
-
-let index_of haystack needle =
-  let n = String.length needle in
-  let rec go i =
-    if i + n > String.length haystack then
-      Alcotest.failf "%S not found in the image" needle
-    else if String.sub haystack i n = needle then i
-    else go (i + 1)
-  in
-  go 0
-
-let temp_store_path () =
-  let path = Filename.temp_file "scrub" ".hpj" in
-  Sys.remove path;
-  path
-
-let with_store_file f =
-  let path = temp_store_path () in
-  Fun.protect
-    ~finally:(fun () ->
-      List.iter
-        (fun p -> if Sys.file_exists p then Sys.remove p)
-        [ path; path ^ ".wal" ])
-    (fun () -> f path)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
-
-let write_file path s =
-  let oc = open_out_bin path in
-  output_string oc s;
-  close_out oc
-
-let oid_of = function
-  | Pvalue.Ref oid -> oid
-  | v -> Alcotest.failf "expected a reference, got %s" (Pvalue.to_string v)
-
-(* Drive the scrubber until it reports a completed pass, collecting every
-   newly quarantined oid along the way. *)
-let scrub_pass ?(budget = 512) store =
-  let quarantined = ref [] in
-  let finished = ref false in
-  let steps = ref 0 in
-  while not !finished do
-    incr steps;
-    if !steps > 100_000 then Alcotest.fail "scrubber never completed a pass";
-    let r = Store.scrub ~budget store in
-    quarantined := !quarantined @ r.Scrub.newly_quarantined;
-    if r.Scrub.pass_complete then finished := true
-  done;
-  !quarantined
-
-(* -- VM fixtures (the scrub suites are their own dune unit, so the main
-   test helpers are not visible here) -------------------------------- *)
-
-let fresh_hyper_vm () =
-  let store = Store.create () in
-  let vm = Boot.boot_fresh store in
-  Hyperprog.Dynamic_compiler.install vm;
-  (store, vm)
-
-let person_source =
-  {|public class Person {
-  private String name;
-  private Person spouse;
-  public Person(String n) { name = n; }
-  public String getName() { return name; }
-  public Person getSpouse() { return spouse; }
-  public static void marry(Person a, Person b) { a.spouse = b; b.spouse = a; }
-  public String toString() { return "Person(" + name + ")"; }
-}
-|}
-
-let compile_into vm sources = ignore (Jcompiler.compile_and_load vm sources)
-
-let new_person vm name =
-  Vm.new_instance vm ~cls:"Person" ~desc:"(Ljava.lang.String;)V" [ Rt.jstring vm name ]
-
-(* The Figure 5 example: a hyper-program with a method link and two
-   object links; returns (hp oid, vangelis, mary). *)
-let marry_example vm =
-  compile_into vm [ person_source ];
-  let vangelis = new_person vm "vangelis" in
-  let mary = new_person vm "mary" in
-  let text =
-    "public class MarryExample {\n  public static void main(String[] args) {\n    (, );\n  }\n}\n"
-  in
-  let base = index_of text "(, );" in
-  let links =
-    [
-      {
-        Hyperprog.Storage_form.link =
-          Hyperprog.Hyperlink.L_static_method
-            { cls = "Person"; name = "marry"; desc = "(LPerson;LPerson;)V" };
-        label = "Person.marry";
-        pos = base;
-      };
-      {
-        Hyperprog.Storage_form.link = Hyperprog.Hyperlink.L_object (oid_of vangelis);
-        label = "vangelis";
-        pos = base + 1;
-      };
-      {
-        Hyperprog.Storage_form.link = Hyperprog.Hyperlink.L_object (oid_of mary);
-        label = "mary";
-        pos = base + 3;
-      };
-    ]
-  in
-  let hp = Hyperprog.Storage_form.create vm ~class_name:"MarryExample" ~text ~links in
-  (hp, vangelis, mary)
-
-let expect_jerror jclass f =
-  match f () with
-  | _ -> Alcotest.failf "expected %s, but no error was raised" jclass
-  | exception Rt.Jerror { jclass = actual; _ } ->
-    Alcotest.(check string) "error class" jclass actual
+let temp_store_path () = temp_store_path ~prefix:"scrub" ()
+let with_store_file f = with_store_file ~prefix:"scrub" f
