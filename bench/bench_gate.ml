@@ -1,14 +1,21 @@
-(* Bench regression gate for the @bench-smoke alias.
+(* Bench regression gate for the @bench-smoke and @bench-macro-smoke
+   aliases.
 
    Usage: bench_gate FRESH.json BASELINE.json
 
-   Compares the p50 latency of every op-class section present in BOTH
-   files and fails (exit 1) when the fresh run has regressed more than
-   2x against the committed baseline.  Sections new to the fresh run
-   are reported but never gate — the baseline grows when they are
+   Works for both trajectory files (BENCH_pstore.json from the micro
+   bench, BENCH_macro.json from the macro-workload harness): first
+   validates the fresh file's schema — the benchmark kinds of the two
+   files must agree, and a macro file must carry the recovery object
+   (recovery_ms, quarantined_after) and a sustained-throughput figure —
+   then compares the p50 latency of every op-class section present in
+   BOTH files and fails (exit 1) when the fresh run has regressed more
+   than 2x against the committed baseline.  Sections new to the fresh
+   run are reported but never gate — the baseline grows when they are
    committed.  The 2x bound is deliberately loose: smoke budgets are
-   ~100 ms per section, so the gate catches order-of-magnitude
-   regressions (a lost cache, an extra fsync), not noise. *)
+   small, so the gate catches order-of-magnitude regressions (a lost
+   cache, an extra fsync, a recovery that re-reads the world), not
+   noise. *)
 
 let tolerance = 2.0
 
@@ -62,6 +69,69 @@ let sections_of json =
   in
   collect 0 []
 
+(* -- schema validation ----------------------------------------------------- *)
+
+let contains data needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length data && (String.sub data i n = needle || go (i + 1)) in
+  go 0
+
+(* The benchmark kind declared by a trajectory file ("pstore", "macro"). *)
+let kind_of json =
+  let pat = {|"benchmark": "|} in
+  let n = String.length pat in
+  let rec go i =
+    if i + n > String.length json then None
+    else if String.sub json i n = pat then begin
+      let close = String.index_from json (i + n) '"' in
+      Some (String.sub json (i + n) (close - (i + n)))
+    end
+    else go (i + 1)
+  in
+  go 0
+
+(* Structural check: balanced braces/brackets outside strings, plus the
+   keys each benchmark kind's consumers rely on.  Returns the error list
+   (empty = valid). *)
+let schema_errors ~kind json =
+  let depth = ref 0 and in_string = ref false and escaped = ref false in
+  let balanced = ref true in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_string then begin
+        if c = '\\' then escaped := true else if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | '"' -> in_string := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then balanced := false
+        | _ -> ())
+    json;
+  let structural =
+    if (not !balanced) || !depth <> 0 || !in_string then [ "unbalanced JSON structure" ] else []
+  in
+  let required =
+    [ {|"schema_version"|}; {|"sections"|}; {|"ops_per_sec"|}; {|"p50_ns"|}; {|"p99_ns"|} ]
+    @
+    match kind with
+    | "macro" ->
+      [
+        {|"sustained_ops_per_sec"|};
+        {|"recovery"|};
+        {|"recovery_ms"|};
+        {|"quarantined_after"|};
+        {|"total_ops"|};
+      ]
+    | _ -> [ {|"tracing_overhead"|} ]
+  in
+  structural @ List.filter_map
+    (fun k -> if contains json k then None else Some ("missing key " ^ k))
+    required
+
 let () =
   let fresh_path, base_path =
     match Sys.argv with
@@ -70,8 +140,21 @@ let () =
         prerr_endline "usage: bench_gate FRESH.json BASELINE.json";
         exit 2
   in
-  let fresh = sections_of (read_file fresh_path) in
-  let base = sections_of (read_file base_path) in
+  let fresh_json = read_file fresh_path and base_json = read_file base_path in
+  let kind json = Option.value (kind_of json) ~default:"pstore" in
+  let fresh_kind = kind fresh_json and base_kind = kind base_json in
+  if fresh_kind <> base_kind then begin
+    Printf.eprintf "bench gate: benchmark kind mismatch: %s is %S but %s is %S\n" fresh_path
+      fresh_kind base_path base_kind;
+    exit 2
+  end;
+  (match schema_errors ~kind:fresh_kind fresh_json with
+  | [] -> Printf.printf "== bench gate: %s schema ok (%s) ==\n" fresh_path fresh_kind
+  | errs ->
+    List.iter (fun e -> Printf.eprintf "bench gate: %s: %s\n" fresh_path e) errs;
+    exit 2);
+  let fresh = sections_of fresh_json in
+  let base = sections_of base_json in
   if fresh = [] then begin
     Printf.eprintf "bench gate: no sections found in %s\n" fresh_path;
     exit 2

@@ -1,0 +1,120 @@
+(* The macro-workload benchmark driver: whole-system throughput through
+   the real binary.
+
+   Plays a seeded mixed-session scenario (many simulated users:
+   compile / instantiate / run / link-following hyper-programs / browse
+   / evolve / publish / gc / shell sessions) against bin/hpjava as a
+   subprocess, SIGKILLs one seed-chosen mutating step mid-stabilise via
+   HPJAVA_KILL_AT_BYTE, and emits BENCH_macro.json: sustained ops/sec,
+   per-op-class end-to-end p50/p99, and post-crash recovery time.  The
+   file is self-validated after writing and gated against the committed
+   baseline by bench_gate (see the @bench-macro-smoke alias).
+
+     macro_main [--smoke] [--seed N] [--users N] [--ops N] [--no-crash]
+
+   Any failure prints the exact --seed replay line. *)
+
+let output_file = "BENCH_macro.json"
+
+let () =
+  let smoke = ref false in
+  let seed = ref 1 in
+  let users = ref 3 in
+  let ops = ref (-1) in
+  let crash = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--no-crash" :: rest ->
+      crash := false;
+      parse rest
+    | flag :: v :: rest when List.mem flag [ "--seed"; "--users"; "--ops" ] -> begin
+      match int_of_string_opt v with
+      | Some n ->
+        (match flag with
+        | "--seed" -> seed := n
+        | "--users" -> users := n
+        | _ -> ops := n);
+        parse rest
+      | None ->
+        Printf.eprintf "macro_main: %s expects an integer, got %s\n" flag v;
+        exit 2
+    end
+    | flag :: _ ->
+      Printf.eprintf "usage: macro_main [--smoke] [--seed N] [--users N] [--ops N] [--no-crash]\n";
+      Printf.eprintf "macro_main: unknown argument %s\n" flag;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !ops < 0 then ops := if !smoke then 28 else 120;
+  if !smoke then users := min !users 2;
+  let bin = Workload.Subproc.locate () in
+  let scenario = Workload.Scenario.generate ~seed:!seed ~users:!users ~ops:!ops in
+  let replay = Workload.Scenario.replay_line scenario in
+  let candidates = Workload.Scenario.crash_candidates scenario in
+  let crash_at =
+    if !crash && candidates <> [] then
+      Some (List.nth candidates (!seed * 7919 mod List.length candidates))
+    else None
+  in
+  (* a low kill byte lands inside the step's first journal append, so
+     the SIGKILL reliably tears a write mid-stabilise *)
+  let kill_byte = 32 + (!seed * 131 mod 480) in
+  Printf.printf "== macro: %d users x %d steps (seed %d)%s ==\n%!" !users
+    (List.length scenario.Workload.Scenario.steps) !seed
+    (match crash_at with
+    | Some i -> Printf.sprintf ", SIGKILL at step %d byte %d" i kill_byte
+    | None -> ", no crash injection");
+  Workload.Subproc.with_temp_dir ~prefix:"bench_macro" @@ fun dir ->
+  let play = Workload.Scenario.play ?crash_at ~kill_byte ~bin ~dir scenario in
+  let failed = Workload.Scenario.failures play in
+  if failed <> [] then begin
+    List.iter
+      (fun (e : Workload.Scenario.exec) ->
+        Printf.eprintf "step %d (%s) failed:\n%s\n" e.Workload.Scenario.index
+          (Workload.Scenario.op_class e.Workload.Scenario.step.Workload.Scenario.op)
+          (Workload.Subproc.describe e.Workload.Scenario.result))
+      failed;
+    Printf.eprintf "macro: %d of %d steps failed — %s\n" (List.length failed)
+      (List.length play.Workload.Scenario.execs) replay;
+    exit 1
+  end;
+  (match play.Workload.Scenario.crash with
+  | None -> ()
+  | Some c ->
+    Printf.printf
+      "  crash: %s step SIGKILLed mid-stabilise (byte %d, killed=%b)\n\
+      \  recovery: %.1f ms, quarantined %d, lost durable roots %d\n%!"
+      c.Workload.Scenario.crashed_class c.Workload.Scenario.kill_byte c.Workload.Scenario.killed
+      (c.Workload.Scenario.recovery_s *. 1e3)
+      c.Workload.Scenario.quarantined_after
+      (List.length c.Workload.Scenario.lost_roots);
+    if not c.Workload.Scenario.check_ok then begin
+      Printf.eprintf "macro: post-crash integrity check FAILED — %s\n" replay;
+      exit 1
+    end;
+    if c.Workload.Scenario.lost_roots <> [] then begin
+      Printf.eprintf "macro: durable roots lost beyond the loss window (%s) — %s\n"
+        (String.concat ", " c.Workload.Scenario.lost_roots)
+        replay;
+      exit 1
+    end);
+  let report = Workload.Report.of_play ~smoke:!smoke play in
+  List.iter
+    (fun (s : Workload.Report.section) ->
+      Printf.printf "  %-12s %4d ops   %8.2f ops/s   p50 %8.1f ms   p99 %8.1f ms\n%!"
+        s.Workload.Report.name s.Workload.Report.count s.Workload.Report.ops_per_sec
+        (s.Workload.Report.p50_ns /. 1e6)
+        (s.Workload.Report.p99_ns /. 1e6))
+    report.Workload.Report.sections;
+  Printf.printf "  sustained: %.2f ops/s over %.2f s (%d ops)\n%!"
+    report.Workload.Report.sustained_ops_per_sec report.Workload.Report.elapsed_s
+    report.Workload.Report.total_ops;
+  match Workload.Report.write ~path:output_file report with
+  | Ok () -> Printf.printf "  wrote %s (%d sections, validated)\n%!" output_file
+               (List.length report.Workload.Report.sections)
+  | Error e ->
+    Printf.eprintf "macro: %s INVALID: %s — %s\n" output_file e replay;
+    exit 1

@@ -19,16 +19,25 @@ open Pstore
 open Minijava
 open Hyperprog
 
-let load_store path =
+(* Only [init] and [compile] may create a store that is not there yet;
+   every other subcommand treats a missing path as the error it is —
+   silently handing [census] or [browse] a fresh empty store used to
+   make black-box scripting impossible. *)
+let missing_store path =
+  Printf.eprintf "hpjava: no store at %s (run `hpjava init %s` first)\n" path path;
+  exit 2
+
+let load_store ?(create = false) path =
   if Sys.file_exists path then Store.open_file path
-  else begin
+  else if create then begin
     let store = Store.create () in
     Store.set_backing store path;
     store
   end
+  else missing_store path
 
-let session_of path =
-  let store = load_store path in
+let session_of ?create path =
+  let store = load_store ?create path in
   let vm = Boot.vm_for store in
   vm.Rt.echo <- true;
   Dynamic_compiler.install vm;
@@ -40,13 +49,24 @@ let store_arg =
 (* -- init ------------------------------------------------------------------ *)
 
 let init_cmd =
-  let run path =
-    let store, vm = session_of path in
+  let journalled_arg =
+    Arg.(
+      value & flag
+      & info [ "journalled" ]
+          ~doc:
+            "Use write-ahead-journal durability (persists across sessions; every later \
+             stabilise appends a fsynced delta instead of rewriting the image)")
+  in
+  let run path journalled =
+    let store, vm = session_of ~create:true path in
+    if journalled then Store.set_durability store Store.Journalled;
     Store.stabilise store;
     Printf.printf "initialised %s: %d classes, %d objects\n" path
       (List.length vm.Rt.load_order) (Store.size store)
   in
-  Cmd.v (Cmd.info "init" ~doc:"Create and bootstrap a store") Term.(const run $ store_arg)
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create and bootstrap a store")
+    Term.(const run $ store_arg $ journalled_arg)
 
 (* -- compile ----------------------------------------------------------------- *)
 
@@ -55,7 +75,7 @@ let compile_cmd =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"Java source file")
   in
   let run path file =
-    let store, vm = session_of path in
+    let store, vm = session_of ~create:true path in
     let ic = open_in file in
     let source = really_input_string ic (in_channel_length ic) in
     close_in ic;
@@ -145,6 +165,31 @@ let gc_cmd =
     Store.stabilise store
   in
   Cmd.v (Cmd.info "gc" ~doc:"Garbage-collect the store") Term.(const run $ store_arg)
+
+(* -- check: full integrity + quarantine report, scriptable exit code -------------- *)
+
+let check_cmd =
+  let run path =
+    let store = load_store path in
+    let violations = Integrity.check store in
+    let fatal = List.filter Integrity.fatal violations in
+    List.iter
+      (fun v -> Format.eprintf "violation: %a@." Integrity.pp_violation v)
+      violations;
+    let stats = Store.stats store in
+    Printf.printf "integrity %s: %d objects, %d quarantined, %d violation%s (%d fatal)\n"
+      (if fatal = [] then "ok" else "FAILED")
+      (Store.size store) stats.Store.quarantined (List.length violations)
+      (if List.length violations = 1 then "" else "s")
+      (List.length fatal);
+    if fatal <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify full store integrity (referential soundness, quarantine report); exits \
+          nonzero on any fatal violation")
+    Term.(const run $ store_arg)
 
 (* -- export-html ------------------------------------------------------------------ *)
 
@@ -293,7 +338,10 @@ let evolve_cmd =
 
 let shell_cmd =
   let echo_arg = Arg.(value & flag & info [ "echo" ] ~doc:"Echo program output as it happens") in
-  let run path echo = Hyperui.Shell.run ~store_path:path ~input:stdin ~echo in
+  let run path echo =
+    if not (Sys.file_exists path) then missing_store path;
+    Hyperui.Shell.run ~store_path:path ~input:stdin ~echo
+  in
   Cmd.v
     (Cmd.info "shell" ~doc:"Interactive hyper-programming session (also pipe-scriptable)")
     Term.(const run $ store_arg $ echo_arg)
@@ -385,6 +433,29 @@ let demo_cmd =
 let main =
   Cmd.group
     (Cmd.info "hpjava" ~version:"1.0.0" ~doc:"Hyper-programming in Java, reproduced in OCaml")
-    [ init_cmd; compile_cmd; run_cmd; new_cmd; run_hp_cmd; print_hp_cmd; evolve_cmd; shell_cmd; source_cmd; browse_cmd; census_cmd; roots_cmd; gc_cmd; export_cmd; demo_cmd ]
+    [ init_cmd; compile_cmd; run_cmd; new_cmd; run_hp_cmd; print_hp_cmd; evolve_cmd; shell_cmd; source_cmd; browse_cmd; census_cmd; roots_cmd; gc_cmd; check_cmd; export_cmd; demo_cmd ]
 
-let () = exit (Cmd.eval main)
+(* The macro-workload harness's crash injector: with HPJAVA_KILL_AT_BYTE=N
+   in the environment, the process SIGKILLs itself after N bytes of store
+   I/O — a deterministic, seed-replayable power cut mid-stabilise. *)
+let arm_crash_injector () =
+  match Sys.getenv_opt "HPJAVA_KILL_AT_BYTE" with
+  | None -> ()
+  | Some n -> begin
+    match int_of_string_opt n with
+    | Some b when b >= 0 -> Faults.arm (Faults.Kill_after_bytes b)
+    | _ ->
+      Printf.eprintf "hpjava: HPJAVA_KILL_AT_BYTE must be a non-negative integer, got %s\n" n;
+      exit 2
+  end
+
+(* Every failure path must exit nonzero with a one-line stderr message —
+   the E2E harness asserts on exactly that, and a backtrace dump is not a
+   message.  [~catch:false] keeps cmdliner from printing one. *)
+let () =
+  arm_crash_injector ();
+  match Cmd.eval ~catch:false main with
+  | code -> exit code
+  | exception e ->
+    Printf.eprintf "hpjava: %s\n" (Printexc.to_string e);
+    exit 3

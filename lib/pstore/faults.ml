@@ -11,6 +11,7 @@ type fault =
   | Rename_fails
   | Fsync_fails
   | Bit_flip of int
+  | Kill_after_bytes of int
 
 let current : fault option ref = ref None
 
@@ -76,6 +77,19 @@ let output_string oc s =
     else begin
       Stdlib.output_string oc s;
       written := !written + len
+    end
+  | Some (Kill_after_bytes budget) ->
+    let len = String.length s in
+    if !written + len <= budget then begin
+      Stdlib.output_string oc s;
+      written := !written + len
+    end
+    else begin
+      (* The torn prefix must reach the OS before the process dies, or
+         there would be nothing torn to recover from. *)
+      partial_write oc s (budget - !written);
+      incr fired_count;
+      Unix.kill (Unix.getpid ()) Sys.sigkill
     end
   | Some (Rename_fails | Fsync_fails) -> Stdlib.output_string oc s
 

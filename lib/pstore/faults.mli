@@ -22,6 +22,15 @@ type fault =
       (** Silently corrupt one bit at byte offset [n] of the armed write
           stream; the write "succeeds".  Models media corruption, which
           checksums must detect. *)
+  | Kill_after_bytes of int
+      (** Write through normally until [n] bytes have been written while
+          armed, flush the torn prefix to the OS, then SIGKILL the whole
+          process.  This is the macro harness's crash injector: unlike
+          {!Fail_after_bytes} nothing gets to handle the failure — the
+          process dies exactly as a power cut would leave it, and only a
+          fresh process can observe what recovery makes of the debris.
+          [bin/hpjava] arms it from the [HPJAVA_KILL_AT_BYTE] environment
+          variable. *)
 
 val arm : fault -> unit
 (** Arm a fault.  Faults are one-shot: firing disarms. *)

@@ -1,0 +1,226 @@
+(* The BENCH_macro.json emitter.
+
+   Same contract as bench/pstore_bench.ml's BENCH_pstore.json: a
+   machine-readable trajectory, self-validated after writing (re-read,
+   structural check) so a malformed emitter can never silently pollute
+   the committed baseline, and consumed by bench/bench_gate.ml for the
+   p50 regression gate.
+
+   Sections are end-to-end op classes (one hpjava subprocess each:
+   process start to exit), so the latencies here are what a user at a
+   prompt actually waits — dominated by store open + boot, which is
+   precisely the whole-system cost micro-benchmarks cannot see.  The
+   [recovery] object records the injected-crash outcome: how long the
+   first reopen-plus-integrity-check took and how much debris it found. *)
+
+type section = {
+  name : string;
+  count : int;
+  ops_per_sec : float;
+  p50_ns : float;
+  p99_ns : float;
+}
+
+type recovery = {
+  injected : bool;
+  killed : bool;
+  crashed_class : string;
+  kill_byte : int;
+  recovery_ms : float;
+  quarantined_after : int;
+  lost_roots : int;
+}
+
+type t = {
+  smoke : bool;
+  seed : int;
+  users : int;
+  total_ops : int;
+  elapsed_s : float;
+  sustained_ops_per_sec : float;
+  sections : section list;
+  recovery : recovery;
+}
+
+let no_recovery =
+  {
+    injected = false;
+    killed = false;
+    crashed_class = "";
+    kill_byte = 0;
+    recovery_ms = 0.;
+    quarantined_after = 0;
+    lost_roots = 0;
+  }
+
+(* -- building from a play --------------------------------------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+(* One section per op class present in the play.  The process killed by
+   the crash injector is excluded — its truncated lifetime is not a
+   latency.  Order: by first appearance, so the file is stable across
+   runs of the same scenario. *)
+let sections_of_play (play : Scenario.play) =
+  let order = ref [] in
+  let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Scenario.exec) ->
+      let killed =
+        match play.Scenario.crash with
+        | Some c -> c.Scenario.step_index = e.Scenario.index && c.Scenario.killed
+        | None -> false
+      in
+      if not killed then begin
+        let cls = Scenario.op_class e.Scenario.step.Scenario.op in
+        let bucket =
+          match Hashtbl.find_opt samples cls with
+          | Some b -> b
+          | None ->
+            let b = ref [] in
+            Hashtbl.add samples cls b;
+            order := cls :: !order;
+            b
+        in
+        bucket := (e.Scenario.result.Subproc.elapsed_s *. 1e9) :: !bucket
+      end)
+    play.Scenario.execs;
+  List.rev !order
+  |> List.map (fun cls ->
+         let ns = Array.of_list !(Hashtbl.find samples cls) in
+         Array.sort compare ns;
+         let total_s = Array.fold_left (fun acc x -> acc +. (x /. 1e9)) 0. ns in
+         {
+           name = cls;
+           count = Array.length ns;
+           ops_per_sec = float_of_int (Array.length ns) /. Float.max total_s 1e-9;
+           p50_ns = percentile ns 0.50;
+           p99_ns = percentile ns 0.99;
+         })
+
+let of_play ~smoke (play : Scenario.play) =
+  let recovery =
+    match play.Scenario.crash with
+    | None -> no_recovery
+    | Some c ->
+      {
+        injected = true;
+        killed = c.Scenario.killed;
+        crashed_class = c.Scenario.crashed_class;
+        kill_byte = c.Scenario.kill_byte;
+        recovery_ms = c.Scenario.recovery_s *. 1e3;
+        quarantined_after = c.Scenario.quarantined_after;
+        lost_roots = List.length c.Scenario.lost_roots;
+      }
+  in
+  let total_ops = List.length play.Scenario.execs in
+  {
+    smoke;
+    seed = play.Scenario.scenario.Scenario.seed;
+    users = play.Scenario.scenario.Scenario.users;
+    total_ops;
+    elapsed_s = play.Scenario.elapsed_s;
+    sustained_ops_per_sec = float_of_int total_ops /. Float.max play.Scenario.elapsed_s 1e-9;
+    sections = sections_of_play play;
+    recovery;
+  }
+
+(* -- JSON out ---------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"benchmark\": \"macro\",\n";
+  add "  \"schema_version\": 1,\n";
+  add "  \"smoke\": %b,\n" t.smoke;
+  add "  \"seed\": %d,\n" t.seed;
+  add "  \"users\": %d,\n" t.users;
+  add "  \"total_ops\": %d,\n" t.total_ops;
+  add "  \"elapsed_s\": %.3f,\n" t.elapsed_s;
+  add "  \"sustained_ops_per_sec\": %.2f,\n" t.sustained_ops_per_sec;
+  add "  \"sections\": [\n";
+  List.iteri
+    (fun i s ->
+      add
+        "    { \"name\": \"%s\", \"count\": %d, \"ops_per_sec\": %.2f, \"p50_ns\": %.1f, \
+         \"p99_ns\": %.1f }%s\n"
+        (json_escape s.name) s.count s.ops_per_sec s.p50_ns s.p99_ns
+        (if i < List.length t.sections - 1 then "," else ""))
+    t.sections;
+  add "  ],\n";
+  add
+    "  \"recovery\": { \"injected\": %b, \"killed\": %b, \"crashed_class\": \"%s\", \
+     \"kill_byte\": %d, \"recovery_ms\": %.2f, \"quarantined_after\": %d, \"lost_roots\": %d }\n"
+    t.recovery.injected t.recovery.killed (json_escape t.recovery.crashed_class)
+    t.recovery.kill_byte t.recovery.recovery_ms t.recovery.quarantined_after
+    t.recovery.lost_roots;
+  add "}\n";
+  Buffer.contents buf
+
+(* -- self-validation ---------------------------------------------------------- *)
+
+(* Structural re-read of the emitted file: balanced braces/brackets
+   outside strings plus every key the gate and the trajectory consumers
+   rely on.  A tripwire, not a JSON parser. *)
+let validate_file ~path t =
+  let data = Subproc.read_file path in
+  let depth = ref 0 and in_string = ref false and escaped = ref false in
+  let balanced = ref true in
+  String.iter
+    (fun c ->
+      if !escaped then escaped := false
+      else if !in_string then begin
+        if c = '\\' then escaped := true else if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | '"' -> in_string := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then balanced := false
+        | _ -> ())
+    data;
+  let missing =
+    List.filter
+      (fun k -> not (Subproc.contains data k))
+      ([
+         "\"benchmark\": \"macro\"";
+         "\"sections\"";
+         "\"recovery\"";
+         "\"sustained_ops_per_sec\"";
+         "\"recovery_ms\"";
+         "\"quarantined_after\"";
+       ]
+      @ List.map (fun s -> Printf.sprintf "\"name\": \"%s\"" s.name) t.sections)
+  in
+  if (not !balanced) || !depth <> 0 || !in_string then Error "unbalanced structure"
+  else if missing <> [] then Error ("missing " ^ String.concat ", " missing)
+  else if List.exists (fun s -> s.ops_per_sec <= 0.) t.sections then
+    Error "non-positive throughput"
+  else if t.sections = [] then Error "no sections"
+  else Ok ()
+
+let write ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc (render t));
+  validate_file ~path t

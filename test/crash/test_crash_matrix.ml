@@ -189,20 +189,34 @@ let crash_run ops seed dir =
   Integrity.check_exn reopened;
   Store.close reopened
 
+(* Any failure prints the exact one-seed reproduction recipe before
+   propagating — a 30-seed batch name is not a repro. *)
 let run_seed seed =
-  let ops = gen_program (Random.State.make [| seed |]) in
-  with_dir (reference_run ops);
-  with_dir (crash_run ops seed)
+  try
+    let ops = gen_program (Random.State.make [| seed |]) in
+    with_dir (reference_run ops);
+    with_dir (crash_run ops seed)
+  with e ->
+    Printf.eprintf
+      "crash matrix failed at seed %d\n\
+       replay exactly with: CRASH_SEED=%d dune exec test/crash/test_crash_main.exe\n"
+      seed seed;
+    raise e
 
 (* >= 200 seeds, batched for readable progress under dune runtest *)
 let seeds = 240
 let batch = 30
 
+(* CRASH_SEED=N pins the harness to that single seed (the replay recipe
+   printed on failure); otherwise the full batched matrix runs. *)
 let suite =
-  List.init (seeds / batch) (fun b ->
-      let lo = b * batch in
-      let hi = lo + batch - 1 in
-      test (sp "seeds %d-%d" lo hi) (fun () ->
-          for seed = lo to hi do
-            run_seed seed
-          done))
+  match Option.bind (Sys.getenv_opt "CRASH_SEED") int_of_string_opt with
+  | Some seed -> [ test (sp "seed %d (CRASH_SEED)" seed) (fun () -> run_seed seed) ]
+  | None ->
+    List.init (seeds / batch) (fun b ->
+        let lo = b * batch in
+        let hi = lo + batch - 1 in
+        test (sp "seeds %d-%d" lo hi) (fun () ->
+            for seed = lo to hi do
+              run_seed seed
+            done))

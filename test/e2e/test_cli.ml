@@ -1,0 +1,141 @@
+(* Exit-code audit of the hpjava command surface.
+
+   Black-box contract the macro harness (and any script) relies on:
+   every failure path exits nonzero with a one-line stderr message;
+   read-only subcommands never invent a store for a missing path
+   (create-on-missing is init/compile only); success paths exit zero. *)
+
+open E2e_util
+
+let person_source =
+  "public class Person {\n\
+  \  private String name;\n\
+  \  private Person spouse;\n\
+  \  public Person(String n) { name = n; }\n\
+  \  public static void marry(Person a, Person b) { a.spouse = b; b.spouse = a; }\n\
+  \  public String toString() { return \"Person(\" + name + \")\"; }\n\
+   }\n"
+
+(* -- missing store: error, not silent creation ----------------------------- *)
+
+let missing_store_is_an_error () =
+  with_dir @@ fun dir ->
+  let store = Filename.concat dir "absent.hpj" in
+  List.iter
+    (fun args ->
+      let r = hpjava args in
+      expect_fail ~stderr_has:"no store" r;
+      check_bool
+        (Printf.sprintf "%s must not create the store" (String.concat " " args))
+        false (Sys.file_exists store))
+    [
+      [ "census"; store ];
+      [ "roots"; store ];
+      [ "browse"; store ];
+      [ "export-html"; store; Filename.concat dir "html" ];
+      [ "check"; store ];
+      [ "gc"; store ];
+      [ "run"; store; "Person" ];
+      [ "new"; store; "Person"; "r"; "x" ];
+      [ "print-hp"; store; "hp" ];
+      [ "source"; store; "Person" ];
+      [ "shell"; store ];
+    ]
+
+let create_on_missing_only_for_init_and_compile () =
+  with_dir @@ fun dir ->
+  let store = Filename.concat dir "a.hpj" in
+  expect_ok (hpjava [ "init"; store ]);
+  check_bool "init created the store" true (Sys.file_exists store);
+  let store2 = Filename.concat dir "b.hpj" in
+  let src = write_src ~dir "Person.java" person_source in
+  expect_ok (hpjava [ "compile"; store2; src ]);
+  check_bool "compile created the store" true (Sys.file_exists store2)
+
+(* -- failure paths exit nonzero with one-line messages --------------------- *)
+
+let compile_error_exits_nonzero () =
+  with_store @@ fun ~dir ~store ->
+  let bad = write_src ~dir "Bad.java" "public class Bad { int" in
+  expect_fail ~stderr_has:"compile error" (hpjava [ "compile"; store; bad ])
+
+let run_unknown_class_exits_nonzero () =
+  with_store @@ fun ~dir:_ ~store ->
+  expect_fail ~stderr_has:"NoClassDefFoundError" (hpjava [ "run"; store; "Nowhere" ])
+
+let browse_unknown_root_exits_nonzero () =
+  with_store @@ fun ~dir:_ ~store ->
+  expect_fail ~stderr_has:"no root" (hpjava [ "browse"; store; "--root"; "nope" ])
+
+let print_hp_non_hyper_root_exits_nonzero () =
+  with_store @@ fun ~dir:_ ~store ->
+  expect_fail ~stderr_has:"hyper-program" (hpjava [ "print-hp"; store; "nope" ])
+
+let source_unknown_class_exits_nonzero () =
+  with_store @@ fun ~dir:_ ~store ->
+  expect_fail ~stderr_has:"not loaded" (hpjava [ "source"; store; "Nowhere" ])
+
+let bad_subcommand_and_args_exit_nonzero () =
+  with_store @@ fun ~dir:_ ~store ->
+  expect_fail (hpjava [ "frobnicate"; store ]);
+  expect_fail (hpjava [ "compile"; store ]) (* missing FILE *);
+  expect_fail (hpjava [ "compile"; store; "/nonexistent/X.java" ]);
+  expect_fail (hpjava [ "init" ]) (* missing STORE *)
+
+let corrupt_store_is_one_line_error () =
+  with_dir @@ fun dir ->
+  let store = Filename.concat dir "bad.hpj" in
+  write_file store "this is not an image";
+  let r = hpjava [ "census"; store ] in
+  expect_fail r;
+  (* one line, no backtrace dump *)
+  let lines =
+    String.split_on_char '\n' (String.trim r.Workload.Subproc.stderr)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check_int "single-line stderr" 1 (List.length lines)
+
+(* -- evolve round trip through the CLI ------------------------------------- *)
+
+let evolve_via_cli () =
+  with_store @@ fun ~dir ~store ->
+  let src = write_src ~dir "Person.java" person_source in
+  expect_ok (hpjava [ "compile"; store; src ]);
+  expect_ok (hpjava [ "new"; store; "Person"; "alice"; "alice" ]);
+  let v2 =
+    write_src ~dir "Person2.java"
+      "public class Person {\n\
+      \  private String name;\n\
+      \  private Person spouse;\n\
+      \  private String note;\n\
+      \  public Person(String n) { name = n; }\n\
+      \  public static void marry(Person a, Person b) { a.spouse = b; b.spouse = a; }\n\
+      \  public String toString() { return \"P2(\" + name + \")\"; }\n\
+       }\n"
+  in
+  let r = hpjava [ "evolve"; store; "Person"; v2 ] in
+  expect_ok r;
+  expect_stdout_has r "evolved Person";
+  (* evolution failure: evolving a class that does not exist *)
+  expect_fail ~stderr_has:"evolution failed" (hpjava [ "evolve"; store; "Ghost"; v2 ]);
+  (* the store survived both: full integrity, instance reconstructed *)
+  let check = hpjava [ "check"; store ] in
+  expect_ok check;
+  expect_stdout_has check "integrity ok";
+  let census = hpjava [ "census"; store ] in
+  expect_ok census;
+  expect_stdout_has census "Person"
+
+let suite =
+  [
+    test "missing store is a nonzero-exit error (no silent creation)" missing_store_is_an_error;
+    test "create-on-missing kept for init and compile" create_on_missing_only_for_init_and_compile;
+    test "compile error exits nonzero" compile_error_exits_nonzero;
+    test "run of unknown class exits nonzero" run_unknown_class_exits_nonzero;
+    test "browse of unknown root exits nonzero" browse_unknown_root_exits_nonzero;
+    test "print-hp of non-hyper root exits nonzero" print_hp_non_hyper_root_exits_nonzero;
+    test "source of unknown class exits nonzero" source_unknown_class_exits_nonzero;
+    test "bad subcommands and missing args exit nonzero" bad_subcommand_and_args_exit_nonzero;
+    test "corrupt store reports one line on stderr" corrupt_store_is_one_line_error;
+    test "evolve succeeds and fails with correct exit codes" evolve_via_cli;
+  ]

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "hpjava-e2e"
+    [
+      ("cli", Test_cli.suite);
+      ("shell-cmds", Test_shell_cmds.suite);
+      ("scenarios", Test_scenarios.suite);
+    ]

@@ -1,0 +1,88 @@
+(* Subprocess-level coverage of the shell's maintenance commands: scrub,
+   health, stats, trace on|off|dump, cache on|off, gc.  Scripts are piped
+   through stdin; assertions are output-shape checks (the counters move
+   with unrelated work), never string-exact transcripts. *)
+
+open E2e_util
+
+let shell script =
+  with_store @@ fun ~dir:_ ~store ->
+  let r = hpjava ~stdin_text:script [ "shell"; store ] in
+  expect_ok r;
+  r
+
+let scrub_reports_scan_shape () =
+  let r = shell "scrub 64\nquit\n" in
+  expect_stdout_has r "objects";
+  expect_stdout_has r "verified";
+  expect_stdout_has r "primed";
+  expect_stdout_lacks r "quarantined @"
+
+let health_reports_quarantine_and_retries () =
+  let r = shell "health\nquit\n" in
+  expect_stdout_has r "scrub:";
+  expect_stdout_has r "quarantined: 0";
+  expect_stdout_has r "io retries absorbed";
+  expect_stdout_has r "retry totals:"
+
+let stats_reports_operation_counters () =
+  let r = shell "census\nstats\nquit\n" in
+  expect_stdout_has r "operations:";
+  expect_stdout_has r "(tracing off)"
+
+let trace_toggles_and_dumps () =
+  let r = shell "trace dump\ntrace on\ncensus\nstabilise\ntrace dump\ntrace off\nquit\n" in
+  (* first dump: ring empty, with the hint that tracing is off *)
+  expect_stdout_has r "trace ring empty (tracing is off";
+  expect_stdout_has r "tracing on";
+  (* second dump: the stabilise span must be in the ring *)
+  expect_stdout_has r "stabilise";
+  expect_stdout_has r "tracing off";
+  let bad = shell "trace sideways\nquit\n" in
+  expect_stdout_has bad "usage: trace on|off|dump"
+
+let cache_toggles_and_reports () =
+  let r = shell "cache\ncache off\ncache\ncache on\ncache\nquit\n" in
+  expect_stdout_has r "compile cache (on)";
+  expect_stdout_has r "getLink memo";
+  expect_stdout_has r "caches off";
+  expect_stdout_has r "compile cache (off)";
+  expect_stdout_has r "caches on";
+  expect_stdout_has r "entries resident"
+
+let gc_reports_sweep_counts () =
+  let r = shell "gc\nquit\n" in
+  expect_stdout_has r "live=";
+  expect_stdout_has r "swept="
+
+let maintenance_sequence_keeps_store_healthy () =
+  (* The full maintenance pass the macro workload replays, then a
+     black-box integrity check of what it left behind. *)
+  with_store @@ fun ~dir:_ ~store ->
+  let script =
+    "scrub 128\nhealth\ntrace on\nstats\ncensus\nstabilise\ntrace dump\ntrace off\n\
+     cache\ngc\nquit\n"
+  in
+  let r = hpjava ~stdin_text:script [ "shell"; store ] in
+  expect_ok r;
+  expect_stdout_has r "quarantined: 0";
+  let check = hpjava [ "check"; store ] in
+  expect_ok check;
+  expect_stdout_has check "integrity ok";
+  expect_stdout_has check "0 quarantined"
+
+let unknown_command_is_reported () =
+  let r = shell "frobnicate\nquit\n" in
+  expect_stdout_has r "unknown command frobnicate"
+
+let suite =
+  [
+    test "scrub reports scan/verify/prime counts" scrub_reports_scan_shape;
+    test "health reports quarantine set and retry counters" health_reports_quarantine_and_retries;
+    test "stats reports operation counters" stats_reports_operation_counters;
+    test "trace on|off|dump toggles and dumps the span ring" trace_toggles_and_dumps;
+    test "cache on|off toggles both caches and reports stats" cache_toggles_and_reports;
+    test "gc reports live/swept counts" gc_reports_sweep_counts;
+    test "maintenance sequence leaves a healthy store" maintenance_sequence_keeps_store_healthy;
+    test "unknown command is reported" unknown_command_is_reported;
+  ]
