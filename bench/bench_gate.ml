@@ -126,7 +126,14 @@ let schema_errors ~kind json =
         {|"quarantined_after"|};
         {|"total_ops"|};
       ]
-    | _ -> [ {|"tracing_overhead"|} ]
+    | _ ->
+      (* a pstore trajectory must carry the sharded-stabilise scaling
+         sections alongside the overhead object *)
+      [
+        {|"tracing_overhead"|};
+        {|"name": "stabilise-par-4"|};
+        {|"name": "scrub-par-4"|};
+      ]
   in
   structural @ List.filter_map
     (fun k -> if contains json k then None else Some ("missing key " ^ k))

@@ -10,7 +10,7 @@
    file is self-validated after writing and gated against the committed
    baseline by bench_gate (see the @bench-macro-smoke alias).
 
-     macro_main [--smoke] [--seed N] [--users N] [--ops N] [--no-crash]
+     macro_main [--smoke] [--seed N] [--users N] [--ops N] [--shards N] [--no-crash]
 
    Any failure prints the exact --seed replay line. *)
 
@@ -21,6 +21,7 @@ let () =
   let seed = ref 1 in
   let users = ref 3 in
   let ops = ref (-1) in
+  let shards = ref 1 in
   let crash = ref true in
   let rec parse = function
     | [] -> ()
@@ -30,12 +31,13 @@ let () =
     | "--no-crash" :: rest ->
       crash := false;
       parse rest
-    | flag :: v :: rest when List.mem flag [ "--seed"; "--users"; "--ops" ] -> begin
+    | flag :: v :: rest when List.mem flag [ "--seed"; "--users"; "--ops"; "--shards" ] -> begin
       match int_of_string_opt v with
       | Some n ->
         (match flag with
         | "--seed" -> seed := n
         | "--users" -> users := n
+        | "--shards" -> shards := n
         | _ -> ops := n);
         parse rest
       | None ->
@@ -43,7 +45,8 @@ let () =
         exit 2
     end
     | flag :: _ ->
-      Printf.eprintf "usage: macro_main [--smoke] [--seed N] [--users N] [--ops N] [--no-crash]\n";
+      Printf.eprintf
+        "usage: macro_main [--smoke] [--seed N] [--users N] [--ops N] [--shards N] [--no-crash]\n";
       Printf.eprintf "macro_main: unknown argument %s\n" flag;
       exit 2
   in
@@ -62,13 +65,16 @@ let () =
   (* a low kill byte lands inside the step's first journal append, so
      the SIGKILL reliably tears a write mid-stabilise *)
   let kill_byte = 32 + (!seed * 131 mod 480) in
-  Printf.printf "== macro: %d users x %d steps (seed %d)%s ==\n%!" !users
+  Printf.printf "== macro: %d users x %d steps (seed %d%s)%s ==\n%!" !users
     (List.length scenario.Workload.Scenario.steps) !seed
+    (if !shards > 1 then Printf.sprintf ", %d shards" !shards else "")
     (match crash_at with
     | Some i -> Printf.sprintf ", SIGKILL at step %d byte %d" i kill_byte
     | None -> ", no crash injection");
   Workload.Subproc.with_temp_dir ~prefix:"bench_macro" @@ fun dir ->
-  let play = Workload.Scenario.play ?crash_at ~kill_byte ~bin ~dir scenario in
+  let play =
+    Workload.Scenario.play ?crash_at ~kill_byte ~shards:!shards ~bin ~dir scenario
+  in
   let failed = Workload.Scenario.failures play in
   if failed <> [] then begin
     List.iter

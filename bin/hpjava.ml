@@ -27,17 +27,19 @@ let missing_store path =
   Printf.eprintf "hpjava: no store at %s (run `hpjava init %s` first)\n" path path;
   exit 2
 
-let load_store ?(create = false) path =
+let load_store ?(create = false) ?(shards = 1) path =
   if Sys.file_exists path then Store.open_file path
   else if create then begin
-    let store = Store.create () in
+    let store =
+      Store.create ~config:{ Store.Config.default with Store.Config.shards = shards } ()
+    in
     Store.set_backing store path;
     store
   end
   else missing_store path
 
-let session_of ?create path =
-  let store = load_store ?create path in
+let session_of ?create ?shards path =
+  let store = load_store ?create ?shards path in
   let vm = Boot.vm_for store in
   vm.Rt.echo <- true;
   Dynamic_compiler.install vm;
@@ -57,16 +59,31 @@ let init_cmd =
             "Use write-ahead-journal durability (persists across sessions; every later \
              stabilise appends a fsynced delta instead of rewriting the image)")
   in
-  let run path journalled =
-    let store, vm = session_of ~create:true path in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the object space into $(docv) shards (fixed for the store's \
+             lifetime), each with its own image file and journal; stabilise, scrub and gc \
+             then run shard-wise on a domain pool.  1 (the default) keeps the flat \
+             single-file layout")
+  in
+  let run path journalled shards =
+    if shards < 1 then begin
+      Printf.eprintf "hpjava: --shards must be >= 1\n";
+      exit 2
+    end;
+    let store, vm = session_of ~create:true ~shards path in
     if journalled then Store.set_durability store Store.Journalled;
     Store.stabilise store;
-    Printf.printf "initialised %s: %d classes, %d objects\n" path
+    Printf.printf "initialised %s: %d classes, %d objects%s\n" path
       (List.length vm.Rt.load_order) (Store.size store)
+      (if shards > 1 then Printf.sprintf ", %d shards" shards else "")
   in
   Cmd.v
     (Cmd.info "init" ~doc:"Create and bootstrap a store")
-    Term.(const run $ store_arg $ journalled_arg)
+    Term.(const run $ store_arg $ journalled_arg $ shards_arg)
 
 (* -- compile ----------------------------------------------------------------- *)
 
@@ -182,6 +199,13 @@ let check_cmd =
       (Store.size store) stats.Store.quarantined (List.length violations)
       (if List.length violations = 1 then "" else "s")
       (List.length fatal);
+    if Store.shards store > 1 then
+      List.iter
+        (fun (info : Store.shard_info) ->
+          Printf.printf "  shard %d: %d objects, %d quarantined, %d journal bytes\n"
+            info.Store.shard info.Store.objects info.Store.quarantined
+            info.Store.journal_bytes)
+        (Store.shard_info store);
     if fatal <> [] then exit 1
   in
   Cmd.v

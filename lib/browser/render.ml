@@ -50,6 +50,16 @@ let census store =
   (match List.length (Store.quarantined store) with
   | 0 -> ()
   | n -> Buffer.add_string buf (Printf.sprintf "  %6d  <quarantined>\n" n));
+  (* Sharded stores append a per-shard breakdown: the census is where an
+     operator looks first for a pathologically hot shard. *)
+  if Store.shards store > 1 then
+    List.iter
+      (fun (info : Store.shard_info) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  shard %d: %d objects, %d quarantined, %d journal bytes\n"
+             info.Store.shard info.Store.objects info.Store.quarantined
+             info.Store.journal_bytes))
+      (Store.shard_info store);
   (* One observability line: total operations this store has served, and
      whether span tracing is currently capturing events. *)
   let obs = Store.obs store in

@@ -218,6 +218,14 @@ let run ~store_path ~input ~echo =
       List.iter
         (fun (oid, reason) -> say "  @%d: %s\n" (Oid.to_int oid) reason)
         (Store.quarantined store);
+      if Store.shards store > 1 then
+        List.iter
+          (fun (info : Store.shard_info) ->
+            say "shard %d: %d objects, %d quarantined, %d journal bytes, %d pending, %d \
+                 remembered\n"
+              info.Store.shard info.Store.objects info.Store.quarantined
+              info.Store.journal_bytes info.Store.pending_ops info.Store.remembered)
+          (Store.shard_info store);
       say "io retries absorbed by this store: %d\n" stats.Store.io_retries;
       let rs = Retry.stats () in
       say "retry totals: %d attempts, %d retried, %d absorbed, %d exhausted\n" rs.Retry.attempts

@@ -16,6 +16,8 @@ let writer () = Buffer.create 4096
 
 let contents w = Buffer.contents w
 
+let reset w = Buffer.clear w
+
 let reader data = { data; pos = 0 }
 
 let remaining r = String.length r.data - r.pos

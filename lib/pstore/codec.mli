@@ -13,6 +13,10 @@ val decode_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val writer : unit -> writer
 val contents : writer -> string
 
+val reset : writer -> unit
+(** Empty the writer for reuse, keeping its internal buffer — for hot
+    paths that would otherwise allocate a fresh writer per item. *)
+
 val reader : string -> reader
 val remaining : reader -> int
 val at_end : reader -> bool

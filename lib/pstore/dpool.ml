@@ -1,0 +1,174 @@
+(* A tiny persistent worker pool over OCaml 5 stdlib domains, shared by
+   every parallel maintenance pass in the store (sharded stabilise, scrub,
+   GC mark).  Spawning a domain costs ~100us, far more than a typical
+   per-shard work item, so workers are spawned once, parked on a condition
+   variable, and reused for every [run].
+
+   The pool sizes itself to [Domain.recommended_domain_count () - 1]
+   workers (the caller participates, so total parallelism matches the
+   machine); [PSTORE_DOMAINS] or {!set_limit} overrides it.  On a
+   single-core host the limit is 1 and [run] degrades to a plain
+   sequential loop with no locking at all — parallel correctness is then
+   exercised by tests that force a higher limit.
+
+   [run] is not reentrant: a task that calls [run] again gets the
+   sequential fallback (the pool is busy), which keeps nested use safe
+   rather than deadlocking. *)
+
+type state = {
+  m : Mutex.t;
+  work : Condition.t; (* workers park here between jobs *)
+  done_ : Condition.t; (* the submitting caller parks here *)
+  mutable job : (int -> unit) option;
+  mutable njobs : int;
+  mutable next : int; (* next task index to hand out *)
+  mutable unfinished : int; (* handed out or waiting, not yet finished *)
+  mutable first_exn : exn option;
+  mutable busy : bool; (* a run is in flight (nested runs go sequential) *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let st =
+  {
+    m = Mutex.create ();
+    work = Condition.create ();
+    done_ = Condition.create ();
+    job = None;
+    njobs = 0;
+    next = 0;
+    unfinished = 0;
+    first_exn = None;
+    busy = false;
+    stop = false;
+    workers = [];
+  }
+
+let default_limit () =
+  match Option.bind (Sys.getenv_opt "PSTORE_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> Domain.recommended_domain_count ()
+
+let limit = ref (-1) (* resolved on first use *)
+
+let get_limit () =
+  if !limit < 0 then limit := default_limit ();
+  !limit
+
+let set_limit n =
+  if n < 1 then invalid_arg "Dpool.set_limit: limit must be >= 1";
+  limit := n
+
+let parallelism () = get_limit ()
+
+(* Record the first task exception; the submitting caller re-raises it.
+   Later tasks still run — maintenance passes touch disjoint shards, so
+   finishing them cannot make the failure worse, and one-shot fault
+   injection disarms after firing anyway. *)
+let run_task f i =
+  match f i with
+  | () -> ()
+  | exception e ->
+    Mutex.lock st.m;
+    if st.first_exn = None then st.first_exn <- Some e;
+    Mutex.unlock st.m
+
+let finish_task () =
+  st.unfinished <- st.unfinished - 1;
+  if st.unfinished = 0 then begin
+    st.job <- None;
+    Condition.broadcast st.done_
+  end
+
+let worker () =
+  Mutex.lock st.m;
+  let rec loop () =
+    if st.stop then Mutex.unlock st.m
+    else begin
+      match st.job with
+      | Some f when st.next < st.njobs ->
+        let i = st.next in
+        st.next <- st.next + 1;
+        Mutex.unlock st.m;
+        run_task f i;
+        Mutex.lock st.m;
+        finish_task ();
+        loop ()
+      | _ ->
+        Condition.wait st.work st.m;
+        loop ()
+    end
+  in
+  loop ()
+
+(* Called with [st.m] held. *)
+let ensure_workers wanted =
+  let target = min wanted (get_limit () - 1) in
+  let have = List.length st.workers in
+  for _ = have + 1 to target do
+    st.workers <- Domain.spawn worker :: st.workers
+  done
+
+let shutdown () =
+  Mutex.lock st.m;
+  st.stop <- true;
+  Condition.broadcast st.work;
+  let ws = st.workers in
+  st.workers <- [];
+  Mutex.unlock st.m;
+  List.iter Domain.join ws
+
+(* Idle workers would otherwise keep the process alive at exit. *)
+let () = at_exit shutdown
+
+let run_seq n f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let run n f =
+  if n <= 0 then ()
+  else if n = 1 then f 0
+  else begin
+    Mutex.lock st.m;
+    if st.busy || st.stop || get_limit () <= 1 then begin
+      Mutex.unlock st.m;
+      run_seq n f
+    end
+    else begin
+      ensure_workers (n - 1);
+      st.busy <- true;
+      st.job <- Some f;
+      st.njobs <- n;
+      st.next <- 0;
+      st.unfinished <- n;
+      st.first_exn <- None;
+      Condition.broadcast st.work;
+      (* The caller participates until the work runs out, then waits for
+         stragglers. *)
+      let rec help () =
+        match st.job with
+        | Some g when st.next < st.njobs ->
+          let i = st.next in
+          st.next <- st.next + 1;
+          Mutex.unlock st.m;
+          run_task g i;
+          Mutex.lock st.m;
+          finish_task ();
+          help ()
+        | _ ->
+          if st.unfinished > 0 then begin
+            Condition.wait st.done_ st.m;
+            help ()
+          end
+      in
+      help ();
+      let exn = st.first_exn in
+      st.first_exn <- None;
+      st.busy <- false;
+      Mutex.unlock st.m;
+      match exn with
+      | Some e -> raise e
+      | None -> ()
+    end
+  end

@@ -1,7 +1,14 @@
 (* Fault injection for durability testing.  A single global injector is
-   enough: stores are single-threaded and tests arm exactly one fault at a
-   time.  Faults are one-shot — firing disarms — so the recovery I/O that
-   follows a simulated crash runs clean. *)
+   enough: tests arm exactly one fault at a time.  Faults are one-shot —
+   firing disarms — so the recovery I/O that follows a simulated crash
+   runs clean.
+
+   Sharded stores run stabilise I/O from pool domains, so the injector
+   must stay deterministic under parallelism: all mutable state lives
+   behind one mutex, and exactly one domain can consume the armed fault
+   (budget accounting and the fire itself happen under the lock).  The
+   common case — nothing armed — is kept lock-free via an atomic flag so
+   production writes pay one load, not a mutex. *)
 
 exception Fault_injected of string
 
@@ -13,23 +20,39 @@ type fault =
   | Bit_flip of int
   | Kill_after_bytes of int
 
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Mirrors [current <> None]; read without the lock on hot paths. *)
+let armed_flag = Atomic.make false
 let current : fault option ref = ref None
 
 (* Bytes written while the current fault has been armed. *)
 let written = ref 0
-let fired_count = ref 0
+let fired_count = Atomic.make 0
 
 let arm f =
-  current := Some f;
-  written := 0
+  locked (fun () ->
+      current := Some f;
+      written := 0;
+      Atomic.set armed_flag true)
 
-let disarm () = current := None
-let armed () = !current
-let fired () = !fired_count
+let disarm () =
+  locked (fun () ->
+      current := None;
+      Atomic.set armed_flag false)
 
-let fire msg =
+let armed () = locked (fun () -> !current)
+let fired () = Atomic.get fired_count
+
+(* Call with [m] held (all callers are inside [locked]). *)
+let fire_locked msg =
   current := None;
-  incr fired_count;
+  Atomic.set armed_flag false;
+  Atomic.incr fired_count;
   raise (Fault_injected msg)
 
 let with_fault f body =
@@ -49,49 +72,56 @@ let partial_write oc s n =
   flush oc
 
 let output_string oc s =
-  match !current with
-  | None -> Stdlib.output_string oc s
-  | Some (Fail_after_bytes budget) ->
-    let len = String.length s in
-    if !written + len <= budget then begin
-      Stdlib.output_string oc s;
-      written := !written + len
-    end
-    else begin
-      partial_write oc s (budget - !written);
-      fire (Printf.sprintf "write failed after %d bytes" budget)
-    end
-  | Some (Short_write n) ->
-    partial_write oc s (min n (String.length s));
-    fire (Printf.sprintf "short write: %d of %d bytes" (min n (String.length s)) (String.length s))
-  | Some (Bit_flip off) ->
-    let len = String.length s in
-    if off >= !written && off < !written + len then begin
-      let b = Bytes.of_string s in
-      let i = off - !written in
-      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
-      Stdlib.output_string oc (Bytes.unsafe_to_string b);
-      current := None;
-      incr fired_count
-    end
-    else begin
-      Stdlib.output_string oc s;
-      written := !written + len
-    end
-  | Some (Kill_after_bytes budget) ->
-    let len = String.length s in
-    if !written + len <= budget then begin
-      Stdlib.output_string oc s;
-      written := !written + len
-    end
-    else begin
-      (* The torn prefix must reach the OS before the process dies, or
-         there would be nothing torn to recover from. *)
-      partial_write oc s (budget - !written);
-      incr fired_count;
-      Unix.kill (Unix.getpid ()) Sys.sigkill
-    end
-  | Some (Rename_fails | Fsync_fails) -> Stdlib.output_string oc s
+  if not (Atomic.get armed_flag) then Stdlib.output_string oc s
+  else
+    locked (fun () ->
+        match !current with
+        | None -> Stdlib.output_string oc s
+        | Some (Fail_after_bytes budget) ->
+          let len = String.length s in
+          if !written + len <= budget then begin
+            Stdlib.output_string oc s;
+            written := !written + len
+          end
+          else begin
+            partial_write oc s (budget - !written);
+            fire_locked (Printf.sprintf "write failed after %d bytes" budget)
+          end
+        | Some (Short_write n) ->
+          partial_write oc s (min n (String.length s));
+          fire_locked
+            (Printf.sprintf "short write: %d of %d bytes"
+               (min n (String.length s))
+               (String.length s))
+        | Some (Bit_flip off) ->
+          let len = String.length s in
+          if off >= !written && off < !written + len then begin
+            let b = Bytes.of_string s in
+            let i = off - !written in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+            Stdlib.output_string oc (Bytes.unsafe_to_string b);
+            current := None;
+            Atomic.set armed_flag false;
+            Atomic.incr fired_count
+          end
+          else begin
+            Stdlib.output_string oc s;
+            written := !written + len
+          end
+        | Some (Kill_after_bytes budget) ->
+          let len = String.length s in
+          if !written + len <= budget then begin
+            Stdlib.output_string oc s;
+            written := !written + len
+          end
+          else begin
+            (* The torn prefix must reach the OS before the process dies,
+               or there would be nothing torn to recover from. *)
+            partial_write oc s (budget - !written);
+            Atomic.incr fired_count;
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+          end
+        | Some (Rename_fails | Fsync_fails) -> Stdlib.output_string oc s)
 
 (* Flip one bit of an object's in-memory state behind the store API, the
    way a stray pointer or bad DIMM would.  Counts as a fired fault.  The
@@ -122,22 +152,34 @@ let corrupt_entry heap oid =
   in
   Heap.remove heap oid;
   Heap.insert heap oid corrupted;
-  incr fired_count
+  Atomic.incr fired_count
 
 let rename src dst =
-  match !current with
-  | Some Rename_fails -> fire (Printf.sprintf "rename %s -> %s failed" src dst)
-  | _ -> Sys.rename src dst
+  if not (Atomic.get armed_flag) then Sys.rename src dst
+  else
+    locked (fun () ->
+        match !current with
+        | Some Rename_fails -> fire_locked (Printf.sprintf "rename %s -> %s failed" src dst)
+        | _ -> Sys.rename src dst)
 
 let fsync_channel oc =
   flush oc;
-  match !current with
-  | Some Fsync_fails -> fire "fsync failed"
-  | _ -> Unix.fsync (Unix.descr_of_out_channel oc)
+  let do_sync () = Unix.fsync (Unix.descr_of_out_channel oc) in
+  if not (Atomic.get armed_flag) then do_sync ()
+  else
+    locked (fun () ->
+        match !current with
+        | Some Fsync_fails -> fire_locked "fsync failed"
+        | _ -> do_sync ())
 
 let fsync_dir path =
-  match !current with
-  | Some Fsync_fails -> fire "directory fsync failed"
-  | _ ->
+  let do_sync () =
     let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
     Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+  in
+  if not (Atomic.get armed_flag) then do_sync ()
+  else
+    locked (fun () ->
+        match !current with
+        | Some Fsync_fails -> fire_locked "directory fsync failed"
+        | _ -> do_sync ())

@@ -6,7 +6,11 @@
     fault to simulate a crash mid-write: the wrapper performs the partial
     effect (some bytes land on disk, the rename never happens, ...) and
     raises {!Fault_injected}, after which the injector disarms itself so
-    recovery I/O runs clean. *)
+    recovery I/O runs clean.
+
+    Domain-safe: injector state is guarded by a mutex so exactly one
+    domain consumes an armed fault even when stabilise I/O fans out over
+    the pool; the nothing-armed fast path is a single atomic load. *)
 
 exception Fault_injected of string
 

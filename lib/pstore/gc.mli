@@ -18,3 +18,18 @@ val collect : ?extra_roots:Oid.t list -> Heap.t -> Roots.t -> stats
 
 val reachable : ?extra_roots:Oid.t list -> Heap.t -> Roots.t -> Oid.Set.t
 (** The set of strongly reachable oids, without sweeping. *)
+
+val collect_sharded :
+  nshards:int ->
+  shard_of:(Oid.t -> int) ->
+  ?extra_roots:Oid.t list ->
+  Heap.t ->
+  Roots.t ->
+  stats * Oid.Set.t array
+(** Like {!collect}, but the mark phase runs per shard on the domain
+    pool: each shard traces the closure of its own objects and exports
+    cross-shard references to the owning shard, in rounds, until no new
+    oid crosses a boundary.  Also returns each shard's remembered set —
+    the live oids in that shard referenced from {e other} shards — which
+    is what lets later sweeps stay per-shard.  Weak-clear and sweep run
+    on the calling domain (they mutate the shared heap). *)

@@ -33,10 +33,9 @@ type contents = {
 
 (* -- per-object wire format ----------------------------------------------- *)
 
-let encode_entry_payload entry =
+let encode_entry_into w entry =
   let open Codec in
-  let w = writer () in
-  (match entry with
+  match entry with
   | Heap.Record r ->
     put_u8 w 0;
     put_string w r.Heap.class_name;
@@ -50,12 +49,25 @@ let encode_entry_payload entry =
     put_string w s
   | Heap.Weak cell ->
     put_u8 w 3;
-    Pvalue.encode w cell.Heap.target);
-  contents w
+    Pvalue.encode w cell.Heap.target
+
+let encode_entry_payload entry =
+  let w = Codec.writer () in
+  encode_entry_into w entry;
+  Codec.contents w
 
 (* The per-object checksum: what the image frames store and the online
-   scrubber recomputes. *)
-let entry_crc entry = Codec.crc32 (encode_entry_payload entry)
+   scrubber recomputes.  The encode buffer is reused — one per domain,
+   since sharded scrubbers recompute CRCs from pool workers — so a
+   budgeted scrub step allocates per-object payload bytes, not a fresh
+   4 KiB buffer per object visited. *)
+let crc_scratch = Domain.DLS.new_key (fun () -> Codec.writer ())
+
+let entry_crc entry =
+  let w = Domain.DLS.get crc_scratch in
+  Codec.reset w;
+  encode_entry_into w entry;
+  Codec.crc32 (Codec.contents w)
 
 let decode_entry_payload payload =
   let open Codec in
@@ -255,3 +267,22 @@ let load_with_crc ?obs path =
   | Some o -> Obs.span o Obs.Image_load ~label:(Filename.basename path) read
 
 let load path = fst (load_with_crc path)
+
+(* One shard's view of whole-store contents: entries, roots, blobs and
+   quarantined oids selected by the shard predicates.  Heap entries are
+   shared by reference — a slice is a transient encode/save input, never
+   a second live store.  [next_oid] is the global counter: every shard
+   image must be able to restore it alone. *)
+let slice ~keep_oid ~keep_key { heap; roots; blobs; quarantine } =
+  let h = Heap.create () in
+  Heap.iter (fun oid e -> if keep_oid oid then Heap.insert h oid e) heap;
+  Heap.set_next_oid h (Heap.next_oid heap);
+  let r = Roots.create () in
+  Roots.iter (fun name v -> if keep_key name then Roots.set r name v) roots;
+  let b = Hashtbl.create 16 in
+  Hashtbl.iter (fun k v -> if keep_key k then Hashtbl.replace b k v) blobs;
+  let q = Quarantine.create () in
+  List.iter
+    (fun (oid, reason) -> if keep_oid oid then Quarantine.add q oid reason)
+    (Quarantine.to_list quarantine);
+  { heap = h; roots = r; blobs = b; quarantine = q }

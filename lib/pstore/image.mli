@@ -62,3 +62,10 @@ val load_with_crc : ?obs:Obs.t -> string -> contents * int32
     read as an [Image_load] span. *)
 
 val load : string -> contents
+
+val slice :
+  keep_oid:(Oid.t -> bool) -> keep_key:(string -> bool) -> contents -> contents
+(** One shard's view of whole-store contents: heap entries and
+    quarantined oids selected by [keep_oid], roots and blobs by
+    [keep_key].  Entries are shared by reference (the slice is a
+    transient save input); [next_oid] carries the global counter. *)

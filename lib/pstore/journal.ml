@@ -71,6 +71,7 @@ let encode_op op =
   contents w
 
 let batch_tag = 7
+let seq_batch_tag = 8
 
 let decode_one r =
   let open Codec in
@@ -97,29 +98,46 @@ let decode_one r =
   | 6 -> Remove_blob (get_string r)
   | n -> decode_error "Journal: invalid record kind %d" n
 
-(* A record payload is one op, or a tag-7 batch of length-prefixed ops. *)
+let get_batch_ops r =
+  let open Codec in
+  get_list r (fun r ->
+      let body = get_string r in
+      let br = reader body in
+      let op = decode_one br in
+      if not (at_end br) then decode_error "Journal: trailing bytes in batched op";
+      op)
+
+(* A record payload is one op, a tag-7 batch of length-prefixed ops, or
+   a tag-8 batch that additionally carries the store-level stabilise
+   sequence number (sharded stores match batches against the commit
+   marker by this number).  Returns the seq, if any, with the ops. *)
 let decode_record payload =
   let open Codec in
   let r = reader payload in
-  let ops =
-    if String.length payload > 0 && Char.code payload.[0] = batch_tag then begin
+  let tag = if String.length payload > 0 then Char.code payload.[0] else -1 in
+  let seq, ops =
+    if tag = batch_tag then begin
       ignore (get_u8 r);
-      get_list r (fun r ->
-          let body = get_string r in
-          let br = reader body in
-          let op = decode_one br in
-          if not (at_end br) then decode_error "Journal: trailing bytes in batched op";
-          op)
+      (None, get_batch_ops r)
     end
-    else [ decode_one r ]
+    else if tag = seq_batch_tag then begin
+      ignore (get_u8 r);
+      let seq = Int64.to_int (get_i64 r) in
+      (Some seq, get_batch_ops r)
+    end
+    else (None, [ decode_one r ])
   in
   if not (at_end r) then decode_error "Journal: trailing bytes in record";
-  ops
+  (seq, ops)
 
-let encode_batch ops =
+let encode_batch ?seq ops =
   let open Codec in
   let w = writer () in
-  put_u8 w batch_tag;
+  (match seq with
+  | None -> put_u8 w batch_tag
+  | Some s ->
+    put_u8 w seq_batch_tag;
+    put_i64 w (Int64.of_int s));
   put_list w (fun w op -> put_string w (encode_op op)) ops;
   contents w
 
@@ -162,13 +180,16 @@ let append t ops =
 (* Group commit: the whole delta as ONE framed record.  The frame's CRC
    covers every op, so a crash mid-write tears the batch atomically —
    replay recovers the pre-batch state, never a prefix.  A single op
-   keeps the plain framing (byte-compatible with pre-batch journals). *)
-let append_batch t ops =
-  match ops with
-  | [] -> ()
-  | [ _ ] -> append t ops
-  | ops ->
-    Faults.output_string t.oc (frame (encode_batch ops));
+   keeps the plain framing (byte-compatible with pre-batch journals)
+   unless [seq] is given: a seq-carrying batch is always a tag-8 frame,
+   because sharded recovery must see the sequence number even for a
+   one-op delta. *)
+let append_batch ?seq t ops =
+  match (ops, seq) with
+  | [], _ -> ()
+  | [ _ ], None -> append t ops
+  | ops, seq ->
+    Faults.output_string t.oc (frame (encode_batch ?seq ops));
     t.count <- t.count + List.length ops;
     (match t.obs with
     | Some o ->
@@ -198,9 +219,16 @@ let crash t = try Unix.close (Unix.descr_of_out_channel t.oc) with _ -> ()
 
 (* -- recovery ------------------------------------------------------------ *)
 
+type batch = {
+  b_seq : int option;  (* Some for tag-8 records; None otherwise *)
+  b_ops : op list;
+  b_end : int;  (* end byte offset of the record *)
+}
+
 type replay = {
   base_crc : int32;
   records : (op * int) list;
+  batches : batch list;
   torn : bool;
   valid_bytes : int;
 }
@@ -222,6 +250,7 @@ let read path =
         Codec.get_i32 (Codec.reader (String.sub data (String.length magic) 4))
       in
       let records = ref [] in
+      let batches = ref [] in
       let pos = ref header_size in
       let torn = ref false in
       let valid = ref header_size in
@@ -235,24 +264,37 @@ let read path =
              let payload = String.sub data (!pos + 8) payload_len in
              if not (Int32.equal (Codec.crc32 payload) crc) then torn := true
              else begin
-               let ops = decode_record payload in
+               let seq, ops = decode_record payload in
                pos := !pos + 8 + payload_len;
                valid := !pos;
                (* every op of a batch shares the batch's end offset: a
                   truncation point is always a whole-record boundary *)
-               List.iter (fun op -> records := (op, !pos) :: !records) ops
+               List.iter (fun op -> records := (op, !pos) :: !records) ops;
+               batches := { b_seq = seq; b_ops = ops; b_end = !pos } :: !batches
              end
            end
          done;
          if !pos < len && not !torn then torn := true
        with Codec.Decode_error _ -> torn := true);
-      Some { base_crc; records = List.rev !records; torn = !torn; valid_bytes = !valid }
+      Some
+        {
+          base_crc;
+          records = List.rev !records;
+          batches = List.rev !batches;
+          torn = !torn;
+          valid_bytes = !valid;
+        }
     end
   end
 
+(* Seek rather than O_APPEND: [pos_out] on an append-mode channel reads 0
+   until the first write, which would poison both the reported journal
+   size and — worse — the [position] savepoints the sharded commit
+   protocol truncates back to on a failed append. *)
 let open_for_append ?obs path ~valid_bytes ~depth =
   Unix.truncate path valid_bytes;
-  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+  seek_out oc valid_bytes;
   { oc; count = depth; obs }
 
 (* Inserted entries are copied: a journal op may alias a live heap object
@@ -269,6 +311,10 @@ let apply op heap roots blobs =
   | Set_root (name, v) -> Roots.set roots name v
   | Remove_root name -> Roots.remove roots name
   | Alloc (oid, entry) ->
+    (* replace, don't raise, on a live oid: a failed append followed by a
+       retry can journal the same allocation at two sequence numbers, and
+       replay of both must converge rather than abort recovery *)
+    if Heap.is_live heap oid then Heap.remove heap oid;
     Heap.insert heap oid (copy_entry entry);
     if Oid.to_int oid >= Heap.next_oid heap then Heap.set_next_oid heap (Oid.to_int oid + 1)
   | Set_field (oid, idx, v) -> Heap.set_field heap oid idx v

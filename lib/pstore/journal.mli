@@ -27,6 +27,10 @@ type t
 val path_for : string -> string
 (** The journal path paired with an image path ([<image>.wal]). *)
 
+val header_size : int
+(** Byte size of the journal header (magic + base checksum): the
+    truncation floor when no record survives recovery. *)
+
 val create : ?obs:Obs.t -> string -> base_crc:int32 -> t
 (** Truncate [path] and write a fresh header naming the base image.
     [obs], when given, has its [Journal_append] counter bumped once per
@@ -35,13 +39,18 @@ val create : ?obs:Obs.t -> string -> base_crc:int32 -> t
 val append : t -> op list -> unit
 (** Append one record per op, in order.  Not durable until {!sync}. *)
 
-val append_batch : t -> op list -> unit
+val append_batch : ?seq:int -> t -> op list -> unit
 (** Group commit: append the whole op list as ONE framed batch record
     (a single op keeps the plain per-op framing; the bytes are then
     identical to {!append}).  The frame checksum covers every op, so a
     crash mid-write tears the batch as a unit and recovery lands on the
     pre-batch state — never on a prefix of the delta.  {!depth} still
-    advances by the number of ops.  Not durable until {!sync}. *)
+    advances by the number of ops.  Not durable until {!sync}.
+
+    [seq], used by sharded stores, stamps the record with the store-level
+    stabilise sequence number (always a tag-8 frame, even for one op);
+    recovery replays a seq-stamped batch only if the store commit marker
+    shows that sequence number as committed. *)
 
 val sync : t -> unit
 (** Fsync — the stabilise barrier. *)
@@ -63,10 +72,19 @@ val crash : t -> unit
 
 (** {1 Recovery} *)
 
+(** One physical record, preserving batch boundaries and the optional
+    stabilise sequence number (sharded recovery filters on it). *)
+type batch = {
+  b_seq : int option;
+  b_ops : op list;
+  b_end : int;  (** end byte offset of the record *)
+}
+
 type replay = {
   base_crc : int32;  (** checksum of the image this journal extends *)
   records : (op * int) list;
       (** good records in order, each with its end byte offset *)
+  batches : batch list;  (** the same records with batch structure kept *)
   torn : bool;  (** a torn or corrupt tail was dropped *)
   valid_bytes : int;  (** end offset of the last good record *)
 }
@@ -85,5 +103,7 @@ val copy_entry : Heap.entry -> Heap.entry
     the live entry keeps mutating after the record is made. *)
 
 val apply : op -> Heap.t -> Roots.t -> (string, string) Hashtbl.t -> unit
-(** Replay one record.  [Alloc] inserts a fresh copy of the entry and
-    advances the heap's oid counter past the allocated oid. *)
+(** Replay one record.  [Alloc] inserts a fresh copy of the entry
+    (replacing any live entry at that oid — duplicate replay after a
+    failed-then-retried append must converge) and advances the heap's
+    oid counter past the allocated oid. *)

@@ -119,7 +119,9 @@ type hist = {
 let hist_capacity = 512
 
 type t = {
-  counters : int array;
+  counters : int Atomic.t array;
+      (* atomics, not plain ints: shard counters are bumped from pool
+         domains during parallel stabilise/scrub/gc *)
   hists : hist array;
   mutable ring : event array;  (* dummy-filled; [ring_len] entries valid *)
   mutable ring_len : int;
@@ -140,7 +142,7 @@ let fresh_hist () =
 let create ?(ring_capacity = default_ring_capacity) () =
   if ring_capacity < 0 then invalid_arg "Obs.create: negative ring capacity";
   {
-    counters = Array.make n_ops 0;
+    counters = Array.init n_ops (fun _ -> Atomic.make 0);
     hists = Array.init n_ops (fun _ -> fresh_hist ());
     ring = Array.make ring_capacity dummy_event;
     ring_len = 0;
@@ -163,13 +165,8 @@ let set_ring_capacity t n =
 
 (* -- recording ------------------------------------------------------------ *)
 
-let incr t op =
-  let i = op_index op in
-  Array.unsafe_set t.counters i (Array.unsafe_get t.counters i + 1)
-
-let add t op n =
-  let i = op_index op in
-  t.counters.(i) <- t.counters.(i) + n
+let incr t op = Atomic.incr (Array.unsafe_get t.counters (op_index op))
+let add t op n = ignore (Atomic.fetch_and_add t.counters.(op_index op) n)
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
@@ -209,7 +206,7 @@ let span t op ?oid ?bytes ?label f =
 
 (* -- reading -------------------------------------------------------------- *)
 
-let count t op = t.counters.(op_index op)
+let count t op = Atomic.get t.counters.(op_index op)
 
 let counts t =
   List.filter_map
@@ -218,7 +215,7 @@ let counts t =
       if n > 0 then Some (op, n) else None)
     all_ops
 
-let total t = Array.fold_left ( + ) 0 t.counters
+let total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counters
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -255,7 +252,7 @@ let clear_events t =
 (* -- lifecycle ------------------------------------------------------------ *)
 
 let reset t =
-  Array.fill t.counters 0 n_ops 0;
+  Array.iter (fun c -> Atomic.set c 0) t.counters;
   Array.iteri (fun i _ -> t.hists.(i) <- fresh_hist ()) t.hists;
   clear_events t;
   t.seq <- 0;

@@ -87,6 +87,9 @@ val set_ring_capacity : t -> int -> unit
 
 val incr : t -> op -> unit
 val add : t -> op -> int -> unit
+(** Counter bumps are atomic and safe from pool domains; histograms,
+    the trace ring, and the tracing switch remain single-domain state
+    (the store never enables tracing on per-shard [Obs.t]s). *)
 
 val record : t -> op -> ?oid:Oid.t -> ?bytes:int -> ?label:string -> float -> unit
 (** Record a duration (ns) into the op's histogram and the trace ring.

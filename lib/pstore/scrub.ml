@@ -46,9 +46,13 @@ let pp_progress ppf state =
     state.passes (List.length state.queue) state.scanned state.verified state.primed
     state.quarantined state.ref_errors
 
-let step state ~heap ~crcs ~quarantine ~budget =
+let step state ~heap ~crcs ~quarantine ?reseed ?(foreign = fun _ -> false) ~budget () =
   if budget <= 0 then invalid_arg "Scrub.step: budget must be positive";
-  if state.queue = [] then state.queue <- List.sort Oid.compare (Heap.oids heap);
+  if state.queue = [] then
+    state.queue <-
+      (match reseed with
+      | Some f -> f ()
+      | None -> List.sort Oid.compare (Heap.oids heap));
   let newly = ref [] in
   let quarantine_oid oid reason =
     Quarantine.add quarantine oid reason;
@@ -87,11 +91,22 @@ let step state ~heap ~crcs ~quarantine ~budget =
            weak cells in the same pass that sweeps their targets. *)
         if not (Quarantine.mem quarantine oid) then begin
           let check_target target =
-            if (not (Heap.is_live heap target)) && not (Quarantine.mem quarantine target)
-            then begin
-              state.ref_errors <- state.ref_errors + 1;
-              quarantine_oid target
-                (Printf.sprintf "dangling target of %s" (Oid.to_string oid))
+            if not (Heap.is_live heap target) then begin
+              if foreign target then begin
+                (* the target lives in another shard: touching that
+                   shard's quarantine from this domain would race, so
+                   just report it — the store routes the quarantine to
+                   the owning shard after the parallel step *)
+                state.ref_errors <- state.ref_errors + 1;
+                newly :=
+                  (target, Printf.sprintf "dangling target of %s" (Oid.to_string oid))
+                  :: !newly
+              end
+              else if not (Quarantine.mem quarantine target) then begin
+                state.ref_errors <- state.ref_errors + 1;
+                quarantine_oid target
+                  (Printf.sprintf "dangling target of %s" (Oid.to_string oid))
+              end
             end
           in
           List.iter check_target (Heap.strong_refs entry);

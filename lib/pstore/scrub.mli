@@ -25,11 +25,22 @@ val step :
   heap:Heap.t ->
   crcs:int32 Oid.Table.t ->
   quarantine:Quarantine.t ->
+  ?reseed:(unit -> Oid.t list) ->
+  ?foreign:(Oid.t -> bool) ->
   budget:int ->
+  unit ->
   report
 (** Scan at most [budget] objects, resuming where the previous step
     stopped; when the queue is empty a fresh pass is started from a fresh
-    snapshot of the heap's oids.
+    snapshot of the heap's oids ([reseed], when given, supplies that
+    snapshot — sharded stores seed each shard's scrubber with only its
+    own oids).
+
+    [foreign] marks oids owned by another shard: a dangling reference
+    whose target is foreign is only {e reported} in [newly_quarantined]
+    (never written into [quarantine]/[crcs], which would race with the
+    owning shard's scrubber running in parallel); the store applies those
+    quarantines on the owning shard after the parallel step.
     @raise Invalid_argument if [budget <= 0]. *)
 
 val passes : state -> int

@@ -15,6 +15,23 @@
    the compaction limit, or after operations the journal cannot express —
    a GC sweep, or direct heap surgery flagged via [mark_dirty]).
 
+   The object space is partitioned into N shards (N fixed at creation,
+   persisted in the store manifest).  Each shard owns an oid-hash slice of
+   the objects plus the key-hashed roots and blobs, and carries its own
+   image file, journal, quarantine set, checksum table, scrub cursor and
+   counters, so stabilise, scrub and GC mark can run shard-wise on the
+   domain pool.  N = 1 — the default — keeps the legacy flat single-file
+   layout, byte for byte.
+
+   Multi-shard journalled crash atomicity: every stabilise gets a
+   store-level sequence number; the delta lands as one seq-stamped batch
+   record per dirty shard, and the sequence number is committed by
+   appending it to the store's commit-marker file only after every dirty
+   shard journal has been fsynced.  Recovery replays, per shard, exactly
+   the batches whose sequence number the marker shows committed — so a
+   crash between per-shard writes rolls the whole stabilise back, never
+   half of it.
+
    Every operation is counted through the store's [Obs.t].  Counting is a
    single array increment; latency timing and trace events only happen
    when tracing is enabled, so the hot accessors below branch on
@@ -25,15 +42,33 @@ type durability =
   | Snapshot
   | Journalled
 
+(* Per-shard state.  The [sobs] counters are bumped from pool domains
+   (counters are atomic; tracing is never enabled on a shard Obs) and
+   delta-merged into the store-level [obs] after each parallel section. *)
+type shard = {
+  sq : Quarantine.t; (* corrupt objects, isolated not fatal *)
+  scrcs : int32 Oid.Table.t; (* per-object checksums, primed by the scrubber *)
+  sscrub : Scrub.state;
+  sobs : Obs.t;
+  mutable swal : Journal.t option;
+  mutable spending : Journal.op list; (* newest first *)
+  mutable spending_count : int;
+  mutable sepoch : int; (* current on-disk image epoch of this shard *)
+  mutable sdirty : bool; (* journal has appended-but-unsynced bytes *)
+  mutable sremembered : Oid.Set.t; (* live oids here referenced from other shards *)
+}
+
 type t = {
   heap : Heap.t;
   roots : Roots.t;
   blobs : (string, string) Hashtbl.t;
-  quarantine : Quarantine.t; (* corrupt objects, isolated not fatal *)
-  crcs : int32 Oid.Table.t; (* per-object checksums, primed by the scrubber *)
-  scrub_state : Scrub.state;
+  shards : shard array; (* length >= 1, fixed at creation *)
   obs : Obs.t;
   props : Props.t; (* transient per-store state attached by higher layers *)
+  mutable marker : Manifest.Marker.t option; (* multi-shard commit marker *)
+  mutable marker_epoch : int; (* current marker file index; -1 = none yet *)
+  mutable seq : int; (* store-level stabilise sequence number *)
+  mutable committed : int; (* highest seq durably recorded in the marker *)
   mutable side_epoch : int; (* bumped on events that invalidate side caches *)
   mutable retry : Retry.policy option; (* transient-I/O retry, opt-in *)
   mutable io_retries : int;
@@ -42,9 +77,6 @@ type t = {
   mutable stabilise_count : int;
   mutable gc_count : int;
   mutable durability : durability;
-  mutable wal : Journal.t option;
-  mutable pending : Journal.op list; (* newest first *)
-  mutable pending_count : int;
   mutable needs_full : bool; (* journal can't express state since last image *)
   mutable compaction_limit : int;
   mutable group_window : int; (* stabilises per fsync; 1 = every stabilise *)
@@ -56,6 +88,7 @@ type t = {
 }
 
 let default_compaction_limit = 4096
+let max_shards = 64
 
 module Config = struct
   type nonrec t = {
@@ -66,6 +99,7 @@ module Config = struct
     backing : string option;
     trace_ring : int;
     tracing : bool;
+    shards : int;
   }
 
   let default =
@@ -77,19 +111,39 @@ module Config = struct
       backing = None;
       trace_ring = Obs.default_ring_capacity;
       tracing = false;
+      shards = 1;
     }
 end
 
-let make ?(obs = Obs.create ()) () =
+let make_shard () =
+  {
+    sq = Quarantine.create ();
+    scrcs = Oid.Table.create 64;
+    sscrub = Scrub.create ();
+    (* counters only — no ring, tracing never enabled *)
+    sobs = Obs.create ~ring_capacity:0 ();
+    swal = None;
+    spending = [];
+    spending_count = 0;
+    sepoch = 0;
+    sdirty = false;
+    sremembered = Oid.Set.empty;
+  }
+
+let make ?(obs = Obs.create ()) ?(nshards = 1) () =
+  if nshards < 1 || nshards > max_shards then
+    invalid_arg (Printf.sprintf "Store: shard count must be in 1..%d" max_shards);
   {
     heap = Heap.create ();
     roots = Roots.create ();
     blobs = Hashtbl.create 16;
-    quarantine = Quarantine.create ();
-    crcs = Oid.Table.create 64;
-    scrub_state = Scrub.create ();
+    shards = Array.init nshards (fun _ -> make_shard ());
     obs;
     props = Props.create ();
+    marker = None;
+    marker_epoch = -1;
+    seq = 0;
+    committed = 0;
     side_epoch = 0;
     retry = None;
     io_retries = 0;
@@ -98,9 +152,6 @@ let make ?(obs = Obs.create ()) () =
     stabilise_count = 0;
     gc_count = 0;
     durability = Snapshot;
-    wal = None;
-    pending = [];
-    pending_count = 0;
     needs_full = true;
     compaction_limit = default_compaction_limit;
     group_window = 1;
@@ -116,6 +167,24 @@ let roots store = store.roots
 let obs store = store.obs
 let props store = store.props
 
+(* -- shard routing -------------------------------------------------------- *)
+
+let nshards store = Array.length store.shards
+let shards = nshards
+
+let shard_ix_oid store oid =
+  let n = Array.length store.shards in
+  if n = 1 then 0 else Manifest.shard_of_oid ~count:n oid
+
+let shard_ix_key store key =
+  let n = Array.length store.shards in
+  if n = 1 then 0 else Manifest.shard_of_key ~count:n key
+
+let shard_of = shard_ix_oid
+let shard_oid store oid = Array.unsafe_get store.shards (shard_ix_oid store oid)
+let shard_key store key = store.shards.(shard_ix_key store key)
+let s0 store = store.shards.(0)
+
 (* Side-cache invalidation: higher layers (the registry's getLink memo)
    stamp their cached entries with this epoch; any event that can change
    what a read observes without going through their own API — quarantine
@@ -126,6 +195,27 @@ let bump_epoch store = store.side_epoch <- store.side_epoch + 1
 let backing store = store.backing
 let set_backing store path = store.backing <- Some path
 
+(* -- shard Obs merging ----------------------------------------------------
+
+   Parallel sections bump per-shard counters from pool domains; the
+   store-level [obs] (which tests and tooling read) receives the deltas
+   once the section is over, on the calling domain. *)
+
+let merged_ops = [| Obs.Journal_append; Obs.Group_commit; Obs.Image_save; Obs.Image_load |]
+
+let shard_counts store =
+  Array.map (fun sh -> Array.map (fun op -> Obs.count sh.sobs op) merged_ops) store.shards
+
+let merge_shard_counts store before =
+  Array.iteri
+    (fun i sh ->
+      Array.iteri
+        (fun j op ->
+          let d = Obs.count sh.sobs op - before.(i).(j) in
+          if d > 0 then Obs.add store.obs op d)
+        merged_ops)
+    store.shards
+
 (* -- durability mode ------------------------------------------------------ *)
 
 let durability store = store.durability
@@ -135,15 +225,17 @@ let journalling store =
   | Journalled -> true
   | Snapshot -> false
 
+(* Single-shard journal close (legacy flat layout). *)
 let close_wal store =
-  match store.wal with
+  let sh = s0 store in
+  match sh.swal with
   | Some w ->
     (* An orderly close is a durability barrier: batches whose fsync was
        deferred by the group window must land before the handle goes. *)
     if store.unsynced > 0 then (try Journal.sync w with _ -> ());
     store.unsynced <- 0;
     Journal.close w;
-    store.wal <- None
+    sh.swal <- None
   | None -> ()
 
 let set_durability store mode =
@@ -153,15 +245,52 @@ let set_durability store mode =
       (* The journal only describes mutations made while journalling, so
          the first stabilise must write a full image. *)
       store.needs_full <- true
-    | Snapshot -> begin
-      close_wal store;
-      store.pending <- [];
-      store.pending_count <- 0;
-      match store.backing with
-      | Some path when Sys.file_exists (Journal.path_for path) ->
-        Sys.remove (Journal.path_for path)
-      | _ -> ()
-    end);
+    | Snapshot ->
+      if nshards store = 1 then begin
+        close_wal store;
+        let sh = s0 store in
+        sh.spending <- [];
+        sh.spending_count <- 0;
+        match store.backing with
+        | Some path when Sys.file_exists (Journal.path_for path) ->
+          Sys.remove (Journal.path_for path)
+        | _ -> ()
+      end
+      else begin
+        Array.iter
+          (fun sh ->
+            (match sh.swal with Some w -> Journal.close w | None -> ());
+            sh.swal <- None;
+            sh.spending <- [];
+            sh.spending_count <- 0;
+            sh.sdirty <- false)
+          store.shards;
+        (match store.marker with Some m -> Manifest.Marker.close m | None -> ());
+        store.marker <- None;
+        store.unsynced <- 0;
+        (match store.backing with
+        | Some path ->
+          Array.iteri
+            (fun k sh ->
+              let w = Manifest.shard_wal path k sh.sepoch in
+              if Sys.file_exists w then (try Sys.remove w with Sys_error _ -> ()))
+            store.shards;
+          (if store.marker_epoch >= 0 then begin
+             let mp = Manifest.marker_path path store.marker_epoch in
+             if Sys.file_exists mp then (try Sys.remove mp with Sys_error _ -> ())
+           end);
+          if Manifest.is_manifest path then (
+            try
+              Manifest.save path
+                {
+                  Manifest.nshards = nshards store;
+                  marker_epoch = -1;
+                  epochs = Array.map (fun sh -> sh.sepoch) store.shards;
+                }
+            with Sys_error _ -> ())
+        | None -> ());
+        store.marker_epoch <- -1
+      end);
     store.durability <- mode
   end
 
@@ -172,9 +301,11 @@ let set_compaction_limit store n =
 let group_window store = store.group_window
 
 (* Group commit: with window n > 1, journalled stabilise coalesces each
-   delta into one batch record and fsyncs only every n-th stabilise (and
-   at compaction and close).  A crash can lose up to n-1 recent batches,
-   but each lost batch vanishes whole — never a prefix of a delta. *)
+   delta into one batch record (per dirty shard) and fsyncs only every
+   n-th stabilise (and at compaction and close).  A crash can lose up to
+   n-1 recent batches, but each lost batch vanishes whole — never a
+   prefix of a delta, and on a sharded store never one shard's half of
+   a stabilise (the commit marker gates replay). *)
 let set_group_window store n =
   if n < 1 then invalid_arg "Store.set_group_window: window must be >= 1";
   store.group_window <- n
@@ -185,6 +316,12 @@ let retry_policy store = store.retry
 (* -- configuration --------------------------------------------------------- *)
 
 let configure store (c : Config.t) =
+  if c.Config.shards <> nshards store then
+    invalid_arg
+      (Printf.sprintf
+         "Store.configure: shard count is fixed at store creation (store has %d, config asks for \
+          %d)"
+         (nshards store) c.Config.shards);
   set_durability store c.Config.durability;
   set_compaction_limit store c.Config.compaction_limit;
   set_group_window store c.Config.group_window;
@@ -206,10 +343,16 @@ let config store : Config.t =
     backing = store.backing;
     trace_ring = Obs.ring_capacity store.obs;
     tracing = Obs.enabled store.obs;
+    shards = nshards store;
   }
 
 let create ?config () =
-  let store = make () in
+  let nshards =
+    match config with
+    | Some c -> c.Config.shards
+    | None -> 1
+  in
+  let store = make ~nshards () in
   Option.iter (configure store) config;
   store
 
@@ -218,11 +361,25 @@ let mark_dirty store =
   bump_epoch store;
   (* Direct heap surgery invalidates every recorded checksum; the
      scrubber re-primes them on its next pass. *)
-  Oid.Table.reset store.crcs
+  Array.iter (fun sh -> Oid.Table.reset sh.scrcs) store.shards
 
+(* Every journal op belongs to exactly one shard: object mutations hash
+   by oid, root/blob mutations by key.  No two shards ever carry ops on
+   the same object or key, so cross-shard replay order cannot matter. *)
 let record store op =
-  store.pending <- op :: store.pending;
-  store.pending_count <- store.pending_count + 1
+  let sh =
+    match op with
+    | Journal.Alloc (oid, _) | Journal.Set_field (oid, _, _) | Journal.Set_elem (oid, _, _) ->
+      shard_oid store oid
+    | Journal.Set_root (key, _)
+    | Journal.Remove_root key
+    | Journal.Set_blob (key, _)
+    | Journal.Remove_blob key -> shard_key store key
+  in
+  sh.spending <- op :: sh.spending;
+  sh.spending_count <- sh.spending_count + 1
+
+let pending_total store = Array.fold_left (fun acc sh -> acc + sh.spending_count) 0 store.shards
 
 (* -- roots --------------------------------------------------------------- *)
 
@@ -280,7 +437,7 @@ let alloc_weak store target =
    callers can degrade gracefully instead of consuming corrupt state.
    One lookup: the reason doubles as the membership test. *)
 let check_q store oid =
-  match Quarantine.find store.quarantine oid with
+  match Quarantine.find (shard_oid store oid).sq oid with
   | Some reason ->
     Obs.incr store.obs Obs.Quarantine_hit;
     raise (Quarantine.Quarantined (oid, reason))
@@ -289,7 +446,7 @@ let check_q store oid =
 (* A mutation invalidates the object's recorded checksum; the scrubber
    re-primes it on its next pass (trust-on-first-scan — no per-write
    hashing cost on the hot path). *)
-let invalidate_crc store oid = Oid.Table.remove store.crcs oid
+let invalidate_crc store oid = Oid.Table.remove (shard_oid store oid).scrcs oid
 
 let get store oid =
   if Obs.enabled store.obs then
@@ -304,7 +461,7 @@ let get store oid =
 
 let find store oid =
   Obs.incr store.obs Obs.Get;
-  if Quarantine.mem store.quarantine oid then None else Heap.find store.heap oid
+  if Quarantine.mem (shard_oid store oid).sq oid then None else Heap.find store.heap oid
 
 let is_live store oid = Heap.is_live store.heap oid
 
@@ -394,7 +551,7 @@ let array_length store oid =
 
 let try_get store oid =
   Obs.incr store.obs Obs.Get;
-  match Quarantine.find store.quarantine oid with
+  match Quarantine.find (shard_oid store oid).sq oid with
   | Some reason ->
     Obs.incr store.obs Obs.Quarantine_hit;
     Error (Failure.Quarantined { oid; reason })
@@ -425,23 +582,35 @@ let try_field store oid idx =
 
 (* Quarantine membership changes cannot be expressed as journal ops, so
    they force a full image at the next compaction point — which is also
-   what persists the quarantine set across reopen. *)
+   what persists the quarantine set across reopen.  The invariant is
+   shard-local: an oid is quarantined in (and only in) its own shard. *)
 let quarantine_oid store oid reason =
-  Quarantine.add store.quarantine oid reason;
-  invalidate_crc store oid;
+  let sh = shard_oid store oid in
+  Quarantine.add sh.sq oid reason;
+  Oid.Table.remove sh.scrcs oid;
   bump_epoch store;
   store.needs_full <- true
 
 let clear_quarantine store oid =
-  if Quarantine.mem store.quarantine oid then begin
-    Quarantine.remove store.quarantine oid;
+  let sh = shard_oid store oid in
+  if Quarantine.mem sh.sq oid then begin
+    Quarantine.remove sh.sq oid;
     bump_epoch store;
     store.needs_full <- true
   end
 
-let quarantine_reason store oid = Quarantine.find store.quarantine oid
-let is_quarantined store oid = Quarantine.mem store.quarantine oid
-let quarantined store = Quarantine.to_list store.quarantine
+let quarantine_reason store oid = Quarantine.find (shard_oid store oid).sq oid
+let is_quarantined store oid = Quarantine.mem (shard_oid store oid).sq oid
+
+let quarantined store =
+  if nshards store = 1 then Quarantine.to_list (s0 store).sq
+  else
+    Array.fold_left (fun acc sh -> List.rev_append (Quarantine.to_list sh.sq) acc) [] store.shards
+    |> List.sort (fun (a, _) (b, _) -> Oid.compare a b)
+
+let quarantined_total store =
+  Array.fold_left (fun acc sh -> acc + Quarantine.size sh.sq) 0 store.shards
+
 let size store = Heap.size store.heap
 
 (* Interned string allocation would be possible, but Java semantics gives
@@ -483,7 +652,7 @@ let pinned_oids store = List.concat_map (fun f -> f ()) store.pins
    may still be salvageable), so they seed the mark alongside the pins.
    Quarantine records for already-dead oids contribute nothing. *)
 let quarantine_roots store =
-  List.filter (Heap.is_live store.heap) (List.map fst (Quarantine.to_list store.quarantine))
+  List.filter (Heap.is_live store.heap) (List.map fst (quarantined store))
 
 let gc store =
   Obs.span store.obs Obs.Gc (fun () ->
@@ -492,22 +661,34 @@ let gc store =
       (* A sweep removes objects and clears weak cells behind the journal's
          back; the next stabilise must therefore compact. *)
       if journalling store then store.needs_full <- true;
+      let extra_roots = quarantine_roots store @ pinned_oids store in
       let stats =
-        Gc.collect
-          ~extra_roots:(quarantine_roots store @ pinned_oids store)
-          store.heap store.roots
+        if nshards store = 1 then Gc.collect ~extra_roots store.heap store.roots
+        else begin
+          let n = nshards store in
+          let stats, remembered =
+            Gc.collect_sharded ~nshards:n
+              ~shard_of:(fun oid -> Manifest.shard_of_oid ~count:n oid)
+              ~extra_roots store.heap store.roots
+          in
+          Array.iteri (fun k r -> store.shards.(k).sremembered <- r) remembered;
+          stats
+        end
       in
       (* Recorded checksums of swept objects are stale, and the sweep may
          have cleared weak-cell targets behind the checksum's back. *)
-      let stale =
-        Oid.Table.fold
-          (fun oid _ acc ->
-            match Heap.find store.heap oid with
-            | None | Some (Heap.Weak _) -> oid :: acc
-            | Some _ -> acc)
-          store.crcs []
-      in
-      List.iter (Oid.Table.remove store.crcs) stale;
+      Array.iter
+        (fun sh ->
+          let stale =
+            Oid.Table.fold
+              (fun oid _ acc ->
+                match Heap.find store.heap oid with
+                | None | Some (Heap.Weak _) -> oid :: acc
+                | Some _ -> acc)
+              sh.scrcs []
+          in
+          List.iter (Oid.Table.remove sh.scrcs) stale)
+        store.shards;
       stats)
 
 let reachable store =
@@ -515,13 +696,21 @@ let reachable store =
     ~extra_roots:(quarantine_roots store @ pinned_oids store)
     store.heap store.roots
 
+(* A single-shard store's contents share its quarantine set (the legacy
+   contract); a sharded store merges the per-shard sets into a fresh one,
+   so fingerprints are identical whatever the shard count. *)
 let contents store =
-  {
-    Image.heap = store.heap;
-    roots = store.roots;
-    blobs = store.blobs;
-    quarantine = store.quarantine;
-  }
+  let quarantine =
+    if nshards store = 1 then (s0 store).sq
+    else begin
+      let q = Quarantine.create () in
+      Array.iter
+        (fun sh -> List.iter (fun (oid, r) -> Quarantine.add q oid r) (Quarantine.to_list sh.sq))
+        store.shards;
+      q
+    end
+  in
+  { Image.heap = store.heap; roots = store.roots; blobs = store.blobs; quarantine }
 
 (* -- scrubbing ------------------------------------------------------------ *)
 
@@ -530,8 +719,74 @@ let default_scrub_budget = 256
 let scrub ?(budget = default_scrub_budget) store =
   Obs.span store.obs Obs.Scrub_step (fun () ->
       let report =
-        Scrub.step store.scrub_state ~heap:store.heap ~crcs:store.crcs
-          ~quarantine:store.quarantine ~budget
+        if nshards store = 1 then begin
+          let sh = s0 store in
+          Scrub.step sh.sscrub ~heap:store.heap ~crcs:sh.scrcs ~quarantine:sh.sq ~budget ()
+        end
+        else begin
+          let n = nshards store in
+          let per = max 1 ((budget + n - 1) / n) in
+          (* If any shard is about to start a fresh pass, partition a heap
+             snapshot here on the calling domain: the lazy default reseed
+             would walk the (shared) heap from inside pool domains. *)
+          let parts =
+            if Array.exists (fun sh -> Scrub.pending sh.sscrub = 0) store.shards then begin
+              let parts = Array.make n [] in
+              List.iter
+                (fun oid ->
+                  let k = shard_ix_oid store oid in
+                  parts.(k) <- oid :: parts.(k))
+                (List.rev (List.sort Oid.compare (Heap.oids store.heap)));
+              Some parts
+            end
+            else None
+          in
+          let reports = Array.make n None in
+          Dpool.run n (fun k ->
+              let sh = store.shards.(k) in
+              let reseed = Option.map (fun p () -> p.(k)) parts in
+              reports.(k) <-
+                Some
+                  (Scrub.step sh.sscrub ~heap:store.heap ~crcs:sh.scrcs ~quarantine:sh.sq ?reseed
+                     ~foreign:(fun oid -> shard_ix_oid store oid <> k)
+                     ~budget:per ()));
+          let merged =
+            Array.fold_left
+              (fun acc r ->
+                match r with
+                | None -> acc
+                | Some (r : Scrub.report) ->
+                  {
+                    Scrub.scanned = acc.Scrub.scanned + r.Scrub.scanned;
+                    verified = acc.Scrub.verified + r.Scrub.verified;
+                    primed = acc.Scrub.primed + r.Scrub.primed;
+                    newly_quarantined = acc.Scrub.newly_quarantined @ r.Scrub.newly_quarantined;
+                    pass_complete = acc.Scrub.pass_complete && r.Scrub.pass_complete;
+                  })
+              {
+                Scrub.scanned = 0;
+                verified = 0;
+                primed = 0;
+                newly_quarantined = [];
+                pass_complete = true;
+              }
+              reports
+          in
+          (* Cross-shard dangling targets were only reported by the finding
+             shard; apply the quarantine on the owning shard here, after
+             the parallel step (the same target may have been reported by
+             several shards — dedup first). *)
+          let newly =
+            List.sort_uniq (fun (a, _) (b, _) -> Oid.compare a b) merged.Scrub.newly_quarantined
+          in
+          List.iter
+            (fun (oid, reason) ->
+              let sh = shard_oid store oid in
+              if not (Quarantine.mem sh.sq oid) then Quarantine.add sh.sq oid reason;
+              Oid.Table.remove sh.scrcs oid)
+            newly;
+          { merged with Scrub.newly_quarantined = newly }
+        end
       in
       if report.Scrub.newly_quarantined <> [] then begin
         store.needs_full <- true;
@@ -539,12 +794,19 @@ let scrub ?(budget = default_scrub_budget) store =
       end;
       report)
 
-let scrub_progress store = store.scrub_state
+let scrub_progress store = (s0 store).sscrub
 
 let wal_depth store =
-  match store.wal with
-  | Some w -> Journal.depth w
-  | None -> 0
+  Array.fold_left
+    (fun acc sh ->
+      acc
+      +
+      match sh.swal with
+      | Some w -> Journal.depth w
+      | None -> 0)
+    0 store.shards
+
+(* -- single-shard (legacy flat layout) stabilisation ---------------------- *)
 
 let compact store path =
   Obs.span store.obs Obs.Compaction (fun () ->
@@ -553,12 +815,239 @@ let compact store path =
       (* The image now contains every pending effect; a crash before the new
          journal header lands leaves a stale journal (old base checksum) that
          recovery discards. *)
-      store.pending <- [];
-      store.pending_count <- 0;
-      store.wal <- Some (Journal.create ~obs:store.obs (Journal.path_for path) ~base_crc:crc);
+      let sh = s0 store in
+      sh.spending <- [];
+      sh.spending_count <- 0;
+      sh.swal <- Some (Journal.create ~obs:store.obs (Journal.path_for path) ~base_crc:crc);
       store.needs_full <- false;
       store.unsynced <- 0;
       store.compactions <- store.compactions + 1)
+
+(* -- sharded stabilisation ------------------------------------------------
+
+   File layout: the store path holds a manifest naming each shard's image
+   epoch and the commit-marker epoch; shard k's image is [path.s<k>.<e>],
+   its journal [path.s<k>.<e>.wal], the marker [path.marker.<m>].  The
+   manifest is replaced atomically (tmp + rename), which makes it the
+   commit point of any compaction. *)
+
+let shard_keep store k =
+  let n = Array.length store.shards in
+  ( (fun oid -> Manifest.shard_of_oid ~count:n oid = k),
+    fun key -> Manifest.shard_of_key ~count:n key = k )
+
+let manifest_of store ~marker_epoch =
+  {
+    Manifest.nshards = nshards store;
+    marker_epoch;
+    epochs = Array.map (fun sh -> sh.sepoch) store.shards;
+  }
+
+let sync_dirty_shards store =
+  Dpool.run (nshards store) (fun k ->
+      let sh = store.shards.(k) in
+      if sh.sdirty then begin
+        (match sh.swal with
+        | Some w -> Journal.sync w
+        | None -> ());
+        sh.sdirty <- false
+      end)
+
+(* Snapshot mode, sharded: every stabilise rewrites all shard images (in
+   parallel) and then commits them together with one manifest rename. *)
+let save_shards_snapshot store path =
+  let c = contents store in
+  let n = nshards store in
+  let before = shard_counts store in
+  Fun.protect ~finally:(fun () -> merge_shard_counts store before) @@ fun () ->
+  let epochs' = Array.map (fun sh -> sh.sepoch + 1) store.shards in
+  Dpool.run n (fun k ->
+      let keep_oid, keep_key = shard_keep store k in
+      let slice = Image.slice ~keep_oid ~keep_key c in
+      ignore
+        (Image.save ~obs:store.shards.(k).sobs (Manifest.shard_image path k epochs'.(k)) slice
+          : int32));
+  let m = { Manifest.nshards = n; marker_epoch = -1; epochs = epochs' } in
+  Manifest.save path m;
+  Array.iteri (fun k sh -> sh.sepoch <- epochs'.(k)) store.shards;
+  Manifest.cleanup_stale path m
+
+(* The journalled append path.  One store-level sequence number covers
+   the whole stabilise: each dirty shard gets one seq-stamped batch
+   record, and the sequence number is committed by appending it to the
+   marker only after every dirty journal is fsynced.  [force_sync]
+   bypasses the group window (compaction uses it: the delta must be
+   durable before images start moving).  On failure every journal and the
+   marker are truncated back to their savepoints — the whole stabilise
+   rolls back, and [needs_full] routes the retry through compaction. *)
+let sharded_append ~force_sync store =
+  let marker = Option.get store.marker in
+  let have_pending = Array.exists (fun sh -> sh.spending <> []) store.shards in
+  let seq' = if have_pending then store.seq + 1 else store.seq in
+  let saves =
+    Array.map
+      (fun sh ->
+        match sh.swal with
+        | Some w when sh.spending <> [] -> Some (w, Journal.position w, Journal.depth w)
+        | _ -> None)
+      store.shards
+  in
+  let msave = Manifest.Marker.position marker in
+  let before = shard_counts store in
+  match
+    if have_pending then
+      Dpool.run (nshards store) (fun k ->
+          let sh = store.shards.(k) in
+          if sh.spending <> [] then begin
+            Journal.append_batch ~seq:seq' (Option.get sh.swal) (List.rev sh.spending);
+            sh.sdirty <- true
+          end);
+    if force_sync || store.unsynced + 1 >= store.group_window then begin
+      sync_dirty_shards store;
+      if seq' > store.committed then begin
+        Manifest.Marker.append marker seq';
+        Manifest.Marker.sync marker;
+        store.committed <- seq'
+      end;
+      store.unsynced <- 0
+    end
+    else store.unsynced <- store.unsynced + 1
+  with
+  | () ->
+    merge_shard_counts store before;
+    store.seq <- seq';
+    Array.iter
+      (fun sh ->
+        sh.spending <- [];
+        sh.spending_count <- 0)
+      store.shards
+  | exception e ->
+    merge_shard_counts store before;
+    Array.iter
+      (function
+        | Some (w, pos, depth) -> ( try Journal.truncate_to w ~pos ~depth with _ -> ())
+        | None -> ())
+      saves;
+    (try Manifest.Marker.truncate_to marker ~pos:msave with _ -> ());
+    store.needs_full <- true;
+    raise e
+
+(* Sharded compaction.  [selected] says which shards get a fresh image
+   (all of them on a full compaction); on a partial compaction the
+   current delta is first made durable through the OLD journals and the
+   marker, so the subsequent image writes can fail or tear anywhere
+   without losing it — nothing references a new-epoch file until the
+   manifest rename, which is the single commit point. *)
+let compact_shards store path ~full ~selected =
+  Obs.span store.obs Obs.Compaction (fun () ->
+      let n = nshards store in
+      if not full then sharded_append ~force_sync:true store;
+      let c = contents store in
+      let before = shard_counts store in
+      let new_wals = Array.make n None in
+      let created_marker = ref None in
+      match
+        Dpool.run n (fun k ->
+            if selected.(k) then begin
+              let sh = store.shards.(k) in
+              let e' = sh.sepoch + 1 in
+              let keep_oid, keep_key = shard_keep store k in
+              let slice = Image.slice ~keep_oid ~keep_key c in
+              let crc = Image.save ~obs:sh.sobs (Manifest.shard_image path k e') slice in
+              new_wals.(k) <-
+                Some (Journal.create ~obs:sh.sobs (Manifest.shard_wal path k e') ~base_crc:crc)
+            end);
+        merge_shard_counts store before;
+        (* a full compaction rotates the marker: sequence numbers restart
+           at zero with the fresh journals *)
+        let marker_epoch' = if full then store.marker_epoch + 1 else store.marker_epoch in
+        if full then
+          created_marker := Some (Manifest.Marker.create (Manifest.marker_path path marker_epoch'));
+        let epochs' =
+          Array.mapi (fun k sh -> if selected.(k) then sh.sepoch + 1 else sh.sepoch) store.shards
+        in
+        Manifest.save path { Manifest.nshards = n; marker_epoch = marker_epoch'; epochs = epochs' };
+        (marker_epoch', epochs')
+      with
+      | marker_epoch', epochs' ->
+        Array.iteri
+          (fun k sh ->
+            if selected.(k) then begin
+              (match sh.swal with
+              | Some w -> Journal.close w
+              | None -> ());
+              sh.swal <- new_wals.(k);
+              sh.sdirty <- false;
+              sh.sepoch <- epochs'.(k)
+            end)
+          store.shards;
+        if full then begin
+          (match store.marker with
+          | Some m -> Manifest.Marker.close m
+          | None -> ());
+          store.marker <- !created_marker;
+          store.marker_epoch <- marker_epoch';
+          store.seq <- 0;
+          store.committed <- 0
+        end;
+        Array.iter
+          (fun sh ->
+            sh.spending <- [];
+            sh.spending_count <- 0)
+          store.shards;
+        store.needs_full <- false;
+        store.unsynced <- 0;
+        store.compactions <- store.compactions + 1;
+        Manifest.cleanup_stale path (manifest_of store ~marker_epoch:marker_epoch')
+      | exception e ->
+        merge_shard_counts store before;
+        (* nothing references the new-epoch files (the manifest rename did
+           not land); the old state on disk is intact.  Drop the fresh
+           handles — retrying truncates and rewrites the same paths. *)
+        Array.iter
+          (function
+            | Some w -> ( try Journal.close w with _ -> ())
+            | None -> ())
+          new_wals;
+        (match !created_marker with
+        | Some m -> ( try Manifest.Marker.close m with _ -> ())
+        | None -> ());
+        store.needs_full <- true;
+        raise e)
+
+let per_shard_limit store =
+  let n = nshards store in
+  max 1 ((store.compaction_limit + n - 1) / n)
+
+let stabilise_once_sharded store path =
+  match store.durability with
+  | Snapshot -> save_shards_snapshot store path
+  | Journalled ->
+    let in_rollback = store.rollback_depth > 0 in
+    let any_missing =
+      store.marker = None || Array.exists (fun sh -> sh.swal = None) store.shards
+    in
+    let must_compact = store.needs_full || any_missing in
+    let limit = per_shard_limit store in
+    let over sh =
+      (match sh.swal with
+      | Some w -> Journal.depth w
+      | None -> 0)
+      + sh.spending_count
+      > limit
+    in
+    if must_compact && in_rollback then
+      invalid_arg
+        "Store.stabilise: store needs compaction inside with_rollback (after a gc or direct \
+         heap surgery); stabilise before the transaction instead"
+    else if must_compact then
+      compact_shards store path ~full:true ~selected:(Array.make (nshards store) true)
+    else if Array.exists over store.shards && not in_rollback then
+      (* Per-shard compaction: only the shards over their slice of the
+         limit pay the image rewrite — the hot shard compacts while cold
+         shards keep their journals. *)
+      compact_shards store path ~full:false ~selected:(Array.map over store.shards)
+    else sharded_append ~force_sync:false store
 
 (* One stabilisation attempt.  Both failure paths are idempotent, which
    is what makes the retry wrapper below safe: a failed journal append
@@ -566,42 +1055,45 @@ let compact store path =
    after torn bytes), and a failed compaction just rewrites the temp
    image from scratch. *)
 let stabilise_once store path =
-  match store.durability with
-  | Snapshot -> ignore (Image.save ~obs:store.obs path (contents store) : int32)
-  | Journalled ->
-    let in_rollback = store.rollback_depth > 0 in
-    let must_compact = store.needs_full || store.wal = None in
-    let over_limit = wal_depth store + store.pending_count > store.compaction_limit in
-    if must_compact && in_rollback then
-      invalid_arg
-        "Store.stabilise: store needs compaction inside with_rollback (after a gc or direct \
-         heap surgery); stabilise before the transaction instead"
-    else if must_compact || (over_limit && not in_rollback) then compact store path
-    else begin
-      (* Over the limit inside a transaction we keep appending: compaction
-         cannot be undone by an abort, the next top-level stabilise does it. *)
-      let wal = Option.get store.wal in
-      match
-        (* The delta rides as one batch record — atomic under a torn
-           write.  With a group window, the fsync is amortised over
-           [group_window] stabilises; a crash loses whole recent batches,
-           never part of one. *)
-        Journal.append_batch wal (List.rev store.pending);
-        if store.unsynced + 1 >= store.group_window then begin
-          Journal.sync wal;
-          store.unsynced <- 0
-        end
-        else store.unsynced <- store.unsynced + 1
-      with
-      | () ->
-        store.pending <- [];
-        store.pending_count <- 0
-      | exception e ->
-        (* The journal tail is now suspect (possibly torn); recover by
-           compacting next time rather than appending after garbage. *)
-        store.needs_full <- true;
-        raise e
-    end
+  if nshards store > 1 then stabilise_once_sharded store path
+  else
+    match store.durability with
+    | Snapshot -> ignore (Image.save ~obs:store.obs path (contents store) : int32)
+    | Journalled ->
+      let sh = s0 store in
+      let in_rollback = store.rollback_depth > 0 in
+      let must_compact = store.needs_full || sh.swal = None in
+      let over_limit = wal_depth store + sh.spending_count > store.compaction_limit in
+      if must_compact && in_rollback then
+        invalid_arg
+          "Store.stabilise: store needs compaction inside with_rollback (after a gc or direct \
+           heap surgery); stabilise before the transaction instead"
+      else if must_compact || (over_limit && not in_rollback) then compact store path
+      else begin
+        (* Over the limit inside a transaction we keep appending: compaction
+           cannot be undone by an abort, the next top-level stabilise does it. *)
+        let wal = Option.get sh.swal in
+        match
+          (* The delta rides as one batch record — atomic under a torn
+             write.  With a group window, the fsync is amortised over
+             [group_window] stabilises; a crash loses whole recent batches,
+             never part of one. *)
+          Journal.append_batch wal (List.rev sh.spending);
+          if store.unsynced + 1 >= store.group_window then begin
+            Journal.sync wal;
+            store.unsynced <- 0
+          end
+          else store.unsynced <- store.unsynced + 1
+        with
+        | () ->
+          sh.spending <- [];
+          sh.spending_count <- 0
+        | exception e ->
+          (* The journal tail is now suspect (possibly torn); recover by
+             compacting next time rather than appending after garbage. *)
+          store.needs_full <- true;
+          raise e
+      end
 
 let stabilise ?path store =
   let path =
@@ -626,11 +1118,20 @@ let stabilise ?path store =
           ~on_retry:(fun _ _ -> store.io_retries <- store.io_retries + 1)
           (fun () -> stabilise_once store path))
 
+(* -- open / recovery ------------------------------------------------------ *)
+
+let distribute_quarantine store q =
+  List.iter (fun (oid, reason) -> Quarantine.add (shard_oid store oid).sq oid reason)
+    (Quarantine.to_list q)
+
 let of_contents ?obs ?backing { Image.heap; roots; blobs; quarantine } =
   let base = make ?obs () in
-  { base with heap; roots; blobs; quarantine; backing }
+  let store = { base with heap; roots; blobs; backing } in
+  distribute_quarantine store quarantine;
+  store
 
-let open_file ?config path =
+(* Legacy flat-image open (single shard). *)
+let open_flat ?config path =
   let obs = Obs.create () in
   let contents, crc =
     try Image.load_with_crc ~obs path
@@ -646,6 +1147,7 @@ let open_file ?config path =
     end
   in
   let store = of_contents ~obs ~backing:path contents in
+  let sh = s0 store in
   (match Journal.read (Journal.path_for path) with
   | Some replay when Int32.equal replay.Journal.base_crc crc ->
     List.iter
@@ -654,7 +1156,7 @@ let open_file ?config path =
     store.replayed <- List.length replay.Journal.records;
     store.recovered_torn <- replay.Journal.torn;
     store.durability <- Journalled;
-    store.wal <-
+    sh.swal <-
       Some
         (Journal.open_for_append ~obs (Journal.path_for path)
            ~valid_bytes:replay.Journal.valid_bytes ~depth:store.replayed);
@@ -668,27 +1170,166 @@ let open_file ?config path =
   (* A salvage load quarantined objects the on-disk image does not yet
      record as such; force a compaction so the next stabilise persists
      the quarantine set. *)
-  if not (Quarantine.is_empty store.quarantine) then store.needs_full <- true;
+  if not (Quarantine.is_empty sh.sq) then store.needs_full <- true;
   (* An explicit configuration is applied last, so it wins over the
-     recovered durability mode. *)
-  Option.iter (configure store) config;
+     recovered durability mode.  The shard count is whatever the file
+     has: it is persistent state, not a tunable. *)
+  Option.iter (fun (c : Config.t) -> configure store { c with Config.shards = 1 }) config;
   store
 
+(* Sharded open: load every shard image (in parallel), merge, then replay
+   each shard's journal up to the marker's committed sequence number.
+   Batches past the committed point are dropped whole — another shard's
+   half of the same stabilise may be missing, and the marker is the only
+   witness that all halves landed. *)
+let open_sharded ?config path =
+  let obs = Obs.create () in
+  let m = Manifest.load path in
+  let n = m.Manifest.nshards in
+  let store = make ~obs ~nshards:n () in
+  store.backing <- Some path;
+  let parts = Array.make n None in
+  let before = shard_counts store in
+  Dpool.run n (fun k ->
+      parts.(k) <-
+        Some
+          (Image.load_with_crc ~obs:store.shards.(k).sobs
+             (Manifest.shard_image path k m.Manifest.epochs.(k))));
+  merge_shard_counts store before;
+  Array.iteri
+    (fun k part ->
+      let c, _ = Option.get part in
+      Heap.iter (fun oid entry -> Heap.insert store.heap oid entry) c.Image.heap;
+      if Heap.next_oid c.Image.heap > Heap.next_oid store.heap then
+        Heap.set_next_oid store.heap (Heap.next_oid c.Image.heap);
+      Roots.iter (Roots.set store.roots) c.Image.roots;
+      Hashtbl.iter (Hashtbl.replace store.blobs) c.Image.blobs;
+      Quarantine.replace_all store.shards.(k).sq ~from:c.Image.quarantine)
+    parts;
+  (* Epochs are persistent state: a compaction that forgot them would
+     overwrite live image files in place instead of committing fresh
+     epoch files through the manifest rename. *)
+  Array.iteri (fun k sh -> sh.sepoch <- m.Manifest.epochs.(k)) store.shards;
+  if m.Manifest.marker_epoch >= 0 then begin
+    store.durability <- Journalled;
+    store.marker_epoch <- m.Manifest.marker_epoch;
+    let mpath = Manifest.marker_path path m.Manifest.marker_epoch in
+    match Manifest.Marker.read mpath with
+    | None ->
+      (* No readable marker: no batch is known committed.  Replay nothing
+         and rebuild everything at the next stabilise. *)
+      store.needs_full <- true
+    | Some mr ->
+      store.committed <- mr.Manifest.Marker.committed;
+      store.seq <- mr.Manifest.Marker.committed;
+      let replayed = ref 0 in
+      let all_journals_good = ref true in
+      Array.iteri
+        (fun k sh ->
+          let wpath = Manifest.shard_wal path k m.Manifest.epochs.(k) in
+          let _, crc = Option.get parts.(k) in
+          match Journal.read wpath with
+          | Some jr when Int32.equal jr.Journal.base_crc crc ->
+            let stop = ref false in
+            let valid = ref Journal.header_size in
+            let depth = ref 0 in
+            List.iter
+              (fun (b : Journal.batch) ->
+                if not !stop then begin
+                  match b.Journal.b_seq with
+                  | Some s when s > store.committed -> stop := true
+                  | _ ->
+                    List.iter
+                      (fun op -> Journal.apply op store.heap store.roots store.blobs)
+                      b.Journal.b_ops;
+                    let nops = List.length b.Journal.b_ops in
+                    replayed := !replayed + nops;
+                    depth := !depth + nops;
+                    valid := b.Journal.b_end
+                end)
+              jr.Journal.batches;
+            if jr.Journal.torn then store.recovered_torn <- true;
+            sh.swal <-
+              Some
+                (Journal.open_for_append ~obs:sh.sobs wpath ~valid_bytes:!valid ~depth:!depth)
+          | Some _ | None ->
+            (* Missing or stale journal (its base image moved on, or the
+               file tore at the header): its shard image already holds or
+               supersedes the journalled effects that mattered — force a
+               fresh full compaction rather than trusting the tail. *)
+            all_journals_good := false;
+            store.needs_full <- true)
+        store.shards;
+      store.replayed <- !replayed;
+      (* Every journal matched its image and replayed cleanly: the next
+         stabilise may append, like the flat open.  (A fresh [make] starts
+         with [needs_full] set, which would otherwise force a pointless
+         full compaction on the first stabilise after every reopen.) *)
+      if !all_journals_good then store.needs_full <- false;
+      store.marker <-
+        Some (Manifest.Marker.open_for_append mpath ~valid_bytes:mr.Manifest.Marker.valid_bytes)
+  end;
+  if Array.exists (fun sh -> not (Quarantine.is_empty sh.sq)) store.shards then begin
+    store.needs_full <- true end;
+  Option.iter (fun (c : Config.t) -> configure store { c with Config.shards = n }) config;
+  (* Files from epochs this manifest superseded (a crash mid-compaction
+     leaves them behind) are unreferenced — sweep them now. *)
+  Manifest.cleanup_stale path m;
+  store
+
+let open_file ?config path =
+  if Manifest.is_manifest path then open_sharded ?config path else open_flat ?config path
+
 (* Both [close] and [crash] are idempotent and safe on any durability
-   mode: each drops the journal handle (a no-op when there is none, as in
-   snapshot mode or after a previous close/crash).  [close] additionally
-   seals a final observability snapshot and empties the trace ring;
-   [crash] drops the ring without snapshotting, exactly as a process
-   crash would lose in-flight trace state. *)
+   mode: each drops the journal handles (a no-op when there are none, as
+   in snapshot mode or after a previous close/crash).  [close]
+   additionally seals a final observability snapshot and empties the
+   trace ring; [crash] drops the ring without snapshotting, exactly as a
+   process crash would lose in-flight trace state. *)
 let close store =
-  close_wal store;
+  if nshards store = 1 then close_wal store
+  else begin
+    (* durability barrier: flush deferred batches, then commit the
+       current sequence number before the handles go *)
+    (try
+       if store.unsynced > 0 || Array.exists (fun sh -> sh.sdirty) store.shards then
+         sync_dirty_shards store;
+       match store.marker with
+       | Some m when store.seq > store.committed ->
+         Manifest.Marker.append m store.seq;
+         Manifest.Marker.sync m;
+         store.committed <- store.seq
+       | _ -> ()
+     with _ -> ());
+    Array.iter
+      (fun sh ->
+        (match sh.swal with
+        | Some w -> ( try Journal.close w with _ -> ())
+        | None -> ());
+        sh.swal <- None;
+        sh.sdirty <- false)
+      store.shards;
+    (match store.marker with
+    | Some m -> ( try Manifest.Marker.close m with _ -> ())
+    | None -> ());
+    store.marker <- None;
+    store.unsynced <- 0
+  end;
   Obs.flush store.obs
 
 let crash store =
-  (match store.wal with
-  | Some w -> Journal.crash w
+  Array.iter
+    (fun sh ->
+      (match sh.swal with
+      | Some w -> Journal.crash w
+      | None -> ());
+      sh.swal <- None;
+      sh.sdirty <- false)
+    store.shards;
+  (match store.marker with
+  | Some m -> Manifest.Marker.crash m
   | None -> ());
-  store.wal <- None;
+  store.marker <- None;
   store.unsynced <- 0;
   Obs.drop store.obs
 
@@ -712,14 +1353,47 @@ let stats store =
     gc_count = store.gc_count;
     stabilise_count = store.stabilise_count;
     journal_depth = wal_depth store;
-    pending_ops = store.pending_count;
+    pending_ops = pending_total store;
     journal_replayed = store.replayed;
     compactions = store.compactions;
     recovered_torn_tail = store.recovered_torn;
-    quarantined = Quarantine.size store.quarantine;
+    quarantined = quarantined_total store;
     io_retries = store.io_retries;
     unsynced_batches = store.unsynced;
   }
+
+(* -- per-shard introspection ---------------------------------------------- *)
+
+type shard_info = {
+  shard : int;
+  objects : int;
+  quarantined : int;
+  journal_bytes : int;
+  pending_ops : int;
+  remembered : int;
+}
+
+let shard_info store =
+  let n = nshards store in
+  let objects = Array.make n 0 in
+  Heap.iter
+    (fun oid _ ->
+      let k = shard_ix_oid store oid in
+      objects.(k) <- objects.(k) + 1)
+    store.heap;
+  List.init n (fun k ->
+      let sh = store.shards.(k) in
+      {
+        shard = k;
+        objects = objects.(k);
+        quarantined = Quarantine.size sh.sq;
+        journal_bytes =
+          (match sh.swal with
+          | Some w -> Journal.position w - Journal.header_size
+          | None -> 0);
+        pending_ops = sh.spending_count;
+        remembered = Oid.Set.cardinal sh.sremembered;
+      })
 
 (* -- transactions ---------------------------------------------------------- *)
 
@@ -731,32 +1405,41 @@ let restore_contents store (restored : Image.contents) =
   Roots.replace_all store.roots ~from:restored.Image.roots;
   Hashtbl.reset store.blobs;
   Hashtbl.iter (Hashtbl.replace store.blobs) restored.Image.blobs;
-  Quarantine.replace_all store.quarantine ~from:restored.Image.quarantine;
-  (* The rollback replaced objects wholesale; recorded checksums no
-     longer describe the live entries. *)
-  Oid.Table.reset store.crcs
+  Array.iter
+    (fun sh ->
+      Quarantine.replace_all sh.sq ~from:(Quarantine.create ());
+      (* The rollback replaced objects wholesale; recorded checksums no
+         longer describe the live entries. *)
+      Oid.Table.reset sh.scrcs)
+    store.shards;
+  distribute_quarantine store restored.Image.quarantine
 
 (* Run [f] with whole-store rollback: on an exception the heap, roots and
    blobs are restored to their state at entry (oids included) and the
    exception is returned.
 
-   A journalled, backed store aborts by recovery instead of by snapshot:
-   the journal is truncated to its entry savepoint and the pre-transaction
-   state is rebuilt from the image plus the journal plus the entry-time
-   pending ops — O(committed delta), not O(store).  Stores the journal
-   cannot describe (snapshot mode, unstabilised, or dirtied by gc/direct
-   heap surgery) pay the original full-image snapshot. *)
+   A journalled, backed, single-shard store aborts by recovery instead of
+   by snapshot: the journal is truncated to its entry savepoint and the
+   pre-transaction state is rebuilt from the image plus the journal plus
+   the entry-time pending ops — O(committed delta), not O(store).  Stores
+   the journal cannot describe (snapshot mode, unstabilised, dirtied by
+   gc/direct heap surgery, or sharded — where entry state spans several
+   files) pay the original full-image snapshot. *)
 let with_rollback store f =
   let journal_restore =
-    journalling store && store.wal <> None && (not store.needs_full)
+    nshards store = 1
+    && journalling store
+    && (s0 store).swal <> None
+    && (not store.needs_full)
     && store.backing <> None
   in
   store.rollback_depth <- store.rollback_depth + 1;
   let leave () = store.rollback_depth <- store.rollback_depth - 1 in
   if journal_restore then begin
-    let wal = Option.get store.wal in
-    let saved_pending = store.pending in
-    let saved_count = store.pending_count in
+    let sh = s0 store in
+    let wal = Option.get sh.swal in
+    let saved_pending = sh.spending in
+    let saved_count = sh.spending_count in
     let mark = Journal.position wal in
     let mark_depth = Journal.depth wal in
     match f () with
@@ -781,24 +1464,27 @@ let with_rollback store f =
         (fun op -> Journal.apply op restored.Image.heap restored.Image.roots restored.Image.blobs)
         (List.rev saved_pending);
       restore_contents store restored;
-      store.pending <- saved_pending;
-      store.pending_count <- saved_count;
+      sh.spending <- saved_pending;
+      sh.spending_count <- saved_count;
       store.needs_full <- false;
       leave ();
       Error e
   end
   else begin
     let snapshot = Image.encode (contents store) in
-    let saved_pending = store.pending in
-    let saved_count = store.pending_count in
+    let saved = Array.map (fun sh -> (sh.spending, sh.spending_count)) store.shards in
     match f () with
     | result ->
       leave ();
       Ok result
     | exception e ->
       restore_contents store (Image.decode snapshot);
-      store.pending <- saved_pending;
-      store.pending_count <- saved_count;
+      Array.iteri
+        (fun k sh ->
+          let pending, count = saved.(k) in
+          sh.spending <- pending;
+          sh.spending_count <- count)
+        store.shards;
       leave ();
       Error e
   end

@@ -43,6 +43,16 @@ module Config : sig
             the current backing untouched (identity is not a tunable) *)
     trace_ring : int;  (** trace-ring capacity, in events *)
     tracing : bool;  (** latency histograms + trace ring on/off *)
+    shards : int;
+        (** shard count, fixed at store creation and persisted in the
+            store manifest.  [1] (the default) keeps the legacy flat
+            single-file layout; [n > 1] partitions objects by oid hash
+            (roots and blobs by key hash) into [n] shards, each with its
+            own image, journal, quarantine set and scrub cursor, so
+            stabilise, scrub and GC mark run shard-wise on the domain
+            pool.  {!configure} on an existing store must repeat the
+            store's own count; {!open_file} always adopts the on-disk
+            count. *)
   }
 
   val default : t
@@ -107,6 +117,12 @@ val invalidation_epoch : t -> int
     own API: quarantine add/clear (including the scrubber's), a GC
     sweep, transaction rollback, and {!mark_dirty}.  Caches attached via
     {!props} stamp entries with this epoch and flush on mismatch. *)
+
+val shards : t -> int
+(** The store's shard count (>= 1). *)
+
+val shard_of : t -> Oid.t -> int
+(** The shard an oid hashes to (always [0] on a single-shard store). *)
 
 val backing : t -> string option
 
@@ -280,6 +296,23 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {1 Per-shard introspection} *)
+
+type shard_info = {
+  shard : int;
+  objects : int;  (** live heap objects hashing to this shard *)
+  quarantined : int;
+  journal_bytes : int;  (** bytes in this shard's journal body (0 if closed) *)
+  pending_ops : int;  (** mutations buffered for this shard *)
+  remembered : int;
+      (** remembered-set size: live oids here referenced from other
+          shards, as of the last {!gc} *)
+}
+
+val shard_info : t -> shard_info list
+(** One entry per shard, in shard order (a single entry on a
+    single-shard store).  Costs one heap iteration. *)
 
 (** {1 Transactions} *)
 

@@ -351,7 +351,11 @@ let root_names_of out =
          | name :: _ when name <> "" -> Some name
          | _ -> None)
 
-let play ?crash_at ?(kill_byte = 256) ~bin ~dir scenario =
+(* [shards > 1] initialises the store sharded, so the whole scenario —
+   crash injection and recovery included — runs against the partitioned
+   layout.  Every other step is shard-agnostic: the store remembers its
+   own shard count. *)
+let play ?crash_at ?(kill_byte = 256) ?(shards = 1) ~bin ~dir scenario =
   let store = Filename.concat dir "store.hpj" in
   let src = Filename.concat dir "src" in
   let html = Filename.concat dir "html" in
@@ -362,7 +366,9 @@ let play ?crash_at ?(kill_byte = 256) ~bin ~dir scenario =
     path
   in
   let argv_of = function
-    | Init -> ([ "init"; "--journalled"; store ], None)
+    | Init ->
+      let sharding = if shards > 1 then [ "--shards"; string_of_int shards ] else [] in
+      (([ "init"; "--journalled" ] @ sharding @ [ store ]), None)
     | Compile { file; source; _ } -> ([ "compile"; store; write_src file source ], None)
     | Run { cls } -> ([ "run"; store; cls ], None)
     | New { cls; root; arg } -> ([ "new"; store; cls; root; arg ], None)

@@ -126,6 +126,35 @@ let evolve_via_cli () =
   expect_ok census;
   expect_stdout_has census "Person"
 
+(* -- sharded init: persisted shard count, per-shard check breakdown ------- *)
+
+let sharded_init_and_check () =
+  with_dir @@ fun dir ->
+  let store = Filename.concat dir "sharded.hpj" in
+  let init = hpjava [ "init"; "--journalled"; "--shards"; "4"; store ] in
+  expect_ok init;
+  expect_stdout_has init "4 shards";
+  let src = write_src ~dir "Person.java" person_source in
+  expect_ok (hpjava [ "compile"; store; src ]);
+  expect_ok (hpjava [ "new"; store; "Person"; "alice"; "alice" ]);
+  (* check keeps its exit-code contract and adds the per-shard lines;
+     a fresh process sees the shard count persisted in the manifest *)
+  let check = hpjava [ "check"; store ] in
+  expect_ok check;
+  expect_stdout_has check "integrity ok";
+  expect_stdout_has check "shard 0:";
+  expect_stdout_has check "shard 3:";
+  (* a flat store must NOT suddenly grow shard lines *)
+  let flat = Filename.concat dir "flat.hpj" in
+  expect_ok (hpjava [ "init"; "--journalled"; flat ]);
+  let fcheck = hpjava [ "check"; flat ] in
+  expect_ok fcheck;
+  expect_stdout_lacks fcheck "shard 0:";
+  (* --shards 0 is a usage error and creates nothing *)
+  let bad = Filename.concat dir "bad.hpj" in
+  expect_fail (hpjava [ "init"; "--shards"; "0"; bad ]);
+  check_bool "rejected init created no store" false (Sys.file_exists bad)
+
 let suite =
   [
     test "missing store is a nonzero-exit error (no silent creation)" missing_store_is_an_error;
@@ -138,4 +167,5 @@ let suite =
     test "bad subcommands and missing args exit nonzero" bad_subcommand_and_args_exit_nonzero;
     test "corrupt store reports one line on stderr" corrupt_store_is_one_line_error;
     test "evolve succeeds and fails with correct exit codes" evolve_via_cli;
+    test "sharded init persists and check prints per-shard lines" sharded_init_and_check;
   ]

@@ -20,6 +20,7 @@ let config_matches_legacy_setters () =
       backing = None;
       trace_ring = Obs.default_ring_capacity;
       tracing = false;
+      shards = 1;
     };
   check_bool "one record equals four setter calls" true
     (Store.config legacy = Store.config unified)

@@ -2,5 +2,6 @@ let () =
   Alcotest.run "self-healing"
     [
       ("store scrubbing and quarantine", Test_scrub_store.suite);
+      ("parallel sharded scrubbing", Test_scrub_shard.suite);
       ("broken-link degradation", Test_scrub_degrade.suite);
     ]
