@@ -7,7 +7,8 @@
    bench, BENCH_macro.json from the macro-workload harness): first
    validates the fresh file's schema — the benchmark kinds of the two
    files must agree, and a macro file must carry the recovery object
-   (recovery_ms, quarantined_after) and a sustained-throughput figure —
+   (recovery_ms, repair_ms, degraded_ops, quarantined_after) and a
+   sustained-throughput figure —
    then compares the p50 latency of every op-class section present in
    BOTH files and fails (exit 1) when the fresh run has regressed more
    than 2x against the committed baseline.  Sections new to the fresh
@@ -123,6 +124,8 @@ let schema_errors ~kind json =
         {|"sustained_ops_per_sec"|};
         {|"recovery"|};
         {|"recovery_ms"|};
+        {|"repair_ms"|};
+        {|"degraded_ops"|};
         {|"quarantined_after"|};
         {|"total_ops"|};
       ]

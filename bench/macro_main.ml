@@ -92,11 +92,14 @@ let () =
   | Some c ->
     Printf.printf
       "  crash: %s step SIGKILLed mid-stabilise (byte %d, killed=%b)\n\
-      \  recovery: %.1f ms, quarantined %d, lost durable roots %d\n%!"
+      \  recovery: %.1f ms, quarantined %d, lost durable roots %d\n\
+      \  repair: %.1f ms (`repair all` session), %d degraded ops\n%!"
       c.Workload.Scenario.crashed_class c.Workload.Scenario.kill_byte c.Workload.Scenario.killed
       (c.Workload.Scenario.recovery_s *. 1e3)
       c.Workload.Scenario.quarantined_after
-      (List.length c.Workload.Scenario.lost_roots);
+      (List.length c.Workload.Scenario.lost_roots)
+      (c.Workload.Scenario.repair_s *. 1e3)
+      c.Workload.Scenario.degraded_ops;
     if not c.Workload.Scenario.check_ok then begin
       Printf.eprintf "macro: post-crash integrity check FAILED — %s\n" replay;
       exit 1

@@ -199,13 +199,17 @@ let check_cmd =
       (Store.size store) stats.Store.quarantined (List.length violations)
       (if List.length violations = 1 then "" else "s")
       (List.length fatal);
-    if Store.shards store > 1 then
+    if Store.shards store > 1 then begin
       List.iter
         (fun (info : Store.shard_info) ->
-          Printf.printf "  shard %d: %d objects, %d quarantined, %d journal bytes\n"
-            info.Store.shard info.Store.objects info.Store.quarantined
+          Printf.printf "  shard %d (%s): %d objects, %d quarantined, %d journal bytes\n"
+            info.Store.shard info.Store.state info.Store.objects info.Store.quarantined
             info.Store.journal_bytes)
         (Store.shard_info store);
+      if stats.Store.unhealthy_shards > 0 then
+        Printf.printf "  unhealthy shards: %d (run `hpjava shell` and `repair all`)\n"
+          stats.Store.unhealthy_shards
+    end;
     if fatal <> [] then exit 1
   in
   Cmd.v

@@ -28,7 +28,8 @@ let help_text =
   load NAME                load a hyper-program from a persistent root
   roots | census | gc | stabilise
   scrub [BUDGET]           run one scrubber step: verify object checksums and references
-  health                   store health: scrub progress, quarantine set, retry counters
+  health                   store health: shard states, scrub progress, quarantine, retries
+  repair [N|all]           repair a degraded/offline shard (default: every unhealthy one)
   stats                    operation counters (and latencies while tracing is on)
   cache [on|off]           compile-cache and getLink-memo statistics / toggle both
   trace on|off|dump        toggle span tracing / dump the in-memory trace ring
@@ -56,25 +57,131 @@ let unescape s =
   go 0;
   Buffer.contents buf
 
-let run ~store_path ~input ~echo =
-  let store =
-    if Sys.file_exists store_path then Store.open_file store_path
-    else begin
-      let s = Store.create () in
-      Store.set_backing s store_path;
-      s
-    end
+let say fmt = Printf.printf fmt
+
+(* The store-level operator commands, shared between the full shell and
+   maintenance mode (when a demoted shard blocks the VM boot, the
+   operator still needs health / repair / stats to get out of it). *)
+
+let cmd_health store =
+  let stats = Store.stats store in
+  say "scrub: %s\n" (Format.asprintf "%a" Scrub.pp_progress (Store.scrub_progress store));
+  say "quarantined: %d\n" stats.Store.quarantined;
+  List.iter
+    (fun (oid, reason) -> say "  @%d: %s\n" (Oid.to_int oid) reason)
+    (Store.quarantined store);
+  if Store.shards store > 1 then begin
+    List.iter
+      (fun (info : Store.shard_info) ->
+        say "shard %d (%s): %d objects, %d quarantined, %d journal bytes, %d pending, %d \
+             remembered\n"
+          info.Store.shard info.Store.state info.Store.objects info.Store.quarantined
+          info.Store.journal_bytes info.Store.pending_ops info.Store.remembered)
+      (Store.shard_info store);
+    say "unhealthy shards: %d\n" stats.Store.unhealthy_shards;
+    List.iter
+      (fun (h : Store.shard_health) ->
+        if
+          (match h.Store.h_state with Health.Healthy -> false | _ -> true)
+          || h.Store.h_failures > 0 || h.Store.h_trips > 0
+          || h.Store.h_degraded_reads > 0 || h.Store.h_refused_writes > 0
+          || h.Store.h_repairs > 0
+        then
+          say "shard %d health: %s; %d consecutive failures, %d trips, %d degraded \
+               reads, %d refused writes, %d repairs\n"
+            h.Store.h_shard
+            (Health.describe h.Store.h_state)
+            h.Store.h_failures h.Store.h_trips h.Store.h_degraded_reads
+            h.Store.h_refused_writes h.Store.h_repairs)
+      (Store.health store)
+  end;
+  say "degraded ops: %d\n" (Obs.count (Store.obs store) Obs.Degraded_op);
+  say "io retries absorbed by this store: %d\n" stats.Store.io_retries;
+  let rs = Retry.stats () in
+  say "retry totals: %d attempts, %d retried, %d absorbed, %d exhausted\n" rs.Retry.attempts
+    rs.Retry.retries rs.Retry.absorbed rs.Retry.exhausted;
+  List.iter (fun (label, n) -> say "  %s: %d\n" label n) (Retry.counters ())
+
+let cmd_repair store rest =
+  let render (r : Store.repair_report) =
+    say "shard %d repaired (%s): %d objects restored, %d journal ops replayed, %d \
+         references lost, %.1f ms\n"
+      r.Store.r_shard
+      (Health.state_name r.Store.r_was)
+      r.Store.r_restored r.Store.r_replayed r.Store.r_lost r.Store.r_ms
   in
-  (* The interactive shell absorbs transient I/O hiccups with bounded
-     retries; the `health` command surfaces the counters.  Configured
-     through the unified record so the recovered durability mode (and
-     everything else) is kept as-is. *)
-  Store.configure store
-    { (Store.config store) with Store.Config.retry = Some Retry.default_policy };
-  let session = Session.create ~echo store in
+  let repair_all () =
+    match Store.repair_all store with
+    | [] -> say "all shards healthy; nothing to repair\n"
+    | reports -> List.iter render reports
+  in
+  try
+    match rest with
+    | [] | "all" :: _ -> repair_all ()
+    | n :: _ -> begin
+      match int_of_string_opt n with
+      | None -> say "usage: repair [N|all]\n"
+      | Some k -> begin
+        match Store.repair store k with
+        | Some r -> render r
+        | None -> say "shard %d is healthy; nothing to repair\n" k
+      end
+    end
+  with
+  | Invalid_argument e -> say "repair: %s\n" e
+  | e ->
+    (* the durable rewrite can re-fail; the shard stays demoted and
+       the shell stays up so the operator can retry *)
+    say "repair failed: %s\n" (Printexc.to_string e)
+
+let cmd_stats store =
+  let obs = Store.obs store in
+  say "operations: %d (tracing %s)\n" (Obs.total obs)
+    (if Obs.enabled obs then "on" else "off");
+  let st = Store.stats store in
+  if st.Store.unhealthy_shards > 0 then
+    say "unhealthy shards: %d (see `health`)\n" st.Store.unhealthy_shards;
+  List.iter
+    (fun (op, n) ->
+      match Obs.latency obs op with
+      | Some l ->
+        say "  %-14s %8d   p50 %.0fns  p99 %.0fns  max %.0fns\n" (Obs.op_name op) n
+          l.Obs.p50_ns l.Obs.p99_ns l.Obs.max_ns
+      | None -> say "  %-14s %8d\n" (Obs.op_name op) n)
+    (Obs.counts obs)
+
+(* Maintenance mode: the session VM boots by writing to the store (class
+   blobs, registry state), which a demoted shard refuses — so when boot
+   itself is refused, drop to a store-only loop until the operator
+   repairs or quits.  Returns [true] once the store is healthy again. *)
+let maintenance ~input store =
+  let quit = ref false in
+  let interactive = Unix.isatty (Unix.descr_of_in_channel input) in
+  while not (!quit || Store.healthy store) do
+    if interactive then begin
+      print_string "hp(maintenance)> ";
+      flush stdout
+    end;
+    match input_line input with
+    | exception End_of_file -> quit := true
+    | line -> begin
+      match split_args line with
+      | [] -> ()
+      | ("quit" | "exit") :: _ -> quit := true
+      | "health" :: _ -> cmd_health store
+      | "repair" :: rest -> cmd_repair store rest
+      | "stats" :: _ -> cmd_stats store
+      | cmd :: _ ->
+        say "maintenance mode: %s unavailable (commands: health, repair [N|all], stats, \
+             quit)\n"
+          cmd
+    end
+  done;
+  (not !quit) && Store.healthy store
+
+let run_session ~input ~echo store session =
   let vm = Session.vm session in
   let b = Session.browser session in
-  let say fmt = Printf.printf fmt in
   let with_editor f =
     match Session.front_editor session with
     | Some ed -> f ed
@@ -211,38 +318,9 @@ let run ~store_path ~input ~echo =
           (fun (oid, reason) -> say "quarantined @%d: %s\n" (Oid.to_int oid) reason)
           report.Scrub.newly_quarantined
     end
-    | "health" :: _ ->
-      let stats = Store.stats store in
-      say "scrub: %s\n" (Format.asprintf "%a" Scrub.pp_progress (Store.scrub_progress store));
-      say "quarantined: %d\n" stats.Store.quarantined;
-      List.iter
-        (fun (oid, reason) -> say "  @%d: %s\n" (Oid.to_int oid) reason)
-        (Store.quarantined store);
-      if Store.shards store > 1 then
-        List.iter
-          (fun (info : Store.shard_info) ->
-            say "shard %d: %d objects, %d quarantined, %d journal bytes, %d pending, %d \
-                 remembered\n"
-              info.Store.shard info.Store.objects info.Store.quarantined
-              info.Store.journal_bytes info.Store.pending_ops info.Store.remembered)
-          (Store.shard_info store);
-      say "io retries absorbed by this store: %d\n" stats.Store.io_retries;
-      let rs = Retry.stats () in
-      say "retry totals: %d attempts, %d retried, %d absorbed, %d exhausted\n" rs.Retry.attempts
-        rs.Retry.retries rs.Retry.absorbed rs.Retry.exhausted;
-      List.iter (fun (label, n) -> say "  %s: %d\n" label n) (Retry.counters ())
-    | "stats" :: _ ->
-      let obs = Store.obs store in
-      say "operations: %d (tracing %s)\n" (Obs.total obs)
-        (if Obs.enabled obs then "on" else "off");
-      List.iter
-        (fun (op, n) ->
-          match Obs.latency obs op with
-          | Some l ->
-            say "  %-14s %8d   p50 %.0fns  p99 %.0fns  max %.0fns\n" (Obs.op_name op) n
-              l.Obs.p50_ns l.Obs.p99_ns l.Obs.max_ns
-          | None -> say "  %-14s %8d\n" (Obs.op_name op) n)
-        (Obs.counts obs)
+    | "health" :: _ -> cmd_health store
+    | "repair" :: rest -> cmd_repair store rest
+    | "stats" :: _ -> cmd_stats store
     | "cache" :: rest -> begin
       match rest with
       | [] ->
@@ -295,9 +373,50 @@ let run ~store_path ~input ~echo =
          flush stdout
        end;
        match input_line input with
-       | line -> handle line
+       | line -> (
+         (* A demoted shard refuses writes with a typed failure; the
+            shell must survive it, or the operator can never reach
+            `repair`. *)
+         try handle line
+         with Failure.Shard_degraded { shard; state; _ } ->
+           say "refused: shard %d is %s (run `repair %d` or `repair all`)\n"
+             shard state shard)
        | exception End_of_file -> quit := true
      done
    with e ->
      Printf.eprintf "shell error: %s\n" (Printexc.to_string e));
-  Store.stabilise store
+  try Store.stabilise store
+  with Failure.Shard_degraded { shard; state; _ } ->
+    Printf.eprintf
+      "warning: shard %d is %s; its unpersisted changes await `repair` (other \
+       shards are safe)\n"
+      shard state
+
+let run ~store_path ~input ~echo =
+  let store =
+    if Sys.file_exists store_path then Store.open_file store_path
+    else begin
+      let s = Store.create () in
+      Store.set_backing s store_path;
+      s
+    end
+  in
+  (* The interactive shell absorbs transient I/O hiccups with bounded
+     retries; the `health` command surfaces the counters.  Configured
+     through the unified record so the recovered durability mode (and
+     everything else) is kept as-is. *)
+  Store.configure store
+    { (Store.config store) with Store.Config.retry = Some Retry.default_policy };
+  match Session.create ~echo store with
+  | session -> run_session ~input ~echo store session
+  | exception Failure.Shard_degraded { shard; state; _ } ->
+    (* Booting the VM writes to the store, and a demoted shard refused
+       it.  The operator gets a store-only loop to repair from; once the
+       store is whole again, boot for real and carry on. *)
+    say "shard %d is %s: the session VM cannot boot while a shard refuses writes\n"
+      shard state;
+    say "entering maintenance mode — `repair all` restores service, `quit` leaves\n";
+    if maintenance ~input store then begin
+      say "store healthy again; booting the session\n";
+      run_session ~input ~echo store (Session.create ~echo store)
+    end

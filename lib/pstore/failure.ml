@@ -14,6 +14,23 @@ type t =
       index : int;
     }
 
+(* Raised (not returned): a write routed to a shard that is degraded or
+   offline.  An exception rather than a [t] constructor because writes
+   have no [try_]-style result channel — the typed raise is the
+   contract, and callers match on it to keep serving the other
+   shards. *)
+exception Shard_degraded of {
+  shard : int;
+  state : string; (* "degraded" | "offline" *)
+  reason : string;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Shard_degraded { shard; state; reason } ->
+      Some (Printf.sprintf "Failure.Shard_degraded(shard %d %s: %s)" shard state reason)
+    | _ -> None)
+
 let pp ppf = function
   | Quarantined { oid; reason } ->
     Format.fprintf ppf "quarantined %a: %s" Oid.pp oid reason

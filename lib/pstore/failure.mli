@@ -19,6 +19,18 @@ type t =
       index : int;
     }  (** an index with no entry in an otherwise healthy container *)
 
+exception Shard_degraded of {
+  shard : int;
+  state : string;  (** ["degraded"] or ["offline"] *)
+  reason : string;
+}
+(** A write was routed to a shard that is not healthy.  The shard is
+    read-only until [Store.repair] promotes it; every other shard keeps
+    full service.  Raised by the mutating store operations
+    ([set_field], [set_root], [alloc_*], ...) and by [stabilise] when a
+    structurally-required full compaction cannot proceed while a shard
+    is down. *)
+
 val pp : Format.formatter -> t -> unit
 
 val describe : t -> string

@@ -19,6 +19,7 @@ type fault =
   | Fsync_fails
   | Bit_flip of int
   | Kill_after_bytes of int
+  | Intr_storm of int
 
 let m = Mutex.create ()
 
@@ -30,19 +31,35 @@ let locked f =
 let armed_flag = Atomic.make false
 let current : fault option ref = ref None
 
+(* When set, the armed fault only fires on I/O performed inside
+   [with_shard_scope target] — sharded stores scope each shard's I/O so
+   tests can break exactly one fault domain.  The scope is domain-local:
+   every pool domain tags its own shard's work. *)
+let target : int option ref = ref None
+let scope_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_shard_scope k f =
+  let old = Domain.DLS.get scope_key in
+  Domain.DLS.set scope_key (Some k);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope_key old) f
+
+let shard_scope () = Domain.DLS.get scope_key
+
 (* Bytes written while the current fault has been armed. *)
 let written = ref 0
 let fired_count = Atomic.make 0
 
-let arm f =
+let arm ?shard f =
   locked (fun () ->
       current := Some f;
+      target := shard;
       written := 0;
       Atomic.set armed_flag true)
 
 let disarm () =
   locked (fun () ->
       current := None;
+      target := None;
       Atomic.set armed_flag false)
 
 let armed () = locked (fun () -> !current)
@@ -51,9 +68,32 @@ let fired () = Atomic.get fired_count
 (* Call with [m] held (all callers are inside [locked]). *)
 let fire_locked msg =
   current := None;
+  target := None;
   Atomic.set armed_flag false;
   Atomic.incr fired_count;
   raise (Fault_injected msg)
+
+(* Does the armed fault apply to I/O issued from this domain's scope?
+   Untargeted faults fire anywhere; targeted faults fire only inside the
+   matching [with_shard_scope] (and their byte budgets count only the
+   targeted shard's writes).  Call with [m] held. *)
+let in_scope_locked () =
+  match !target with
+  | None -> true
+  | Some k -> Domain.DLS.get scope_key = Some k
+
+(* An EINTR storm is not one-shot: it fires [n] times before disarming,
+   modelling a burst of interrupted syscalls that a retry policy must
+   ride out.  The op never happened — no partial bytes land. *)
+let storm_fire_locked op n =
+  if n <= 1 then begin
+    current := None;
+    target := None;
+    Atomic.set armed_flag false
+  end
+  else current := Some (Intr_storm (n - 1));
+  Atomic.incr fired_count;
+  raise (Unix.Unix_error (Unix.EINTR, op, ""))
 
 let with_fault f body =
   arm f;
@@ -75,8 +115,11 @@ let output_string oc s =
   if not (Atomic.get armed_flag) then Stdlib.output_string oc s
   else
     locked (fun () ->
+        if not (in_scope_locked ()) then Stdlib.output_string oc s
+        else
         match !current with
         | None -> Stdlib.output_string oc s
+        | Some (Intr_storm n) -> storm_fire_locked "write" n
         | Some (Fail_after_bytes budget) ->
           let len = String.length s in
           if !written + len <= budget then begin
@@ -158,8 +201,11 @@ let rename src dst =
   if not (Atomic.get armed_flag) then Sys.rename src dst
   else
     locked (fun () ->
+        if not (in_scope_locked ()) then Sys.rename src dst
+        else
         match !current with
         | Some Rename_fails -> fire_locked (Printf.sprintf "rename %s -> %s failed" src dst)
+        | Some (Intr_storm n) -> storm_fire_locked "rename" n
         | _ -> Sys.rename src dst)
 
 let fsync_channel oc =
@@ -168,8 +214,11 @@ let fsync_channel oc =
   if not (Atomic.get armed_flag) then do_sync ()
   else
     locked (fun () ->
+        if not (in_scope_locked ()) then do_sync ()
+        else
         match !current with
         | Some Fsync_fails -> fire_locked "fsync failed"
+        | Some (Intr_storm n) -> storm_fire_locked "fsync" n
         | _ -> do_sync ())
 
 let fsync_dir path =
@@ -180,6 +229,9 @@ let fsync_dir path =
   if not (Atomic.get armed_flag) then do_sync ()
   else
     locked (fun () ->
+        if not (in_scope_locked ()) then do_sync ()
+        else
         match !current with
         | Some Fsync_fails -> fire_locked "directory fsync failed"
+        | Some (Intr_storm n) -> storm_fire_locked "fsync" n
         | _ -> do_sync ())

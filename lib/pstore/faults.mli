@@ -35,12 +35,32 @@ type fault =
           fresh process can observe what recovery makes of the debris.
           [bin/hpjava] arms it from the [HPJAVA_KILL_AT_BYTE] environment
           variable. *)
+  | Intr_storm of int
+      (** The next [n] wrapped I/O calls raise [Unix_error (EINTR, ...)]
+          without performing the operation, then the injector disarms.
+          Not one-shot: a storm models a burst of interrupted syscalls
+          that a retry policy must ride out (or a circuit breaker must
+          trip on). *)
 
-val arm : fault -> unit
-(** Arm a fault.  Faults are one-shot: firing disarms. *)
+val arm : ?shard:int -> fault -> unit
+(** Arm a fault.  Faults are one-shot (except {!Intr_storm}): firing
+    disarms.  [?shard] targets the fault at one fault domain: it fires
+    only on I/O performed inside the matching {!with_shard_scope}, and
+    its byte budget counts only that shard's writes — I/O from other
+    shards passes through untouched. *)
 
 val disarm : unit -> unit
 val armed : unit -> fault option
+
+val with_shard_scope : int -> (unit -> 'a) -> 'a
+(** Tag all wrapped I/O performed by [f] (on the calling domain) as
+    belonging to shard [k].  The sharded store wraps each shard's image,
+    journal and marker I/O in its scope — from pool domains and from the
+    calling domain alike — so a [?shard]-targeted fault hits exactly one
+    fault domain.  Scopes are domain-local and nest (innermost wins). *)
+
+val shard_scope : unit -> int option
+(** The calling domain's current shard scope, if any. *)
 
 val fired : unit -> int
 (** Total faults fired since program start. *)

@@ -147,7 +147,7 @@ let encode { heap; roots; blobs; quarantine } =
   put_i32 trailer (crc32 body);
   body ^ Codec.contents trailer
 
-let decode data =
+let decode_with_salvage data =
   let open Codec in
   if String.length data < String.length magic + 1 + 4 then image_error "truncated image";
   let body = String.sub data 0 (String.length data - 4) in
@@ -214,8 +214,10 @@ let decode data =
     done;
     if not (at_end r) then image_error "%d trailing bytes after image" (remaining r);
     if (not checksum_ok) && !salvaged = 0 then fail_checksum ();
-    { heap; roots; blobs; quarantine }
+    ({ heap; roots; blobs; quarantine }, !salvaged)
   with Codec.Decode_error _ when not checksum_ok -> fail_checksum ()
+
+let decode data = fst (decode_with_salvage data)
 
 (* The CRC that [encode] appended: identifies this image so a journal can
    name the exact snapshot it extends. *)
@@ -249,7 +251,16 @@ let save ?(durable = true) ?obs path contents =
     Obs.span o Obs.Image_save ~bytes:(String.length data)
       ~label:(Filename.basename path) write
 
-let load_with_crc ?obs path =
+(* A load that also reports how many entries the decoder had to salvage
+   around: the sharded open uses the count to judge whether a shard's
+   image was damaged enough to demote the shard (salvage-heavy open). *)
+type load_report = {
+  lr_contents : contents;
+  lr_crc : int32;
+  lr_salvaged : int;
+}
+
+let load_report ?obs path =
   let read () =
     let ic = open_in_bin path in
     let len = in_channel_length ic in
@@ -260,11 +271,16 @@ let load_with_crc ?obs path =
         raise e
     in
     close_in ic;
-    (decode data, crc_of_encoded data)
+    let contents, salvaged = decode_with_salvage data in
+    { lr_contents = contents; lr_crc = crc_of_encoded data; lr_salvaged = salvaged }
   in
   match obs with
   | None -> read ()
   | Some o -> Obs.span o Obs.Image_load ~label:(Filename.basename path) read
+
+let load_with_crc ?obs path =
+  let r = load_report ?obs path in
+  (r.lr_contents, r.lr_crc)
 
 let load path = fst (load_with_crc path)
 

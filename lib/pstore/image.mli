@@ -61,6 +61,18 @@ val load_with_crc : ?obs:Obs.t -> string -> contents * int32
 (** Like {!load}, also returning the image checksum.  [obs] records the
     read as an [Image_load] span. *)
 
+type load_report = {
+  lr_contents : contents;
+  lr_crc : int32;
+  lr_salvaged : int;
+      (** entries the decoder quarantined around during this load (0 on
+          a checksum-clean image).  The sharded open uses the count to
+          demote a shard whose image needed salvage-heavy recovery. *)
+}
+
+val load_report : ?obs:Obs.t -> string -> load_report
+(** Like {!load_with_crc}, also reporting the salvage count. *)
+
 val load : string -> contents
 
 val slice :

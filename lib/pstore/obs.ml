@@ -28,12 +28,15 @@ type op =
   | Cache_hit
   | Cache_miss
   | Group_commit
+  | Repair
+  | Degraded_op
 
 let all_ops =
   [
     Get; Set; Alloc; Root_lookup; Stabilise; Journal_append; Compaction;
     Image_save; Image_load; Scrub_step; Retry; Quarantine_hit; Gc; Get_link;
-    Compile; Transaction; Cache_hit; Cache_miss; Group_commit;
+    Compile; Transaction; Cache_hit; Cache_miss; Group_commit; Repair;
+    Degraded_op;
   ]
 
 let op_index = function
@@ -56,6 +59,8 @@ let op_index = function
   | Cache_hit -> 16
   | Cache_miss -> 17
   | Group_commit -> 18
+  | Repair -> 19
+  | Degraded_op -> 20
 
 let n_ops = List.length all_ops
 
@@ -79,6 +84,8 @@ let op_name = function
   | Cache_hit -> "cache-hit"
   | Cache_miss -> "cache-miss"
   | Group_commit -> "group-commit"
+  | Repair -> "repair"
+  | Degraded_op -> "degraded-op"
 
 type event = {
   seq : int;

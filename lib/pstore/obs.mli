@@ -35,6 +35,10 @@ type op =
   | Cache_hit  (** compile-cache / link-memo lookups answered from cache *)
   | Cache_miss  (** cache lookups that fell through to the slow path *)
   | Group_commit  (** multi-op journal deltas coalesced into one batch record *)
+  | Repair  (** shard repairs (promotions back to healthy) *)
+  | Degraded_op
+      (** operations touched by a demoted shard: writes refused with
+          [Failure.Shard_degraded] plus reads served degraded *)
 
 val all_ops : op list
 val op_name : op -> string

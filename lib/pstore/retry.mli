@@ -1,17 +1,48 @@
-(** Bounded retry with exponential backoff for transient I/O failures.
+(** Bounded retry with full-jitter exponential backoff for transient I/O
+    failures.
 
     Retries only exceptions that plausibly denote a transient
     environmental failure: {!Faults.Fault_injected}, [Sys_error] and
-    [Unix.Unix_error].  Everything else propagates immediately. *)
+    [Unix.Unix_error].  Everything else propagates immediately.
+
+    Domain-safe: stats are atomics and the label table is mutex-guarded,
+    so sharded stores may retry from pool domains. *)
 
 type policy = {
   retries : int;  (** extra attempts after the first failure *)
-  base_delay : float;  (** seconds before the first retry; doubles each time *)
+  base_delay : float;  (** seconds; doubles each retry (before jitter) *)
   max_delay : float;  (** backoff cap in seconds *)
+  jitter : bool;
+      (** full jitter: each delay is drawn uniformly from [0, capped
+          backoff] instead of sleeping the full capped value, so
+          concurrent retriers decorrelate *)
+  deadline : float;
+      (** wall-clock budget in seconds for the whole run (attempts plus
+          sleeps); once elapsed + next delay would cross it the budget
+          counts as exhausted.  [infinity] = attempts-only bound *)
 }
 
 val default_policy : policy
-(** 3 retries, 1ms base delay, 50ms cap. *)
+(** 3 retries, 1ms base delay, 50ms cap, jittered, 1s deadline. *)
+
+(** {1 I/O classes}
+
+    The store threads retry through every I/O class below; a per-class
+    policy override (see [Store.Config.retry_overrides]) tunes one class
+    without touching the rest. *)
+
+type io_class =
+  | Stabilise  (** the whole stabilise attempt (outermost wrapper) *)
+  | Image_load
+  | Image_save
+  | Journal_append
+  | Journal_replay
+  | Marker  (** commit-marker append + fsync *)
+  | Scrub
+  | Compaction
+
+val class_name : io_class -> string
+val all_classes : io_class list
 
 type stats = {
   attempts : int;
@@ -33,11 +64,19 @@ val transient : exn -> bool
 val run :
   ?policy:policy ->
   ?on_retry:(int -> exn -> unit) ->
+  ?on_exhausted:(exn -> unit) ->
   ?obs:Obs.t ->
   label:string ->
   (unit -> 'a) ->
   'a
 (** Run [f], retrying transient failures up to [policy.retries] times
-    with exponential backoff.  [on_retry] is called before each retry
-    with the attempt number and the exception; [obs], when given, has its
-    [Retry] counter bumped per retry.  The final failure is re-raised. *)
+    (within [policy.deadline]) with full-jitter exponential backoff.
+
+    [on_retry] is called before each retry with the attempt number and
+    the exception — use it to restore idempotency (truncate a journal
+    back to its savepoint) before the next attempt; exceptions it raises
+    are swallowed, never fatal.  [on_exhausted] is called once when a
+    transient failure exhausts the budget (the store's circuit breaker
+    hooks shard demotion here); its exceptions are swallowed too.
+    [obs], when given, has its [Retry] counter bumped per retry.  The
+    final failure is re-raised. *)

@@ -50,11 +50,13 @@ type shard = {
   scrcs : int32 Oid.Table.t; (* per-object checksums, primed by the scrubber *)
   sscrub : Scrub.state;
   sobs : Obs.t;
+  shealth : Health.t; (* fault-domain state machine *)
   mutable swal : Journal.t option;
   mutable spending : Journal.op list; (* newest first *)
   mutable spending_count : int;
   mutable sepoch : int; (* current on-disk image epoch of this shard *)
   mutable sdirty : bool; (* journal has appended-but-unsynced bytes *)
+  mutable sneeds_full : bool; (* this shard's journal can't express its state *)
   mutable sremembered : Oid.Set.t; (* live oids here referenced from other shards *)
 }
 
@@ -71,6 +73,10 @@ type t = {
   mutable committed : int; (* highest seq durably recorded in the marker *)
   mutable side_epoch : int; (* bumped on events that invalidate side caches *)
   mutable retry : Retry.policy option; (* transient-I/O retry, opt-in *)
+  mutable retry_overrides : (Retry.io_class * Retry.policy) list;
+  mutable breaker : int; (* consecutive exhausted failures before demotion; 0 = off *)
+  mutable salvage_degrade : int; (* salvaged entries per shard load that demote; 0 = off *)
+  mutable unhealthy : int; (* shards currently not Healthy (hot-path gate) *)
   mutable io_retries : int;
   mutable backing : string option;
   mutable pins : (unit -> Oid.t list) list;
@@ -89,6 +95,8 @@ type t = {
 
 let default_compaction_limit = 4096
 let max_shards = 64
+let default_breaker = 3
+let default_salvage_degrade = 8
 
 module Config = struct
   type nonrec t = {
@@ -96,6 +104,9 @@ module Config = struct
     compaction_limit : int;
     group_window : int;
     retry : Retry.policy option;
+    retry_overrides : (Retry.io_class * Retry.policy) list;
+    breaker : int;
+    salvage_degrade : int;
     backing : string option;
     trace_ring : int;
     tracing : bool;
@@ -108,6 +119,9 @@ module Config = struct
       compaction_limit = default_compaction_limit;
       group_window = 1;
       retry = None;
+      retry_overrides = [];
+      breaker = default_breaker;
+      salvage_degrade = default_salvage_degrade;
       backing = None;
       trace_ring = Obs.default_ring_capacity;
       tracing = false;
@@ -122,11 +136,13 @@ let make_shard () =
     sscrub = Scrub.create ();
     (* counters only — no ring, tracing never enabled *)
     sobs = Obs.create ~ring_capacity:0 ();
+    shealth = Health.create ();
     swal = None;
     spending = [];
     spending_count = 0;
     sepoch = 0;
     sdirty = false;
+    sneeds_full = false;
     sremembered = Oid.Set.empty;
   }
 
@@ -146,6 +162,10 @@ let make ?(obs = Obs.create ()) ?(nshards = 1) () =
     committed = 0;
     side_epoch = 0;
     retry = None;
+    retry_overrides = [];
+    breaker = default_breaker;
+    salvage_degrade = default_salvage_degrade;
+    unhealthy = 0;
     io_retries = 0;
     backing = None;
     pins = [];
@@ -201,7 +221,8 @@ let set_backing store path = store.backing <- Some path
    store-level [obs] (which tests and tooling read) receives the deltas
    once the section is over, on the calling domain. *)
 
-let merged_ops = [| Obs.Journal_append; Obs.Group_commit; Obs.Image_save; Obs.Image_load |]
+let merged_ops =
+  [| Obs.Journal_append; Obs.Group_commit; Obs.Image_save; Obs.Image_load; Obs.Retry |]
 
 let shard_counts store =
   Array.map (fun sh -> Array.map (fun op -> Obs.count sh.sobs op) merged_ops) store.shards
@@ -313,6 +334,181 @@ let set_group_window store n =
 let set_retry_policy store policy = store.retry <- policy
 let retry_policy store = store.retry
 
+(* The policy that governs one I/O class: its override if one is
+   configured, else the store-wide default policy ([None] = fail fast,
+   the crash-injection tests' contract). *)
+let policy_for store cls =
+  match List.assoc_opt cls store.retry_overrides with
+  | Some p -> Some p
+  | None -> store.retry
+
+(* -- shard health (fault domains) -----------------------------------------
+
+   Each shard is a fault domain: repeated exhausted transient I/O
+   failures (the circuit breaker), a salvage-heavy image load, or an
+   unreadable image at open demote ONLY that shard.  A demoted shard is
+   read-only — reads serve from memory, writes raise the typed
+   [Failure.Shard_degraded] — while every other shard keeps full
+   service.  [Store.repair] is the way back.
+
+   The hot-path cost while everything is healthy is one int load
+   ([store.unhealthy = 0]); state transitions happen on the calling
+   domain only, never from the pool. *)
+
+let refresh_unhealthy store =
+  store.unhealthy <-
+    Array.fold_left (fun acc sh -> if Health.healthy sh.shealth then acc else acc + 1) 0
+      store.shards
+
+let shard_healthy store k = Health.healthy store.shards.(k).shealth
+let healthy store = store.unhealthy = 0
+
+let check_shard_index store k =
+  if k < 0 || k >= nshards store then
+    invalid_arg (Printf.sprintf "Store: shard %d out of range (store has %d)" k (nshards store))
+
+let degrade_shard store k reason =
+  check_shard_index store k;
+  Health.degrade store.shards.(k).shealth reason;
+  refresh_unhealthy store
+
+let offline_shard store k reason =
+  check_shard_index store k;
+  Health.offline store.shards.(k).shealth reason;
+  refresh_unhealthy store
+
+let refuse_write store k st =
+  let sh = store.shards.(k) in
+  Health.note_refused_write sh.shealth;
+  Obs.incr store.obs Obs.Degraded_op;
+  let state, reason =
+    match st with
+    | Health.Degraded r -> ("degraded", r)
+    | Health.Offline r -> ("offline", r)
+    | Health.Healthy -> ("healthy", "") (* unreachable: guards check first *)
+  in
+  raise (Failure.Shard_degraded { shard = k; state; reason })
+
+(* Write guard: free while all shards are healthy, one state check on
+   the op's own shard otherwise. *)
+let guard_shard_write store k =
+  if store.unhealthy > 0 then begin
+    match Health.state store.shards.(k).shealth with
+    | Health.Healthy -> ()
+    | st -> refuse_write store k st
+  end
+
+let guard_write_oid store oid =
+  if store.unhealthy > 0 then guard_shard_write store (shard_ix_oid store oid)
+
+let guard_write_key store key =
+  if store.unhealthy > 0 then guard_shard_write store (shard_ix_key store key)
+
+(* Allocation routes by the oid the heap will hand out next, so the
+   guard must predict it: refusing AFTER allocating would leak a live
+   object into a read-only shard. *)
+let guard_alloc store =
+  if store.unhealthy > 0 then
+    guard_shard_write store (shard_ix_oid store (Oid.of_int (Heap.next_oid store.heap)))
+
+(* Reads always serve (that is the point of degraded mode); a read that
+   lands on a demoted shard is counted so operators can see traffic
+   running on reduced redundancy. *)
+let note_read store oid =
+  if store.unhealthy > 0 then begin
+    let sh = shard_oid store oid in
+    if not (Health.healthy sh.shealth) then begin
+      Health.note_degraded_read sh.shealth;
+      Obs.incr store.obs Obs.Degraded_op
+    end
+  end
+
+let note_read_key store key =
+  if store.unhealthy > 0 then begin
+    let sh = shard_key store key in
+    if not (Health.healthy sh.shealth) then begin
+      Health.note_degraded_read sh.shealth;
+      Obs.incr store.obs Obs.Degraded_op
+    end
+  end
+
+(* The circuit breaker: after a failed stabilise/compaction, demote (on
+   the calling domain) every shard whose consecutive exhausted-failure
+   count crossed the threshold.  Successful shard I/O resets the count
+   from the pool, so only a persistent run of failures trips it. *)
+let trip_breakers store =
+  if store.breaker > 0 && nshards store > 1 then begin
+    Array.iter
+      (fun sh ->
+        if Health.healthy sh.shealth && Health.failures sh.shealth >= store.breaker then
+          Health.degrade sh.shealth
+            (Printf.sprintf "circuit breaker: %d consecutive transient I/O failures"
+               (Health.failures sh.shealth)))
+      store.shards;
+    refresh_unhealthy store
+  end
+
+type shard_health = {
+  h_shard : int;
+  h_state : Health.state;
+  h_failures : int; (* consecutive exhausted transient failures *)
+  h_trips : int;
+  h_degraded_reads : int;
+  h_refused_writes : int;
+  h_repairs : int;
+}
+
+let health store =
+  Array.to_list
+    (Array.mapi
+       (fun k sh ->
+         {
+           h_shard = k;
+           h_state = Health.state sh.shealth;
+           h_failures = Health.failures sh.shealth;
+           h_trips = Health.trips sh.shealth;
+           h_degraded_reads = Health.degraded_reads sh.shealth;
+           h_refused_writes = Health.refused_writes sh.shealth;
+           h_repairs = Health.repairs sh.shealth;
+         })
+       store.shards)
+
+let first_unhealthy store =
+  let found = ref None in
+  Array.iteri
+    (fun k sh ->
+      if !found = None && not (Health.healthy sh.shealth) then
+        found := Some (k, Health.state sh.shealth))
+    store.shards;
+  !found
+
+(* Run one shard's I/O under its class policy.  Runs on pool domains:
+   retries happen in place (after [undo] rolls partial effects back),
+   exhaustion feeds the shard's consecutive-failure counter — the
+   circuit breaker's input — and success resets it.  Only the counters
+   are touched here; the breaker trip itself (a state transition)
+   happens later on the calling domain, in [trip_breakers]. *)
+let shard_io store sh cls ?(undo = fun () -> ()) f =
+  match policy_for store cls with
+  | None -> begin
+    match f () with
+    | v ->
+      Health.note_ok sh.shealth;
+      v
+    | exception e ->
+      if Retry.transient e then Health.note_failure sh.shealth;
+      raise e
+  end
+  | Some policy ->
+    let v =
+      Retry.run ~policy ~obs:sh.sobs ~label:(Retry.class_name cls)
+        ~on_retry:(fun _ _ -> undo ())
+        ~on_exhausted:(fun _ -> Health.note_failure sh.shealth)
+        f
+    in
+    Health.note_ok sh.shealth;
+    v
+
 (* -- configuration --------------------------------------------------------- *)
 
 let configure store (c : Config.t) =
@@ -326,6 +522,12 @@ let configure store (c : Config.t) =
   set_compaction_limit store c.Config.compaction_limit;
   set_group_window store c.Config.group_window;
   store.retry <- c.Config.retry;
+  store.retry_overrides <- c.Config.retry_overrides;
+  if c.Config.breaker < 0 then invalid_arg "Store.configure: negative breaker threshold";
+  store.breaker <- c.Config.breaker;
+  if c.Config.salvage_degrade < 0 then
+    invalid_arg "Store.configure: negative salvage_degrade threshold";
+  store.salvage_degrade <- c.Config.salvage_degrade;
   (* [backing = None] leaves the current backing alone: store identity is
      not a tunable, and [open_file ?config] must not clear the path it
      just opened. *)
@@ -340,6 +542,9 @@ let config store : Config.t =
     compaction_limit = store.compaction_limit;
     group_window = store.group_window;
     retry = store.retry;
+    retry_overrides = store.retry_overrides;
+    breaker = store.breaker;
+    salvage_degrade = store.salvage_degrade;
     backing = store.backing;
     trace_ring = Obs.ring_capacity store.obs;
     tracing = Obs.enabled store.obs;
@@ -384,15 +589,18 @@ let pending_total store = Array.fold_left (fun acc sh -> acc + sh.spending_count
 (* -- roots --------------------------------------------------------------- *)
 
 let set_root store name v =
+  guard_write_key store name;
   Obs.incr store.obs Obs.Set;
   Roots.set store.roots name v;
   if journalling store then record store (Journal.Set_root (name, v))
 
 let root store name =
+  note_read_key store name;
   Obs.incr store.obs Obs.Root_lookup;
   Roots.find store.roots name
 
 let remove_root store name =
+  guard_write_key store name;
   Obs.incr store.obs Obs.Set;
   Roots.remove store.roots name;
   if journalling store then record store (Journal.Remove_root name)
@@ -410,24 +618,28 @@ let journal_alloc store oid =
   record store (Journal.Alloc (oid, Journal.copy_entry (Heap.get store.heap oid)))
 
 let alloc_record store class_name fields =
+  guard_alloc store;
   Obs.span store.obs Obs.Alloc ~label:class_name (fun () ->
       let oid = Heap.alloc_record store.heap class_name fields in
       if journalling store then journal_alloc store oid;
       oid)
 
 let alloc_array store elem_type elems =
+  guard_alloc store;
   Obs.span store.obs Obs.Alloc ~label:elem_type (fun () ->
       let oid = Heap.alloc_array store.heap elem_type elems in
       if journalling store then journal_alloc store oid;
       oid)
 
 let alloc_string store s =
+  guard_alloc store;
   Obs.span store.obs Obs.Alloc ~label:"string" (fun () ->
       let oid = Heap.alloc_string store.heap s in
       if journalling store then journal_alloc store oid;
       oid)
 
 let alloc_weak store target =
+  guard_alloc store;
   Obs.span store.obs Obs.Alloc ~label:"weak" (fun () ->
       let oid = Heap.alloc_weak store.heap target in
       if journalling store then journal_alloc store oid;
@@ -437,6 +649,7 @@ let alloc_weak store target =
    callers can degrade gracefully instead of consuming corrupt state.
    One lookup: the reason doubles as the membership test. *)
 let check_q store oid =
+  note_read store oid;
   match Quarantine.find (shard_oid store oid).sq oid with
   | Some reason ->
     Obs.incr store.obs Obs.Quarantine_hit;
@@ -502,6 +715,7 @@ let field store oid idx =
   end
 
 let set_field store oid idx v =
+  guard_write_oid store oid;
   if Obs.enabled store.obs then
     Obs.span store.obs Obs.Set ~oid (fun () ->
         check_q store oid;
@@ -528,6 +742,7 @@ let elem store oid idx =
   end
 
 let set_elem store oid idx v =
+  guard_write_oid store oid;
   if Obs.enabled store.obs then
     Obs.span store.obs Obs.Set ~oid (fun () ->
         check_q store oid;
@@ -550,6 +765,7 @@ let array_length store oid =
 (* -- salvage reads -------------------------------------------------------- *)
 
 let try_get store oid =
+  note_read store oid;
   Obs.incr store.obs Obs.Get;
   match Quarantine.find (shard_oid store oid).sq oid with
   | Some reason ->
@@ -581,22 +797,24 @@ let try_field store oid idx =
 (* -- quarantine ----------------------------------------------------------- *)
 
 (* Quarantine membership changes cannot be expressed as journal ops, so
-   they force a full image at the next compaction point — which is also
-   what persists the quarantine set across reopen.  The invariant is
-   shard-local: an oid is quarantined in (and only in) its own shard. *)
+   they force a fresh image of the owning shard at the next compaction
+   point — which is also what persists the quarantine set across reopen.
+   The invariant is shard-local: an oid is quarantined in (and only in)
+   its own shard, so on a sharded store only that shard pays the image
+   rewrite ([sneeds_full] selects it for a partial compaction). *)
 let quarantine_oid store oid reason =
   let sh = shard_oid store oid in
   Quarantine.add sh.sq oid reason;
   Oid.Table.remove sh.scrcs oid;
   bump_epoch store;
-  store.needs_full <- true
+  if nshards store = 1 then store.needs_full <- true else sh.sneeds_full <- true
 
 let clear_quarantine store oid =
   let sh = shard_oid store oid in
   if Quarantine.mem sh.sq oid then begin
     Quarantine.remove sh.sq oid;
     bump_epoch store;
-    store.needs_full <- true
+    if nshards store = 1 then store.needs_full <- true else sh.sneeds_full <- true
   end
 
 let quarantine_reason store oid = Quarantine.find (shard_oid store oid).sq oid
@@ -623,15 +841,18 @@ let string_value store = function
 (* -- blobs --------------------------------------------------------------- *)
 
 let set_blob store key data =
+  guard_write_key store key;
   Obs.incr store.obs Obs.Set;
   Hashtbl.replace store.blobs key data;
   if journalling store then record store (Journal.Set_blob (key, data))
 
 let blob store key =
+  note_read_key store key;
   Obs.incr store.obs Obs.Get;
   Hashtbl.find_opt store.blobs key
 
 let remove_blob store key =
+  guard_write_key store key;
   Obs.incr store.obs Obs.Set;
   Hashtbl.remove store.blobs key;
   if journalling store then record store (Journal.Remove_blob key)
@@ -655,6 +876,13 @@ let quarantine_roots store =
   List.filter (Heap.is_live store.heap) (List.map fst (quarantined store))
 
 let gc store =
+  (* A sweep touches every shard's objects and forces a full compaction,
+     which needs every shard writable — refuse while any is down rather
+     than silently dropping a demoted shard's garbage analysis. *)
+  (if store.unhealthy > 0 then
+     match first_unhealthy store with
+     | Some (k, st) -> refuse_write store k st
+     | None -> ());
   Obs.span store.obs Obs.Gc (fun () ->
       store.gc_count <- store.gc_count + 1;
       bump_epoch store;
@@ -789,7 +1017,11 @@ let scrub ?(budget = default_scrub_budget) store =
         end
       in
       if report.Scrub.newly_quarantined <> [] then begin
-        store.needs_full <- true;
+        (if nshards store = 1 then store.needs_full <- true
+         else
+           List.iter
+             (fun (oid, _) -> (shard_oid store oid).sneeds_full <- true)
+             report.Scrub.newly_quarantined);
         bump_epoch store
       end;
       report)
@@ -846,27 +1078,37 @@ let manifest_of store ~marker_epoch =
 let sync_dirty_shards store =
   Dpool.run (nshards store) (fun k ->
       let sh = store.shards.(k) in
-      if sh.sdirty then begin
-        (match sh.swal with
-        | Some w -> Journal.sync w
-        | None -> ());
-        sh.sdirty <- false
-      end)
+      if sh.sdirty && Health.healthy sh.shealth then
+        Faults.with_shard_scope k (fun () ->
+            shard_io store sh Retry.Journal_append (fun () ->
+                (match sh.swal with
+                | Some w -> Journal.sync w
+                | None -> ());
+                sh.sdirty <- false)))
 
 (* Snapshot mode, sharded: every stabilise rewrites all shard images (in
-   parallel) and then commits them together with one manifest rename. *)
+   parallel) and then commits them together with one manifest rename.
+   Unhealthy shards are skipped — their old-epoch image stays referenced
+   untouched; an OFFLINE shard's slice of the heap is empty, and writing
+   that empty slice out would turn a recoverable image into a lost one. *)
 let save_shards_snapshot store path =
   let c = contents store in
   let n = nshards store in
   let before = shard_counts store in
   Fun.protect ~finally:(fun () -> merge_shard_counts store before) @@ fun () ->
-  let epochs' = Array.map (fun sh -> sh.sepoch + 1) store.shards in
+  let epochs' =
+    Array.map (fun sh -> if Health.healthy sh.shealth then sh.sepoch + 1 else sh.sepoch)
+      store.shards
+  in
   Dpool.run n (fun k ->
-      let keep_oid, keep_key = shard_keep store k in
-      let slice = Image.slice ~keep_oid ~keep_key c in
-      ignore
-        (Image.save ~obs:store.shards.(k).sobs (Manifest.shard_image path k epochs'.(k)) slice
-          : int32));
+      let sh = store.shards.(k) in
+      if Health.healthy sh.shealth then
+        Faults.with_shard_scope k (fun () ->
+            shard_io store sh Retry.Image_save (fun () ->
+                let keep_oid, keep_key = shard_keep store k in
+                let slice = Image.slice ~keep_oid ~keep_key c in
+                ignore (Image.save ~obs:sh.sobs (Manifest.shard_image path k epochs'.(k)) slice
+                  : int32))));
   let m = { Manifest.nshards = n; marker_epoch = -1; epochs = epochs' } in
   Manifest.save path m;
   Array.iteri (fun k sh -> sh.sepoch <- epochs'.(k)) store.shards;
@@ -882,13 +1124,19 @@ let save_shards_snapshot store path =
    rolls back, and [needs_full] routes the retry through compaction. *)
 let sharded_append ~force_sync store =
   let marker = Option.get store.marker in
-  let have_pending = Array.exists (fun sh -> sh.spending <> []) store.shards in
+  (* A demoted shard takes no part: its pending ops stay buffered (they
+     describe heap state that [repair]'s rewrite will persist) and its
+     files are not touched.  Demotion therefore never loses a delta — it
+     just defers that shard's durability to the repair. *)
+  let active sh = Health.healthy sh.shealth in
+  let have_pending = Array.exists (fun sh -> active sh && sh.spending <> []) store.shards in
   let seq' = if have_pending then store.seq + 1 else store.seq in
   let saves =
     Array.map
       (fun sh ->
         match sh.swal with
-        | Some w when sh.spending <> [] -> Some (w, Journal.position w, Journal.depth w)
+        | Some w when active sh && sh.spending <> [] ->
+          Some (w, Journal.position w, Journal.depth w)
         | _ -> None)
       store.shards
   in
@@ -898,15 +1146,33 @@ let sharded_append ~force_sync store =
     if have_pending then
       Dpool.run (nshards store) (fun k ->
           let sh = store.shards.(k) in
-          if sh.spending <> [] then begin
-            Journal.append_batch ~seq:seq' (Option.get sh.swal) (List.rev sh.spending);
-            sh.sdirty <- true
-          end);
+          match saves.(k) with
+          | None -> ()
+          | Some (w, pos, depth) ->
+            Faults.with_shard_scope k (fun () ->
+                (* An interrupted append may have landed a torn prefix;
+                   truncating back to the savepoint restores idempotency
+                   before each retry. *)
+                shard_io store sh Retry.Journal_append
+                  ~undo:(fun () -> try Journal.truncate_to w ~pos ~depth with _ -> ())
+                  (fun () ->
+                    Journal.append_batch ~seq:seq' w (List.rev sh.spending);
+                    sh.sdirty <- true)));
     if force_sync || store.unsynced + 1 >= store.group_window then begin
       sync_dirty_shards store;
       if seq' > store.committed then begin
-        Manifest.Marker.append marker seq';
-        Manifest.Marker.sync marker;
+        let commit () =
+          Manifest.Marker.append marker seq';
+          Manifest.Marker.sync marker
+        in
+        (match policy_for store Retry.Marker with
+        | None -> commit ()
+        | Some policy ->
+          Retry.run ~policy ~obs:store.obs ~label:(Retry.class_name Retry.Marker)
+            ~on_retry:(fun _ _ ->
+              store.io_retries <- store.io_retries + 1;
+              try Manifest.Marker.truncate_to marker ~pos:msave with _ -> ())
+            commit);
         store.committed <- seq'
       end;
       store.unsynced <- 0
@@ -916,20 +1182,28 @@ let sharded_append ~force_sync store =
   | () ->
     merge_shard_counts store before;
     store.seq <- seq';
-    Array.iter
-      (fun sh ->
-        sh.spending <- [];
-        sh.spending_count <- 0)
+    Array.iteri
+      (fun k sh ->
+        if saves.(k) <> None || sh.spending = [] then begin
+          sh.spending <- [];
+          sh.spending_count <- 0
+        end)
       store.shards
   | exception e ->
     merge_shard_counts store before;
-    Array.iter
-      (function
-        | Some (w, pos, depth) -> ( try Journal.truncate_to w ~pos ~depth with _ -> ())
+    (* Roll the whole stabilise back.  Journals that took part are
+       truncated to their savepoints; only the shards whose files were
+       actually touched are marked for a fresh image — a healthy shard
+       must not pay for its neighbour's failure. *)
+    Array.iteri
+      (fun k save ->
+        match save with
+        | Some (w, pos, depth) ->
+          (try Journal.truncate_to w ~pos ~depth with _ -> ());
+          store.shards.(k).sneeds_full <- true
         | None -> ())
       saves;
     (try Manifest.Marker.truncate_to marker ~pos:msave with _ -> ());
-    store.needs_full <- true;
     raise e
 
 (* Sharded compaction.  [selected] says which shards get a fresh image
@@ -952,10 +1226,17 @@ let compact_shards store path ~full ~selected =
               let sh = store.shards.(k) in
               let e' = sh.sepoch + 1 in
               let keep_oid, keep_key = shard_keep store k in
-              let slice = Image.slice ~keep_oid ~keep_key c in
-              let crc = Image.save ~obs:sh.sobs (Manifest.shard_image path k e') slice in
-              new_wals.(k) <-
-                Some (Journal.create ~obs:sh.sobs (Manifest.shard_wal path k e') ~base_crc:crc)
+              Faults.with_shard_scope k (fun () ->
+                  (* Idempotent under retry: the image write is tmp+rename
+                     and the journal create truncates — each attempt
+                     rewrites the same new-epoch paths from scratch. *)
+                  shard_io store sh Retry.Image_save (fun () ->
+                      let slice = Image.slice ~keep_oid ~keep_key c in
+                      let crc = Image.save ~obs:sh.sobs (Manifest.shard_image path k e') slice in
+                      new_wals.(k) <-
+                        Some
+                          (Journal.create ~obs:sh.sobs (Manifest.shard_wal path k e')
+                             ~base_crc:crc)))
             end);
         merge_shard_counts store before;
         (* a full compaction rotates the marker: sequence numbers restart
@@ -966,7 +1247,15 @@ let compact_shards store path ~full ~selected =
         let epochs' =
           Array.mapi (fun k sh -> if selected.(k) then sh.sepoch + 1 else sh.sepoch) store.shards
         in
-        Manifest.save path { Manifest.nshards = n; marker_epoch = marker_epoch'; epochs = epochs' };
+        let commit () =
+          Manifest.save path { Manifest.nshards = n; marker_epoch = marker_epoch'; epochs = epochs' }
+        in
+        (match policy_for store Retry.Compaction with
+        | None -> commit ()
+        | Some policy ->
+          Retry.run ~policy ~obs:store.obs ~label:(Retry.class_name Retry.Compaction)
+            ~on_retry:(fun _ _ -> store.io_retries <- store.io_retries + 1)
+            commit);
         (marker_epoch', epochs')
       with
       | marker_epoch', epochs' ->
@@ -978,6 +1267,7 @@ let compact_shards store path ~full ~selected =
               | None -> ());
               sh.swal <- new_wals.(k);
               sh.sdirty <- false;
+              sh.sneeds_full <- false;
               sh.sepoch <- epochs'.(k)
             end)
           store.shards;
@@ -990,10 +1280,16 @@ let compact_shards store path ~full ~selected =
           store.seq <- 0;
           store.committed <- 0
         end;
+        (* A demoted shard's pending ops stay buffered for its repair:
+           its image was not selected, its journal was not appended —
+           clearing them would drop the only record that a rewrite is
+           still owed. *)
         Array.iter
           (fun sh ->
-            sh.spending <- [];
-            sh.spending_count <- 0)
+            if Health.healthy sh.shealth then begin
+              sh.spending <- [];
+              sh.spending_count <- 0
+            end)
           store.shards;
         store.needs_full <- false;
         store.unsynced <- 0;
@@ -1012,7 +1308,8 @@ let compact_shards store path ~full ~selected =
         (match !created_marker with
         | Some m -> ( try Manifest.Marker.close m with _ -> ())
         | None -> ());
-        store.needs_full <- true;
+        if full then store.needs_full <- true
+        else Array.iteri (fun k sh -> if selected.(k) then sh.sneeds_full <- true) store.shards;
         raise e)
 
 let per_shard_limit store =
@@ -1024,8 +1321,12 @@ let stabilise_once_sharded store path =
   | Snapshot -> save_shards_snapshot store path
   | Journalled ->
     let in_rollback = store.rollback_depth > 0 in
+    let active sh = Health.healthy sh.shealth in
+    (* Missing files of a DEMOTED shard don't force anything: that shard
+       is out of service and its rebuild is [repair]'s job.  Only a
+       healthy shard without a journal makes appending impossible. *)
     let any_missing =
-      store.marker = None || Array.exists (fun sh -> sh.swal = None) store.shards
+      store.marker = None || Array.exists (fun sh -> active sh && sh.swal = None) store.shards
     in
     let must_compact = store.needs_full || any_missing in
     let limit = per_shard_limit store in
@@ -1036,17 +1337,26 @@ let stabilise_once_sharded store path =
       + sh.spending_count
       > limit
     in
+    let want sh = active sh && (over sh || sh.sneeds_full) in
     if must_compact && in_rollback then
       invalid_arg
         "Store.stabilise: store needs compaction inside with_rollback (after a gc or direct \
          heap surgery); stabilise before the transaction instead"
-    else if must_compact then
+    else if must_compact then begin
+      (* A full compaction rewrites every shard and rotates the marker —
+         it cannot proceed around a dead shard.  Refuse with the typed
+         error naming the shard that must be repaired first. *)
+      (if store.unhealthy > 0 then
+         match first_unhealthy store with
+         | Some (k, st) -> refuse_write store k st
+         | None -> ());
       compact_shards store path ~full:true ~selected:(Array.make (nshards store) true)
-    else if Array.exists over store.shards && not in_rollback then
+    end
+    else if Array.exists want store.shards && not in_rollback then
       (* Per-shard compaction: only the shards over their slice of the
-         limit pay the image rewrite — the hot shard compacts while cold
-         shards keep their journals. *)
-      compact_shards store path ~full:false ~selected:(Array.map over store.shards)
+         limit (or owing a quarantine-change image) pay the rewrite — the
+         hot shard compacts while cold shards keep their journals. *)
+      compact_shards store path ~full:false ~selected:(Array.map want store.shards)
     else sharded_append ~force_sync:false store
 
 (* One stabilisation attempt.  Both failure paths are idempotent, which
@@ -1111,12 +1421,23 @@ let stabilise ?path store =
     | Journalled -> "journalled"
   in
   Obs.span store.obs Obs.Stabilise ~label:mode (fun () ->
-      match store.retry with
-      | None -> stabilise_once store path
-      | Some policy ->
-        Retry.run ~policy ~obs:store.obs ~label:"stabilise"
-          ~on_retry:(fun _ _ -> store.io_retries <- store.io_retries + 1)
-          (fun () -> stabilise_once store path))
+      let attempt () = stabilise_once store path in
+      let run () =
+        match policy_for store Retry.Stabilise with
+        | None -> attempt ()
+        | Some policy ->
+          Retry.run ~policy ~obs:store.obs ~label:"stabilise"
+            ~on_retry:(fun _ _ -> store.io_retries <- store.io_retries + 1)
+            attempt
+      in
+      match run () with
+      | () -> ()
+      | exception e ->
+        (* The per-shard failure counters were fed while the attempts ran
+           (on pool domains); the state transition happens here, once,
+           after the whole stabilise has given up. *)
+        trip_breakers store;
+        raise e)
 
 (* -- open / recovery ------------------------------------------------------ *)
 
@@ -1177,34 +1498,102 @@ let open_flat ?config path =
   Option.iter (fun (c : Config.t) -> configure store { c with Config.shards = 1 }) config;
   store
 
+(* Every oid any surviving entry or root still references.  Weak targets
+   count too: resurrecting a weak reference onto a recycled oid would
+   alias just like a strong one. *)
+let iter_referenced_oids store f =
+  Heap.iter
+    (fun _ entry ->
+      List.iter f (Heap.strong_refs entry);
+      match entry with
+      | Heap.Weak { Heap.target = Pvalue.Ref o } -> f o
+      | _ -> ())
+    store.heap;
+  Roots.iter
+    (fun _ v ->
+      match v with
+      | Pvalue.Ref o -> f o
+      | _ -> ())
+    store.roots
+
+(* After a shard's image is lost, its allocation history is unknown;
+   handing out an oid number a survivor still references would alias the
+   dangling reference onto a fresh object.  Advance the allocator past
+   everything still referenced from the surviving shards. *)
+let bump_past_references store =
+  let bump = ref (Heap.next_oid store.heap) in
+  iter_referenced_oids store (fun o -> if Oid.to_int o >= !bump then bump := Oid.to_int o + 1);
+  Heap.set_next_oid store.heap !bump
+
 (* Sharded open: load every shard image (in parallel), merge, then replay
    each shard's journal up to the marker's committed sequence number.
    Batches past the committed point are dropped whole — another shard's
    half of the same stabilise may be missing, and the marker is the only
-   witness that all halves landed. *)
+   witness that all halves landed.
+
+   Shard faults are contained at open: an unreadable image takes ONLY
+   that shard offline (its slice of the heap stays empty until
+   [repair]); a salvage-heavy load — more than [salvage_degrade]
+   quarantined entries — opens the shard degraded.  The rest of the
+   store loads and serves normally. *)
 let open_sharded ?config path =
   let obs = Obs.create () in
   let m = Manifest.load path in
   let n = m.Manifest.nshards in
   let store = make ~obs ~nshards:n () in
   store.backing <- Some path;
-  let parts = Array.make n None in
+  (* The full configuration is applied last (it must win over recovered
+     state), but the load below already consults the retry policies and
+     health thresholds — install those up front. *)
+  (match config with
+  | Some (c : Config.t) ->
+    store.retry <- c.Config.retry;
+    store.retry_overrides <- c.Config.retry_overrides;
+    store.breaker <- c.Config.breaker;
+    store.salvage_degrade <- c.Config.salvage_degrade
+  | None -> ());
+  let parts : Image.load_report option array = Array.make n None in
+  let fails = Array.make n None in
   let before = shard_counts store in
   Dpool.run n (fun k ->
-      parts.(k) <-
-        Some
-          (Image.load_with_crc ~obs:store.shards.(k).sobs
-             (Manifest.shard_image path k m.Manifest.epochs.(k))));
+      let sh = store.shards.(k) in
+      Faults.with_shard_scope k (fun () ->
+          match
+            shard_io store sh Retry.Image_load (fun () ->
+                Image.load_report ~obs:sh.sobs (Manifest.shard_image path k m.Manifest.epochs.(k)))
+          with
+          | r -> parts.(k) <- Some r
+          | exception
+              (( Image.Image_error _ | Codec.Decode_error _ | Sys_error _
+               | Faults.Fault_injected _ | Unix.Unix_error _ ) as e) ->
+            fails.(k) <- Some (Printexc.to_string e)));
   merge_shard_counts store before;
+  (* Health transitions happen here, on the calling domain, after the
+     parallel loads have joined. *)
+  Array.iteri
+    (fun k fail ->
+      match (fail, parts.(k)) with
+      | Some reason, _ ->
+        Health.offline store.shards.(k).shealth ("image load failed: " ^ reason)
+      | None, Some r
+        when store.salvage_degrade > 0 && r.Image.lr_salvaged >= store.salvage_degrade ->
+        Health.degrade store.shards.(k).shealth
+          (Printf.sprintf "salvage-heavy image load: %d entries quarantined" r.Image.lr_salvaged)
+      | _ -> ())
+    fails;
+  refresh_unhealthy store;
   Array.iteri
     (fun k part ->
-      let c, _ = Option.get part in
-      Heap.iter (fun oid entry -> Heap.insert store.heap oid entry) c.Image.heap;
-      if Heap.next_oid c.Image.heap > Heap.next_oid store.heap then
-        Heap.set_next_oid store.heap (Heap.next_oid c.Image.heap);
-      Roots.iter (Roots.set store.roots) c.Image.roots;
-      Hashtbl.iter (Hashtbl.replace store.blobs) c.Image.blobs;
-      Quarantine.replace_all store.shards.(k).sq ~from:c.Image.quarantine)
+      match part with
+      | None -> ()
+      | Some (r : Image.load_report) ->
+        let c = r.Image.lr_contents in
+        Heap.iter (fun oid entry -> Heap.insert store.heap oid entry) c.Image.heap;
+        if Heap.next_oid c.Image.heap > Heap.next_oid store.heap then
+          Heap.set_next_oid store.heap (Heap.next_oid c.Image.heap);
+        Roots.iter (Roots.set store.roots) c.Image.roots;
+        Hashtbl.iter (Hashtbl.replace store.blobs) c.Image.blobs;
+        Quarantine.replace_all store.shards.(k).sq ~from:c.Image.quarantine)
     parts;
   (* Epochs are persistent state: a compaction that forgot them would
      overwrite live image files in place instead of committing fresh
@@ -1226,39 +1615,42 @@ let open_sharded ?config path =
       let all_journals_good = ref true in
       Array.iteri
         (fun k sh ->
-          let wpath = Manifest.shard_wal path k m.Manifest.epochs.(k) in
-          let _, crc = Option.get parts.(k) in
-          match Journal.read wpath with
-          | Some jr when Int32.equal jr.Journal.base_crc crc ->
-            let stop = ref false in
-            let valid = ref Journal.header_size in
-            let depth = ref 0 in
-            List.iter
-              (fun (b : Journal.batch) ->
-                if not !stop then begin
-                  match b.Journal.b_seq with
-                  | Some s when s > store.committed -> stop := true
-                  | _ ->
-                    List.iter
-                      (fun op -> Journal.apply op store.heap store.roots store.blobs)
-                      b.Journal.b_ops;
-                    let nops = List.length b.Journal.b_ops in
-                    replayed := !replayed + nops;
-                    depth := !depth + nops;
-                    valid := b.Journal.b_end
-                end)
-              jr.Journal.batches;
-            if jr.Journal.torn then store.recovered_torn <- true;
-            sh.swal <-
-              Some
-                (Journal.open_for_append ~obs:sh.sobs wpath ~valid_bytes:!valid ~depth:!depth)
-          | Some _ | None ->
-            (* Missing or stale journal (its base image moved on, or the
-               file tore at the header): its shard image already holds or
-               supersedes the journalled effects that mattered — force a
-               fresh full compaction rather than trusting the tail. *)
-            all_journals_good := false;
-            store.needs_full <- true)
+          match parts.(k) with
+          | None -> () (* offline: [repair] salvages its journal later *)
+          | Some (r : Image.load_report) -> begin
+            let wpath = Manifest.shard_wal path k m.Manifest.epochs.(k) in
+            match Journal.read wpath with
+            | Some jr when Int32.equal jr.Journal.base_crc r.Image.lr_crc ->
+              let stop = ref false in
+              let valid = ref Journal.header_size in
+              let depth = ref 0 in
+              List.iter
+                (fun (b : Journal.batch) ->
+                  if not !stop then begin
+                    match b.Journal.b_seq with
+                    | Some s when s > store.committed -> stop := true
+                    | _ ->
+                      List.iter
+                        (fun op -> Journal.apply op store.heap store.roots store.blobs)
+                        b.Journal.b_ops;
+                      let nops = List.length b.Journal.b_ops in
+                      replayed := !replayed + nops;
+                      depth := !depth + nops;
+                      valid := b.Journal.b_end
+                  end)
+                jr.Journal.batches;
+              if jr.Journal.torn then store.recovered_torn <- true;
+              sh.swal <-
+                Some
+                  (Journal.open_for_append ~obs:sh.sobs wpath ~valid_bytes:!valid ~depth:!depth)
+            | Some _ | None ->
+              (* Missing or stale journal (its base image moved on, or the
+                 file tore at the header): its shard image already holds or
+                 supersedes the journalled effects that mattered — force a
+                 fresh full compaction rather than trusting the tail. *)
+              all_journals_good := false;
+              store.needs_full <- true
+          end)
         store.shards;
       store.replayed <- !replayed;
       (* Every journal matched its image and replayed cleanly: the next
@@ -1269,8 +1661,13 @@ let open_sharded ?config path =
       store.marker <-
         Some (Manifest.Marker.open_for_append mpath ~valid_bytes:mr.Manifest.Marker.valid_bytes)
   end;
-  if Array.exists (fun sh -> not (Quarantine.is_empty sh.sq)) store.shards then begin
-    store.needs_full <- true end;
+  (* A salvage load quarantined objects the on-disk image does not yet
+     record as such; mark the owning shard so its next compaction point
+     persists the quarantine set. *)
+  Array.iter
+    (fun sh -> if not (Quarantine.is_empty sh.sq) then sh.sneeds_full <- true)
+    store.shards;
+  if store.unhealthy > 0 then bump_past_references store;
   Option.iter (fun (c : Config.t) -> configure store { c with Config.shards = n }) config;
   (* Files from epochs this manifest superseded (a crash mid-compaction
      leaves them behind) are unreferenced — sweep them now. *)
@@ -1321,17 +1718,166 @@ let crash store =
   Array.iter
     (fun sh ->
       (match sh.swal with
-      | Some w -> Journal.crash w
+      | Some w -> ( try Journal.crash w with _ -> ())
       | None -> ());
       sh.swal <- None;
       sh.sdirty <- false)
     store.shards;
   (match store.marker with
-  | Some m -> Manifest.Marker.crash m
+  | Some m -> ( try Manifest.Marker.crash m with _ -> ())
   | None -> ());
   store.marker <- None;
   store.unsynced <- 0;
   Obs.drop store.obs
+
+(* -- repair ---------------------------------------------------------------- *)
+
+type repair_report = {
+  r_shard : int;
+  r_was : Health.state; (* the state the shard was repaired out of *)
+  r_restored : int; (* heap entries recovered from its on-disk image *)
+  r_replayed : int; (* journal ops re-applied on top of them *)
+  r_lost : int; (* referenced oids that stayed unrecoverable (quarantined) *)
+  r_ms : float; (* wall-clock repair time, milliseconds *)
+}
+
+(* Rebuild an OFFLINE shard's slice of the heap from whatever survives on
+   disk: the image (salvage-tolerant), then its journal — gated by the
+   marker's committed sequence number exactly like normal recovery, but
+   op-by-op lenient: an op whose base object was unrecoverable is
+   skipped, not fatal.  The degraded case needs none of this — memory
+   was never lost, only the shard's files fell out of trust. *)
+let rebuild_offline_shard store k ~restored ~replayed =
+  match store.backing with
+  | None -> ()
+  | Some path ->
+    let sh = store.shards.(k) in
+    let img =
+      try Some (Image.load_report (Manifest.shard_image path k sh.sepoch)) with _ -> None
+    in
+    (match img with
+    | Some (r : Image.load_report) ->
+      let c = r.Image.lr_contents in
+      Heap.iter
+        (fun oid entry ->
+          if not (Heap.is_live store.heap oid) then begin
+            Heap.insert store.heap oid entry;
+            incr restored
+          end)
+        c.Image.heap;
+      if Heap.next_oid c.Image.heap > Heap.next_oid store.heap then
+        Heap.set_next_oid store.heap (Heap.next_oid c.Image.heap);
+      Roots.iter (Roots.set store.roots) c.Image.roots;
+      Hashtbl.iter (Hashtbl.replace store.blobs) c.Image.blobs;
+      List.iter
+        (fun (oid, reason) -> Quarantine.add sh.sq oid reason)
+        (Quarantine.to_list c.Image.quarantine)
+    | None -> ());
+    (match Journal.read (Manifest.shard_wal path k sh.sepoch) with
+    | None -> ()
+    | Some jr ->
+      let fresh =
+        match img with
+        | Some r -> Int32.equal jr.Journal.base_crc r.Image.lr_crc
+        | None -> true (* no image to pair against: best-effort salvage *)
+      in
+      if fresh then begin
+        let stop = ref false in
+        List.iter
+          (fun (b : Journal.batch) ->
+            if not !stop then begin
+              match b.Journal.b_seq with
+              | Some s when s > store.committed -> stop := true
+              | _ ->
+                List.iter
+                  (fun op ->
+                    match Journal.apply op store.heap store.roots store.blobs with
+                    | () -> incr replayed
+                    | exception _ -> ())
+                  b.Journal.b_ops
+            end)
+          jr.Journal.batches
+      end)
+
+(* References from survivors into shard [k] that still have no live
+   object after the rebuild are permanently lost; quarantine them so
+   reads fail with the typed reason instead of a bare dangling error. *)
+let quarantine_lost_refs store k =
+  let sh = store.shards.(k) in
+  let lost = ref Oid.Set.empty in
+  iter_referenced_oids store (fun o ->
+      if
+        shard_ix_oid store o = k
+        && (not (Heap.is_live store.heap o))
+        && not (Quarantine.mem sh.sq o)
+      then lost := Oid.Set.add o !lost);
+  Oid.Set.iter
+    (fun o -> Quarantine.add sh.sq o "lost with its shard (unrecovered by repair)")
+    !lost;
+  Oid.Set.cardinal !lost
+
+let repair store k =
+  check_shard_index store k;
+  let sh = store.shards.(k) in
+  match Health.state sh.shealth with
+  | Health.Healthy -> None
+  | was ->
+    Some
+      (Obs.span store.obs Obs.Repair (fun () ->
+           let t0 = Unix.gettimeofday () in
+           let restored = ref 0 and replayed = ref 0 in
+           (match was with
+           | Health.Offline _ -> rebuild_offline_shard store k ~restored ~replayed
+           | _ -> ());
+           let lost =
+             match was with
+             | Health.Offline _ -> quarantine_lost_refs store k
+             | _ -> 0
+           in
+           Health.promote sh.shealth;
+           refresh_unhealthy store;
+           bump_epoch store;
+           (* The shard's recorded checksums describe entries from before
+              the outage; let the scrubber re-prime them. *)
+           Oid.Table.reset sh.scrcs;
+           (* Durable rewrite: the shard owes the disk a fresh image
+              covering everything that happened while it was out of
+              service (buffered pending ops, salvage quarantine, the
+              rebuild).  On a journalled backed store, pay it now. *)
+           sh.sneeds_full <- true;
+           (match store.backing with
+           | Some path when store.durability = Journalled && nshards store > 1 -> begin
+             match
+               if store.needs_full || store.marker = None then begin
+                 if store.unhealthy = 0 then
+                   compact_shards store path ~full:true
+                     ~selected:(Array.make (nshards store) true)
+                 (* else: another shard is still down — the last repair
+                    reaches this full compaction for everyone *)
+               end
+               else
+                 compact_shards store path ~full:false
+                   ~selected:(Array.init (nshards store) (fun i -> i = k))
+             with
+             | () -> ()
+             | exception e ->
+               (* the rewrite never landed: go back out of service rather
+                  than pretend the promotion stuck *)
+               Health.degrade sh.shealth ("repair rewrite failed: " ^ Printexc.to_string e);
+               refresh_unhealthy store;
+               raise e
+           end
+           | _ -> ());
+           {
+             r_shard = k;
+             r_was = was;
+             r_restored = !restored;
+             r_replayed = !replayed;
+             r_lost = lost;
+             r_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+           }))
+
+let repair_all store = List.filter_map (repair store) (List.init (nshards store) Fun.id)
 
 type stats = {
   live : int;
@@ -1345,6 +1891,7 @@ type stats = {
   quarantined : int;
   io_retries : int;
   unsynced_batches : int;
+  unhealthy_shards : int;
 }
 
 let stats store =
@@ -1360,6 +1907,7 @@ let stats store =
     quarantined = quarantined_total store;
     io_retries = store.io_retries;
     unsynced_batches = store.unsynced;
+    unhealthy_shards = store.unhealthy;
   }
 
 (* -- per-shard introspection ---------------------------------------------- *)
@@ -1371,6 +1919,7 @@ type shard_info = {
   journal_bytes : int;
   pending_ops : int;
   remembered : int;
+  state : string; (* "healthy" | "degraded" | "offline" *)
 }
 
 let shard_info store =
@@ -1393,6 +1942,7 @@ let shard_info store =
           | None -> 0);
         pending_ops = sh.spending_count;
         remembered = Oid.Set.cardinal sh.sremembered;
+        state = Health.state_name (Health.state sh.shealth);
       })
 
 (* -- transactions ---------------------------------------------------------- *)

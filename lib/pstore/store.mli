@@ -37,7 +37,20 @@ module Config : sig
             durability for throughput — a crash can lose up to [n - 1]
             whole batches, never part of one *)
     retry : Retry.policy option;
-        (** transient-I/O retry for stabilise; [None] = fail fast *)
+        (** transient-I/O retry, threaded through every I/O class
+            (stabilise, image load/save, journal append, commit marker,
+            compaction); [None] = fail fast *)
+    retry_overrides : (Retry.io_class * Retry.policy) list;
+        (** per-class policy overrides; a class not listed here uses
+            [retry] *)
+    breaker : int;
+        (** circuit breaker: consecutive exhausted transient failures on
+            one shard before it is demoted to degraded ([0] = never).
+            Sharded stores only *)
+    salvage_degrade : int;
+        (** a sharded open that had to salvage at least this many
+            entries from one shard's image opens that shard degraded
+            ([0] = never) *)
     backing : string option;
         (** [Some p] points the store at a backing file; [None] leaves
             the current backing untouched (identity is not a tunable) *)
@@ -56,8 +69,10 @@ module Config : sig
   }
 
   val default : t
-  (** Snapshot durability, default compaction limit, no retry, backing
-      untouched, {!Obs.default_ring_capacity} ring, tracing off. *)
+  (** Snapshot durability, default compaction limit, no retry (and no
+      per-class overrides), breaker threshold 3, salvage-degrade
+      threshold 8, backing untouched, {!Obs.default_ring_capacity} ring,
+      tracing off. *)
 end
 
 val create : ?config:Config.t -> unit -> t
@@ -71,7 +86,14 @@ val open_file : ?config:Config.t -> string -> t
     that left a complete-but-unrenamed snapshot is promoted.  An explicit
     [config] is applied after recovery, so its durability wins over the
     recovered mode.
-    @raise Image.Image_error on a corrupt image with nothing to recover. *)
+
+    On a sharded store, shard faults are contained: an unreadable shard
+    image takes only that shard {e offline} (see {!health}; its slice of
+    the store stays empty until {!repair}), and a salvage-heavy shard
+    load opens that shard {e degraded} — the other shards load and serve
+    normally.
+    @raise Image.Image_error on a corrupt single-shard image with
+    nothing to recover. *)
 
 val configure : t -> Config.t -> unit
 (** Apply a whole configuration.  [backing = None] keeps the current
@@ -123,6 +145,70 @@ val shards : t -> int
 
 val shard_of : t -> Oid.t -> int
 (** The shard an oid hashes to (always [0] on a single-shard store). *)
+
+(** {1 Fault domains and shard health}
+
+    On a sharded store each shard is a fault domain with a three-state
+    health machine: [Healthy], [Degraded reason] (the circuit breaker
+    tripped on repeated exhausted transient I/O failures, or the open
+    had to salvage heavily around its image), or [Offline reason] (its
+    image was unreadable at open).  A shard that is not healthy is
+    read-only: reads keep serving from memory (counted as degraded
+    reads), writes routed to it raise {!Failure.Shard_degraded}, and
+    stabilise simply works around it — every other shard keeps full
+    service.  {!repair} is the way back to healthy. *)
+
+type shard_health = {
+  h_shard : int;
+  h_state : Health.state;
+  h_failures : int;  (** consecutive exhausted transient I/O failures *)
+  h_trips : int;  (** demotions so far (breaker trips + open demotions) *)
+  h_degraded_reads : int;  (** reads served while not healthy *)
+  h_refused_writes : int;  (** writes refused with [Shard_degraded] *)
+  h_repairs : int;  (** successful repairs *)
+}
+
+val health : t -> shard_health list
+(** Per-shard health, in shard order. *)
+
+val healthy : t -> bool
+(** Every shard is healthy (always true on a single-shard store). *)
+
+val shard_healthy : t -> int -> bool
+
+val degrade_shard : t -> int -> string -> unit
+(** Operator override: demote a healthy shard to degraded (no-op on an
+    already-demoted shard).  @raise Invalid_argument on a bad index. *)
+
+val offline_shard : t -> int -> string -> unit
+(** Operator override: take a shard offline (no-op if already offline). *)
+
+type repair_report = {
+  r_shard : int;
+  r_was : Health.state;  (** the state the shard was repaired out of *)
+  r_restored : int;  (** heap entries recovered from its on-disk image *)
+  r_replayed : int;  (** journal ops re-applied on top of them *)
+  r_lost : int;
+      (** oids still referenced by survivors that stayed unrecoverable;
+          they are quarantined with a "lost with its shard" reason *)
+  r_ms : float;  (** wall-clock repair time, milliseconds *)
+}
+
+val repair : t -> int -> repair_report option
+(** Repair one shard; [None] if it is already healthy.  A degraded
+    shard's state was never lost — repair promotes it and rewrites its
+    image (a partial compaction) so buffered mutations and quarantine
+    changes land durably.  An offline shard is first rebuilt from
+    whatever survives on disk: its image (salvage-tolerant), then its
+    journal gated by the commit marker exactly like normal recovery but
+    op-by-op lenient.  Cross-shard references into the shard that remain
+    dead afterwards are quarantined as lost, and the allocator is kept
+    clear of their oids.  If the durable rewrite fails the shard is
+    re-demoted and the failure re-raised.
+    @raise Invalid_argument on a bad shard index. *)
+
+val repair_all : t -> repair_report list
+(** Repair every unhealthy shard, in shard order. *)
 
 val backing : t -> string option
 
@@ -203,8 +289,9 @@ val try_field : t -> Oid.t -> int -> (Pvalue.t, Failure.t) result
 
 val quarantine_oid : t -> Oid.t -> string -> unit
 (** Isolate an object (the scrubber and the image salvage loader call
-    this; it is also available to operators).  Forces a full image at the
-    next compaction point, which persists the quarantine set. *)
+    this; it is also available to operators).  Forces a fresh image of
+    the owning shard at the next compaction point (the whole image on a
+    single-shard store), which persists the quarantine set. *)
 
 val clear_quarantine : t -> Oid.t -> unit
 (** Release an oid from quarantine (repair workflows). *)
@@ -233,10 +320,14 @@ val scrub_progress : t -> Scrub.state
 
 (** {1 Retry}
 
-    Opt-in bounded retry with backoff for transient I/O failures during
-    {!stabilise} (both journal appends and compactions are idempotent to
-    retry).  Off by default so crash-injection tests observe raw
-    failures. *)
+    Opt-in bounded retry with full-jitter backoff for transient I/O
+    failures, threaded through every I/O class: the whole stabilise,
+    per-shard image loads and saves, journal appends (made idempotent by
+    truncating to a savepoint between attempts), the commit marker and
+    compaction commits.  Per-class policies come from
+    [Config.retry_overrides]; exhausted budgets feed the per-shard
+    circuit breaker.  Off by default so crash-injection tests observe
+    raw failures. *)
 
 val set_retry_policy : t -> Retry.policy option -> unit
 (** @deprecated Use {!configure}. *)
@@ -293,6 +384,7 @@ type stats = {
   io_retries : int;  (** stabilise retries absorbed by the retry policy *)
   unsynced_batches : int;
       (** group-committed batches written but not yet fsynced *)
+  unhealthy_shards : int;  (** shards currently degraded or offline *)
 }
 
 val stats : t -> stats
@@ -308,6 +400,7 @@ type shard_info = {
   remembered : int;
       (** remembered-set size: live oids here referenced from other
           shards, as of the last {!gc} *)
+  state : string;  (** health state name: ["healthy" | "degraded" | "offline"] *)
 }
 
 val shard_info : t -> shard_info list

@@ -27,6 +27,8 @@ type recovery = {
   crashed_class : string;
   kill_byte : int;
   recovery_ms : float;
+  repair_ms : float;  (* the post-recovery `repair all` operator session *)
+  degraded_ops : int;  (* operations that hit demoted shards *)
   quarantined_after : int;
   lost_roots : int;
 }
@@ -49,6 +51,8 @@ let no_recovery =
     crashed_class = "";
     kill_byte = 0;
     recovery_ms = 0.;
+    repair_ms = 0.;
+    degraded_ops = 0;
     quarantined_after = 0;
     lost_roots = 0;
   }
@@ -115,6 +119,8 @@ let of_play ~smoke (play : Scenario.play) =
         crashed_class = c.Scenario.crashed_class;
         kill_byte = c.Scenario.kill_byte;
         recovery_ms = c.Scenario.recovery_s *. 1e3;
+        repair_ms = c.Scenario.repair_s *. 1e3;
+        degraded_ops = c.Scenario.degraded_ops;
         quarantined_after = c.Scenario.quarantined_after;
         lost_roots = List.length c.Scenario.lost_roots;
       }
@@ -169,10 +175,11 @@ let render t =
   add "  ],\n";
   add
     "  \"recovery\": { \"injected\": %b, \"killed\": %b, \"crashed_class\": \"%s\", \
-     \"kill_byte\": %d, \"recovery_ms\": %.2f, \"quarantined_after\": %d, \"lost_roots\": %d }\n"
+     \"kill_byte\": %d, \"recovery_ms\": %.2f, \"repair_ms\": %.2f, \"degraded_ops\": %d, \
+     \"quarantined_after\": %d, \"lost_roots\": %d }\n"
     t.recovery.injected t.recovery.killed (json_escape t.recovery.crashed_class)
-    t.recovery.kill_byte t.recovery.recovery_ms t.recovery.quarantined_after
-    t.recovery.lost_roots;
+    t.recovery.kill_byte t.recovery.recovery_ms t.recovery.repair_ms t.recovery.degraded_ops
+    t.recovery.quarantined_after t.recovery.lost_roots;
   add "}\n";
   Buffer.contents buf
 
@@ -209,6 +216,8 @@ let validate_file ~path t =
          "\"recovery\"";
          "\"sustained_ops_per_sec\"";
          "\"recovery_ms\"";
+         "\"repair_ms\"";
+         "\"degraded_ops\"";
          "\"quarantined_after\"";
        ]
       @ List.map (fun s -> Printf.sprintf "\"name\": \"%s\"" s.name) t.sections)

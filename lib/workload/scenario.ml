@@ -312,6 +312,11 @@ type crash_report = {
   kill_byte : int;
   killed : bool;  (* false: the kill byte lay beyond the step's writes *)
   recovery_s : float;  (* reopen + full integrity check, end to end *)
+  repair_s : float;
+      (* the post-recovery shell session that runs `repair all`, end to
+         end; on a fully healthy store that is the cost of finding
+         nothing to do *)
+  degraded_ops : int;  (* reads/writes hitting demoted shards, per `health` *)
   quarantined_after : int;
   check_ok : bool;
   lost_roots : string list;  (* durable roots missing after recovery *)
@@ -342,6 +347,17 @@ let quarantined_of_check out =
       decr start
     done;
     if !start = stop then -1 else int_of_string (String.sub out !start (stop - !start))
+
+(* Parse the integer following [prefix] on any line of [out] (e.g. the
+   shell's "degraded ops: N" health line); [default] when absent. *)
+let int_after ~default prefix out =
+  String.split_on_char '\n' out
+  |> List.find_map (fun line ->
+         let n = String.length prefix in
+         if String.length line >= n && String.sub line 0 n = prefix then
+           int_of_string_opt (String.trim (String.sub line n (String.length line - n)))
+         else None)
+  |> Option.value ~default
 
 (* First token of every line: the root names in `hpjava roots` output. *)
 let root_names_of out =
@@ -403,6 +419,12 @@ let play ?crash_at ?(kill_byte = 256) ?(shards = 1) ~bin ~dir scenario =
         (* recovery: the next process to open the store replays the
            journal and must find a fully sound state *)
         let check = Subproc.run ~bin [ "check"; store ] in
+        (* an operator session: inspect health, repair anything the crash
+           demoted, and report degraded-mode traffic — on a clean
+           recovery this measures the no-op repair path *)
+        let repair =
+          Subproc.run ~stdin_text:"health\nrepair all\nquit\n" ~bin [ "shell"; store ]
+        in
         let roots = Subproc.run ~bin [ "roots"; store ] in
         let present = root_names_of roots.Subproc.stdout in
         let lost = List.filter (fun r -> not (List.mem r present)) !durable_roots in
@@ -414,6 +436,8 @@ let play ?crash_at ?(kill_byte = 256) ?(shards = 1) ~bin ~dir scenario =
               kill_byte;
               killed;
               recovery_s = check.Subproc.elapsed_s;
+              repair_s = repair.Subproc.elapsed_s;
+              degraded_ops = int_after ~default:0 "degraded ops: " repair.Subproc.stdout;
               quarantined_after = quarantined_of_check check.Subproc.stdout;
               check_ok = Subproc.ok check && Subproc.contains check.Subproc.stdout "integrity ok";
               lost_roots = lost;

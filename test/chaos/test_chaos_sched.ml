@@ -1,0 +1,257 @@
+(* Seeded multi-shard chaos schedules.
+
+   For each seed: a 4-shard journalled store with the circuit breaker
+   armed runs a random schedule of mutations, reads, scrubs, gcs and
+   stabilises while seed-chosen faults (EINTR storms, fsync failures,
+   torn appends, short writes, failed renames — targeted at a
+   seed-chosen shard or store-wide) are injected into the stabilise
+   path.  The run asserts the fault-domain invariants continuously:
+
+   - reads ALWAYS serve, on healthy and demoted shards alike (memory is
+     authoritative while the process lives);
+   - every healthy shard keeps accepting writes — degradation never
+     spreads past the shard whose I/O actually failed;
+   - writes refused with {!Failure.Shard_degraded} name a shard that
+     really is unhealthy at that moment;
+   - after a failed stabilise the schedule may simulate a process death
+     (crash + reopen): no root committed by a successful stabilise is
+     ever lost, and recovery never invents state;
+   - at the end repair converges: [repair_all] returns the store to
+     full health, a final stabilise lands every surviving mutation, and
+     a clean reopen is byte-identical.
+
+   Generation consults only the seed; any failure prints the CHAOS_SEED
+   replay recipe.  The default runtest runs a smoke slice; the @chaos
+   alias (CHAOS_FULL=1) runs the whole matrix. *)
+
+open Pstore
+open Chaos_util
+
+let nshards = 4
+
+let pick_fault rng =
+  let shard = if Random.State.bool rng then Some (Random.State.int rng nshards) else None in
+  let fault =
+    match Random.State.int rng 6 with
+    | 0 -> Faults.Intr_storm (1 + Random.State.int rng 3) (* absorbable *)
+    | 1 -> Faults.Intr_storm (64 + Random.State.int rng 64) (* exhausting *)
+    | 2 -> Faults.Fsync_fails
+    | 3 -> Faults.Fail_after_bytes (1 + Random.State.int rng 400)
+    | 4 -> Faults.Short_write (Random.State.int rng 13)
+    | _ -> Faults.Rename_fails
+  in
+  (shard, fault)
+
+let run_seed seed =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "store.hpj" in
+  let cfg = chaos_config ~shards:nshards ~breaker:2 path in
+  let store = ref (Store.create ~config:cfg ()) in
+  let rng = Random.State.make [| 0xc4a05; seed |] in
+  (* the model: root name -> value the live store must agree on, plus
+     the snapshot as of the last SUCCESSFUL stabilise (= what a crash
+     may roll back to, and no further) *)
+  let model : (string, int32) Hashtbl.t = Hashtbl.create 64 in
+  let durable = ref (Hashtbl.copy model) in
+  (* Snapshots of the model at each FAILED stabilise since the last
+     success.  A fault can strike after the commit point (say, in the
+     post-commit compaction), in which case the attempt still landed on
+     disk even though stabilise raised — so recovery may legally come
+     back at any of these, or at [durable].  What it may never do is
+     land between snapshots or invent state. *)
+  let pending : (string, int32) Hashtbl.t list ref = ref [] in
+  let next = ref 0 in
+  let refused = ref 0 in
+  let check_reads () =
+    Hashtbl.iter
+      (fun name v ->
+        check_bool
+          (sp "seed %d: root %s reads back" seed name)
+          true
+          (Store.root !store name = Some (Pvalue.Int v)))
+      model
+  in
+  (* What a commit makes durable: only shards that are healthy take part
+     in a stabilise — a demoted shard keeps buffering in memory until
+     repair, so its roots stay at their previous committed value on
+     disk.  [commit_snapshot prev] is [prev] overridden by every model
+     root whose shard could actually persist it. *)
+  let commit_snapshot prev =
+    let snap = Hashtbl.copy prev in
+    Hashtbl.iter
+      (fun name v ->
+        if Store.shard_healthy !store (Manifest.shard_of_key ~count:nshards name)
+        then Hashtbl.replace snap name v)
+      model;
+    snap
+  in
+  let probe_healthy_writes () =
+    List.iter
+      (fun (h : Store.shard_health) ->
+        if h.Store.h_state = Health.Healthy then begin
+          let key = key_for ~tag:"probe" ~count:nshards h.Store.h_shard in
+          Store.set_blob !store key "x";
+          Store.remove_blob !store key
+        end)
+      (Store.health !store)
+  in
+  let guarded_write name v =
+    match Store.set_root !store name (Pvalue.Int v) with
+    | () -> Hashtbl.replace model name v
+    | exception Failure.Shard_degraded { shard; _ } ->
+      incr refused;
+      check_bool
+        (sp "seed %d: refusal names a genuinely unhealthy shard" seed)
+        false
+        (Store.shard_healthy !store shard)
+  in
+  let steps = 28 + Random.State.int rng 12 in
+  for _ = 1 to steps do
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 ->
+      let name = sp "k%d" !next in
+      incr next;
+      guarded_write name (Int32.of_int (Random.State.int rng 10_000))
+    | 3 ->
+      (* overwrite an existing root *)
+      if Hashtbl.length model > 0 then begin
+        let names = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+        let name = List.nth names (Random.State.int rng (List.length names)) in
+        guarded_write name (Int32.of_int (Random.State.int rng 10_000))
+      end
+    | 4 -> check_reads ()
+    | 5 -> ignore (Store.scrub ~budget:(16 + Random.State.int rng 64) !store)
+    | 6 -> begin
+      match Store.gc !store with
+      | _ -> ()
+      | exception Failure.Shard_degraded _ ->
+        check_bool (sp "seed %d: gc refuses only when unhealthy" seed) false
+          (Store.healthy !store)
+    end
+    | _ -> begin
+      (* stabilise, possibly under an injected fault *)
+      let faulty = Random.State.int rng 2 = 0 in
+      if faulty then begin
+        let shard, fault = pick_fault rng in
+        Faults.arm ?shard fault
+      end;
+      match Store.stabilise !store with
+      | () ->
+        Faults.disarm ();
+        durable := commit_snapshot !durable;
+        pending := [];
+        probe_healthy_writes ();
+        check_reads ()
+      | exception Failure.Shard_degraded { shard; _ } ->
+        (* a stabilise that needs a full compaction refuses while a
+           shard is demoted — read-only means read-only *)
+        Faults.disarm ();
+        check_bool
+          (sp "seed %d: a refused stabilise names a demoted shard" seed)
+          false
+          (Store.shard_healthy !store shard);
+        pending := Hashtbl.copy model :: commit_snapshot !durable :: !pending;
+        probe_healthy_writes ();
+        check_reads ()
+      | exception e ->
+        check_bool (sp "seed %d: stabilise fails transiently only" seed) true (transient e);
+        Faults.disarm ();
+        (* The attempt may have died before OR after its commit point,
+           and demotions during the attempt decide which shards' batches
+           were in it — record both plausible on-disk outcomes. *)
+        pending := Hashtbl.copy model :: commit_snapshot !durable :: !pending;
+        probe_healthy_writes ();
+        check_reads ();
+        (* sometimes the process "dies" here: recovery must land exactly
+           on a committed snapshot — the last successful stabilise, or a
+           failed attempt that got past its commit point *)
+        if Random.State.int rng 4 = 0 then begin
+          Store.crash !store;
+          if not (Sys.file_exists path) then begin
+            (* The process died before the first commit ever reached
+               disk; that is only legal while nothing is durable. *)
+            check_bool
+              (sp "seed %d: crash without files implies an empty commit history"
+                 seed)
+              true
+              (Hashtbl.length !durable = 0);
+            store := Store.create ~config:cfg ();
+            Hashtbl.reset model;
+            durable := Hashtbl.copy model;
+            pending := []
+          end
+          else begin
+          store := Store.open_file ~config:cfg path;
+          check_bool (sp "seed %d: reopen after crash is healthy" seed) true
+            (Store.healthy !store);
+          let matches (snap : (string, int32) Hashtbl.t) =
+            List.length (Store.root_names !store) = Hashtbl.length snap
+            && Hashtbl.fold
+                 (fun name v ok ->
+                   ok && Store.root !store name = Some (Pvalue.Int v))
+                 snap true
+          in
+          match List.find_opt matches (!pending @ [ !durable ]) with
+          | Some snap ->
+            Hashtbl.reset model;
+            Hashtbl.iter (Hashtbl.replace model) snap;
+            durable := Hashtbl.copy snap;
+            pending := []
+          | None ->
+            check_bool
+              (sp "seed %d: recovery lands on a committed snapshot" seed)
+              true false
+          end
+        end
+    end
+  done;
+  (* convergence: disarm, repair everything, land the survivors *)
+  Faults.disarm ();
+  let reports = Store.repair_all !store in
+  List.iter
+    (fun (r : Store.repair_report) ->
+      check_bool (sp "seed %d: repair measured its work" seed) true (r.Store.r_ms >= 0.))
+    reports;
+  check_bool (sp "seed %d: repair_all converges to full health" seed) true
+    (Store.healthy !store);
+  Store.stabilise !store;
+  check_reads ();
+  Integrity.check_exn !store;
+  let fp = fingerprint !store in
+  Store.close !store;
+  let reopened = Store.open_file path in
+  check_bool (sp "seed %d: final reopen is healthy" seed) true (Store.healthy reopened);
+  check_output (sp "seed %d: nothing surviving was lost" seed) fp (fingerprint reopened);
+  Integrity.check_exn reopened;
+  Store.close reopened
+
+(* Any failure prints the exact one-seed reproduction recipe before
+   propagating. *)
+let run_seed seed =
+  try run_seed seed
+  with e ->
+    Printf.eprintf
+      "chaos schedule failed at seed %d\n\
+       replay exactly with: CHAOS_SEED=%d dune build @chaos\n"
+      seed seed;
+    Faults.disarm ();
+    raise e
+
+(* The @chaos alias (CHAOS_FULL=1) runs the whole matrix — >= 100 seeded
+   schedules; plain `dune runtest` keeps a smoke slice in the default
+   loop.  CHAOS_SEED=N pins one seed. *)
+let full = Sys.getenv_opt "CHAOS_FULL" <> None
+let seeds = if full then 120 else 24
+let batch = 12
+
+let suite =
+  match Option.bind (Sys.getenv_opt "CHAOS_SEED") int_of_string_opt with
+  | Some seed -> [ test (sp "seed %d (CHAOS_SEED)" seed) (fun () -> run_seed seed) ]
+  | None ->
+    List.init (seeds / batch) (fun b ->
+        let lo = b * batch in
+        let hi = lo + batch - 1 in
+        test (sp "seeds %d-%d" lo hi) (fun () ->
+            for seed = lo to hi do
+              run_seed seed
+            done))

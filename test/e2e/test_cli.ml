@@ -142,18 +142,54 @@ let sharded_init_and_check () =
   let check = hpjava [ "check"; store ] in
   expect_ok check;
   expect_stdout_has check "integrity ok";
-  expect_stdout_has check "shard 0:";
-  expect_stdout_has check "shard 3:";
+  expect_stdout_has check "shard 0 (healthy):";
+  expect_stdout_has check "shard 3 (healthy):";
   (* a flat store must NOT suddenly grow shard lines *)
   let flat = Filename.concat dir "flat.hpj" in
   expect_ok (hpjava [ "init"; "--journalled"; flat ]);
   let fcheck = hpjava [ "check"; flat ] in
   expect_ok fcheck;
-  expect_stdout_lacks fcheck "shard 0:";
+  expect_stdout_lacks fcheck "shard 0 (healthy):";
   (* --shards 0 is a usage error and creates nothing *)
   let bad = Filename.concat dir "bad.hpj" in
   expect_fail (hpjava [ "init"; "--shards"; "0"; bad ]);
   check_bool "rejected init created no store" false (Sys.file_exists bad)
+
+(* Whole-shard file loss must degrade, not destroy: check reports the
+   offline shard and exits 1; the shell drops to maintenance mode, where
+   `repair all` restores service and boots the session; afterwards the
+   lost objects sit in quarantine (non-fatal) and check exits 0. *)
+let offline_shard_maintenance_and_repair () =
+  with_dir @@ fun dir ->
+  let store = Filename.concat dir "frag.hpj" in
+  expect_ok (hpjava [ "init"; "--journalled"; "--shards"; "4"; store ]);
+  let src = write_src ~dir "Person.java" person_source in
+  expect_ok (hpjava [ "compile"; store; src ]);
+  List.iter
+    (fun n -> expect_ok (hpjava [ "new"; store; "Person"; n; n ]))
+    [ "alice"; "bob"; "carol"; "dave"; "erin"; "frank" ];
+  expect_ok (hpjava [ "check"; store ]);
+  (* lose one whole shard: image + journal *)
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f >= 11 && String.sub f 0 11 = "frag.hpj.s2")
+  |> List.iter (fun f -> Sys.remove (Filename.concat dir f));
+  let broken = hpjava [ "check"; store ] in
+  expect_fail broken;
+  expect_stdout_has broken "shard 2 (offline):";
+  expect_stdout_has broken "unhealthy shards: 1";
+  let repair =
+    hpjava ~stdin_text:"health\nrepair all\nhealth\nquit\n" [ "shell"; store ]
+  in
+  expect_ok repair;
+  expect_stdout_has repair "entering maintenance mode";
+  expect_stdout_has repair "shard 2 repaired (offline):";
+  expect_stdout_has repair "store healthy again; booting the session";
+  expect_stdout_has repair "unhealthy shards: 0";
+  let fixed = hpjava [ "check"; store ] in
+  expect_ok fixed;
+  expect_stdout_has fixed "integrity ok";
+  expect_stdout_has fixed "shard 2 (healthy):"
 
 let suite =
   [
@@ -168,4 +204,6 @@ let suite =
     test "corrupt store reports one line on stderr" corrupt_store_is_one_line_error;
     test "evolve succeeds and fails with correct exit codes" evolve_via_cli;
     test "sharded init persists and check prints per-shard lines" sharded_init_and_check;
+    test "offline shard: maintenance mode, repair all, healthy check"
+      offline_shard_maintenance_and_repair;
   ]
