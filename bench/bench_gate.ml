@@ -7,7 +7,8 @@
    bench, BENCH_macro.json from the macro-workload harness): first
    validates the fresh file's schema — the benchmark kinds of the two
    files must agree, and a macro file must carry the recovery object
-   (recovery_ms, repair_ms, degraded_ops, quarantined_after) and a
+   (recovery_ms, repair_ms, degraded_ops, quarantined_after), the
+   session-conflict counter (commit_conflicts) and a
    sustained-throughput figure —
    then compares the p50 latency of every op-class section present in
    BOTH files and fails (exit 1) when the fresh run has regressed more
@@ -127,6 +128,7 @@ let schema_errors ~kind json =
         {|"repair_ms"|};
         {|"degraded_ops"|};
         {|"quarantined_after"|};
+        {|"commit_conflicts"|};
         {|"total_ops"|};
       ]
     | _ ->

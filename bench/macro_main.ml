@@ -6,7 +6,9 @@
    / evolve / publish / gc / shell sessions) against bin/hpjava as a
    subprocess, SIGKILLs one seed-chosen mutating step mid-stabilise via
    HPJAVA_KILL_AT_BYTE, and emits BENCH_macro.json: sustained ops/sec,
-   per-op-class end-to-end p50/p99, and post-crash recovery time.  The
+   per-op-class end-to-end p50/p99, in-process session-commit latency
+   with the first-committer-wins conflict count, and post-crash
+   recovery time.  The
    file is self-validated after writing and gated against the committed
    baseline by bench_gate (see the @bench-macro-smoke alias).
 
@@ -121,6 +123,18 @@ let () =
   Printf.printf "  sustained: %.2f ops/s over %.2f s (%d ops)\n%!"
     report.Workload.Report.sustained_ops_per_sec report.Workload.Report.elapsed_s
     report.Workload.Report.total_ops;
+  Printf.printf "  sessions: %d commit%s, %d conflict%s (first committer wins)\n%!"
+    (List.length play.Workload.Scenario.commit_us)
+    (if List.length play.Workload.Scenario.commit_us = 1 then "" else "s")
+    play.Workload.Scenario.commit_conflicts
+    (if play.Workload.Scenario.commit_conflicts = 1 then "" else "s");
+  (* every scenario embeds at least one two-session race over a shared
+     root, so a play that records no conflict means the snapshot layer
+     (or the transcript parsing) broke *)
+  if play.Workload.Scenario.commit_conflicts < 1 then begin
+    Printf.eprintf "macro: expected at least one session commit conflict, saw none — %s\n" replay;
+    exit 1
+  end;
   match Workload.Report.write ~path:output_file report with
   | Ok () -> Printf.printf "  wrote %s (%d sections, validated)\n%!" output_file
                (List.length report.Workload.Report.sections)

@@ -550,7 +550,7 @@ let substrate_stabilise () =
   let journal_ms, depth, compactions =
     in_dir (fun path ->
         let store = Workloads.store_with_objects n in
-        Store.set_durability store Store.Journalled;
+        Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
         Store.stabilise ~path store;
         let ms = time_rounds store in
         let st = Store.stats store in
@@ -566,8 +566,8 @@ let substrate_stabilise () =
     compactions;
   in_dir (fun path ->
       let store = Workloads.store_with_objects 1000 in
-      Store.set_durability store Store.Journalled;
-      Store.set_compaction_limit store 64;
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
+      Store.configure store { (Store.config store) with Store.Config.compaction_limit = 64 };
       Store.stabilise ~path store;
       let max_depth = ref 0 in
       for i = 1 to 500 do

@@ -33,7 +33,7 @@ let load_store ?(create = false) ?(shards = 1) path =
     let store =
       Store.create ~config:{ Store.Config.default with Store.Config.shards = shards } ()
     in
-    Store.set_backing store path;
+    Store.configure store { (Store.config store) with Store.Config.backing = Some path };
     store
   end
   else missing_store path
@@ -75,7 +75,7 @@ let init_cmd =
       exit 2
     end;
     let store, vm = session_of ~create:true ~shards path in
-    if journalled then Store.set_durability store Store.Journalled;
+    if journalled then Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
     Store.stabilise store;
     Printf.printf "initialised %s: %d classes, %d objects%s\n" path
       (List.length vm.Rt.load_order) (Store.size store)

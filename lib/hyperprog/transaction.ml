@@ -8,7 +8,12 @@
    transaction's VM becomes the current one; on abort the store is
    restored to its pre-transaction image and a fresh VM is booted from
    the restored state, so classes, data and hyper-programs all revert
-   together. *)
+   together.
+
+   The commit/abort machinery itself lives in the store layer: this
+   module wraps [Store.Session.atomically] (whole-store rollback plus
+   the journalled commit barrier — the single-owner transaction on the
+   default session) and adds the VM lifecycle on top. *)
 
 open Pstore
 open Minijava
@@ -25,28 +30,15 @@ let fresh_vm store =
   Dynamic_compiler.install vm;
   vm
 
-(* Commit barrier: on a journalled, backed store a commit is made durable
-   with a cheap journal fsync of the transaction's delta — the paper's
-   "separate transaction" without paying a full snapshot.  Snapshot-mode
-   and unbacked stores keep the old semantics (commit is in-memory only;
-   the caller stabilises when it chooses). *)
-let commit_barrier store =
-  match Store.durability store, Store.backing store with
-  | Store.Journalled, Some _ -> Store.stabilise store
-  | (Store.Journalled | Store.Snapshot), _ -> ()
-
 let transact store (body : Rt.t -> 'a) : 'a outcome =
   Obs.span (Store.obs store) Obs.Transaction (fun () ->
-      let result =
-        Store.with_rollback store (fun () ->
+      match
+        Store.Session.atomically store (fun () ->
             let vm = fresh_vm store in
             let value = body vm in
             (value, vm))
-      in
-      match result with
-      | Ok (value, vm) ->
-        commit_barrier store;
-        Committed (value, vm)
+      with
+      | Ok (value, vm) -> Committed (value, vm)
       | Error e ->
         (* The store is back to its pre-transaction image; discard the
            transaction's VM and boot one over the restored state. *)

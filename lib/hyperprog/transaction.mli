@@ -4,7 +4,16 @@
     On success the store keeps the effects and the transaction's VM
     becomes the current one; on abort the store is restored to its
     pre-transaction image — classes, data and hyper-programs revert
-    together — and a fresh VM is booted from the restored state. *)
+    together — and a fresh VM is booted from the restored state.
+
+    There is exactly one commit/abort notion in the system, and it lives
+    in the store layer: {!transact} is [Store.Session.atomically]
+    (whole-store rollback, then the journalled commit barrier on
+    success) plus the VM lifecycle.  The snapshot-isolated multi-client
+    variant is [Store.open_session] / [Store.Session.commit]; this
+    module is the single-owner form on the default session, and — like
+    every default-session write — it refuses to run while snapshot
+    sessions are open. *)
 
 open Pstore
 open Minijava
@@ -18,10 +27,13 @@ val fresh_vm : Store.t -> Rt.t
     and installing the hyper-programming runtime. *)
 
 val transact : Store.t -> (Rt.t -> 'a) -> 'a outcome
-(** On a journalled, backed store a successful transaction ends with a
-    commit barrier: the delta is fsynced to the write-ahead journal, so
+(** Run the body atomically ([Store.Session.atomically]): on a
+    journalled, backed store a successful transaction ends with the
+    commit barrier — the delta is fsynced to the write-ahead journal, so
     commits survive a crash without a full snapshot.  An abort truncates
-    the journal to its pre-transaction savepoint. *)
+    the journal to its pre-transaction savepoint.
+    @raise Invalid_argument (from the store) while snapshot sessions are
+    open. *)
 
 val evolve :
   ?converter:string ->

@@ -4,8 +4,14 @@
    (using the .hp link-spec syntax), press buttons, browse, Compile /
    Display Class / Go. *)
 
+(* The UI session (editors, browser panels) — bound before [open Pstore]
+   so it keeps the short name; the store's MVCC session is
+   [Store.Session]. *)
+module Ui_session = Session
+
 open Pstore
 open Hyperprog
+module Session = Ui_session
 
 let help_text =
   {|commands:
@@ -26,6 +32,10 @@ let help_text =
   save NAME                save the hyper-program under a persistent root
   edit-class CLASS         open the hyper-program a class was compiled from
   load NAME                load a hyper-program from a persistent root
+  session [open|use N|status]  open / switch to / list snapshot-isolated store sessions
+  commit                   publish the active session's buffered writes (first committer wins)
+  abort                    discard the active session's buffered writes
+  bind NAME N              set root NAME to int N (through the active session, if any)
   roots | census | gc | stabilise
   scrub [BUDGET]           run one scrubber step: verify object checksums and references
   health                   store health: shard states, scrub progress, quarantine, retries
@@ -63,8 +73,27 @@ let say fmt = Printf.printf fmt
    maintenance mode (when a demoted shard blocks the VM boot, the
    operator still needs health / repair / stats to get out of it). *)
 
-let cmd_health store =
-  let stats = Store.stats store in
+(* Render one banner line for an open store session: `stats` and
+   `health` must make clear that object counts are the session's
+   snapshot view, never its dirty buffer. *)
+let session_banner = function
+  | Some s when Store.Session.is_snapshot s ->
+    let n = Store.Session.buffered_ops s in
+    say "session %d (epoch %d): %d buffered op%s uncommitted; counts reflect the snapshot\n"
+      (Store.Session.id s)
+      (Store.Session.snapshot_epoch s)
+      n
+      (if n = 1 then "" else "s")
+  | Some _ | None -> ()
+
+let cmd_health ?session store =
+  let stats =
+    match session with
+    | Some s -> Store.Session.stats s
+    | None -> Store.stats store
+  in
+  session_banner session;
+  say "live objects: %d\n" stats.Store.live;
   say "scrub: %s\n" (Format.asprintf "%a" Scrub.pp_progress (Store.scrub_progress store));
   say "quarantined: %d\n" stats.Store.quarantined;
   List.iter
@@ -134,11 +163,17 @@ let cmd_repair store rest =
        the shell stays up so the operator can retry *)
     say "repair failed: %s\n" (Printexc.to_string e)
 
-let cmd_stats store =
+let cmd_stats ?session store =
   let obs = Store.obs store in
   say "operations: %d (tracing %s)\n" (Obs.total obs)
     (if Obs.enabled obs then "on" else "off");
-  let st = Store.stats store in
+  let st =
+    match session with
+    | Some s -> Store.Session.stats s
+    | None -> Store.stats store
+  in
+  session_banner session;
+  say "live objects: %d\n" st.Store.live;
   if st.Store.unhealthy_shards > 0 then
     say "unhealthy shards: %d (see `health`)\n" st.Store.unhealthy_shards;
   List.iter
@@ -187,6 +222,28 @@ let run_session ~input ~echo store session =
     | Some ed -> f ed
     | None -> say "no editor open (use `edit`)\n"
   in
+  (* The open MVCC store sessions, oldest first, plus the one root
+     reads/writes and the stats/health views currently route through —
+     so the operator sees snapshot isolation from the command line, and
+     two sessions in one shell can race to commit. *)
+  let sessions : Store.Session.t list ref = ref [] in
+  let active : Store.Session.t option ref = ref None in
+  let prune () = sessions := List.filter Store.Session.is_open !sessions in
+  let active_session () =
+    prune ();
+    match !active with
+    | Some s when Store.Session.is_open s -> Some s
+    | Some _ | None ->
+      active := None;
+      None
+  in
+  (* The handle the root commands go through: the active snapshot
+     session, or the store's implicit default session. *)
+  let cur () =
+    match active_session () with
+    | Some s -> s
+    | None -> Store.default_session store
+  in
   let quit = ref false in
   let handle line =
     match split_args line with
@@ -225,7 +282,7 @@ let run_session ~input ~echo store session =
     end
     | [ "browse" ] -> ignore (Browser.Ocb.open_roots b)
     | [ "browse"; "root"; name ] -> begin
-      match Store.root store name with
+      match Store.Session.root (cur ()) name with
       | Some (Pvalue.Ref oid) -> ignore (Browser.Ocb.open_object b oid)
       | Some v -> say "%s = %s\n" name (Pvalue.to_string v)
       | None -> say "no root %s\n" name
@@ -275,15 +332,96 @@ let run_session ~input ~echo store session =
     | [ "save"; name ] ->
       with_editor (fun ed ->
           let hp = Editor.User_editor.save ed in
-          Store.set_root store name (Pvalue.Ref hp);
+          Store.Session.set_root (cur ()) name (Pvalue.Ref hp);
           say "saved as root %s\n" name)
+    | "session" :: rest -> begin
+      match rest with
+      | "open" :: _ ->
+        let s = Store.open_session store in
+        sessions := !sessions @ [ s ];
+        active := Some s;
+        say "session %d open (epoch %d)\n" (Store.Session.id s)
+          (Store.Session.snapshot_epoch s)
+      | [ "use"; n ] -> begin
+        prune ();
+        match int_of_string_opt n with
+        | None -> say "usage: session use N (N a session id)\n"
+        | Some id -> begin
+          match List.find_opt (fun s -> Store.Session.id s = id) !sessions with
+          | Some s ->
+            active := Some s;
+            say "session %d active (epoch %d): %d buffered op%s\n" id
+              (Store.Session.snapshot_epoch s)
+              (Store.Session.buffered_ops s)
+              (if Store.Session.buffered_ops s = 1 then "" else "s")
+          | None -> say "no open session %d\n" id
+        end
+      end
+      | [] | "status" :: _ -> begin
+        prune ();
+        match !sessions with
+        | [] -> say "no session open (direct mode); `session open` starts one\n"
+        | open_sessions ->
+          let act = active_session () in
+          List.iter
+            (fun s ->
+              let n = Store.Session.buffered_ops s in
+              say "session %d open (epoch %d): %d buffered op%s%s\n" (Store.Session.id s)
+                (Store.Session.snapshot_epoch s)
+                n
+                (if n = 1 then "" else "s")
+                (match act with Some a when a == s -> " [active]" | _ -> ""))
+            open_sessions
+      end
+      | _ -> say "usage: session [open|use N|status]\n"
+    end
+    | "commit" :: _ -> begin
+      match active_session () with
+      | None -> say "no session open; direct-mode writes commit immediately\n"
+      | Some s -> begin
+        let id = Store.Session.id s in
+        let n = Store.Session.buffered_ops s in
+        let t0 = Unix.gettimeofday () in
+        match Store.Session.commit s with
+        | () ->
+          active := None;
+          say "committed session %d: %d op%s in %.0f us\n" id n
+            (if n = 1 then "" else "s")
+            ((Unix.gettimeofday () -. t0) *. 1e6)
+        | exception Failure.Commit_conflict { session = sid; oids; keys } ->
+          active := None;
+          say "commit conflict: session %d lost (first committer wins); clashes: %s\n" sid
+            (String.concat ", "
+               (List.map (fun o -> "@" ^ string_of_int (Oid.to_int o)) oids @ keys))
+      end
+    end
+    | "abort" :: _ -> begin
+      match active_session () with
+      | None -> say "no session open\n"
+      | Some s ->
+        let n = Store.Session.buffered_ops s in
+        Store.Session.abort s;
+        active := None;
+        say "aborted session %d: %d buffered op%s discarded\n" (Store.Session.id s) n
+          (if n = 1 then "" else "s")
+    end
+    | [ "bind"; name; value ] -> begin
+      match int_of_string_opt value with
+      | None -> say "usage: bind NAME N (N an integer)\n"
+      | Some n ->
+        Store.Session.set_root (cur ()) name (Pvalue.Int (Int32.of_int n));
+        say "%s = %d%s\n" name n
+          (match active_session () with
+          | Some s -> Printf.sprintf " (buffered in session %d)" (Store.Session.id s)
+          | None -> "")
+    end
     | [ "edit-class"; cls ] -> begin
       match Session.edit_class session cls with
       | Ok (id, _) -> say "opened hyper-program of %s in editor %d\n" cls id
       | Error e -> say "%s\n" e
     end
     | [ "load"; name ] -> begin
-      match Store.root store name with
+      match Store.Session.root (cur ()) name with
       | Some (Pvalue.Ref hp) when Storage_form.is_hyper_program vm hp ->
         let id, ed = Session.new_editor session in
         Editor.User_editor.load ed hp;
@@ -291,11 +429,12 @@ let run_session ~input ~echo store session =
       | _ -> say "root %s does not hold a hyper-program\n" name
     end
     | "roots" :: _ ->
+      let h = cur () in
       List.iter
         (fun name ->
-          let v = Option.value (Store.root store name) ~default:Pvalue.Null in
+          let v = Option.value (Store.Session.root h name) ~default:Pvalue.Null in
           say "%-24s %s\n" name (Pvalue.to_string v))
-        (Store.root_names store)
+        (Store.Session.root_names h)
     | "census" :: _ -> print_string (Browser.Render.census store)
     | "gc" :: _ ->
       let stats = Store.gc store in
@@ -318,9 +457,9 @@ let run_session ~input ~echo store session =
           (fun (oid, reason) -> say "quarantined @%d: %s\n" (Oid.to_int oid) reason)
           report.Scrub.newly_quarantined
     end
-    | "health" :: _ -> cmd_health store
+    | "health" :: _ -> cmd_health ?session:(active_session ()) store
     | "repair" :: rest -> cmd_repair store rest
-    | "stats" :: _ -> cmd_stats store
+    | "stats" :: _ -> cmd_stats ?session:(active_session ()) store
     | "cache" :: rest -> begin
       match rest with
       | [] ->
@@ -377,10 +516,14 @@ let run_session ~input ~echo store session =
          (* A demoted shard refuses writes with a typed failure; the
             shell must survive it, or the operator can never reach
             `repair`. *)
-         try handle line
-         with Failure.Shard_degraded { shard; state; _ } ->
+         try handle line with
+         | Failure.Shard_degraded { shard; state; _ } ->
            say "refused: shard %d is %s (run `repair %d` or `repair all`)\n"
-             shard state shard)
+             shard state shard
+         | Invalid_argument msg ->
+           (* e.g. gc / mark_dirty refused while a snapshot session is
+              open — operator guidance, not a shell crash *)
+           say "refused: %s\n" msg)
        | exception End_of_file -> quit := true
      done
    with e ->
@@ -397,7 +540,7 @@ let run ~store_path ~input ~echo =
     if Sys.file_exists store_path then Store.open_file store_path
     else begin
       let s = Store.create () in
-      Store.set_backing s store_path;
+      Store.configure s { (Store.config s) with Store.Config.backing = Some store_path };
       s
     end
   in

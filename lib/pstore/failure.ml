@@ -25,10 +25,35 @@ exception Shard_degraded of {
   reason : string;
 }
 
+(* Raised by [Store.Session.commit]: first-committer-wins detection
+   found that another commit (or a direct default-session write)
+   touched part of this session's write set after its snapshot was
+   pinned.  Carries the clashing oids and root/blob keys so the caller
+   can open a fresh session and retry just the disputed work.  The
+   losing session is aborted — none of its buffered ops reached the
+   heap or the journal. *)
+exception Commit_conflict of {
+  session : int; (* losing session id *)
+  oids : Oid.t list; (* clashing object ids, ascending *)
+  keys : string list; (* clashing root/blob names, sorted *)
+}
+
 let () =
   Printexc.register_printer (function
     | Shard_degraded { shard; state; reason } ->
       Some (Printf.sprintf "Failure.Shard_degraded(shard %d %s: %s)" shard state reason)
+    | Commit_conflict { session; oids; keys } ->
+      let oid_part =
+        if oids = [] then ""
+        else
+          Printf.sprintf " oids [%s]"
+            (String.concat "; " (List.map (fun o -> Format.asprintf "%a" Oid.pp o) oids))
+      in
+      let key_part =
+        if keys = [] then ""
+        else Printf.sprintf " keys [%s]" (String.concat "; " keys)
+      in
+      Some (Printf.sprintf "Failure.Commit_conflict(session %d:%s%s)" session oid_part key_part)
     | _ -> None)
 
 let pp ppf = function

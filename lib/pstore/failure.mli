@@ -31,6 +31,18 @@ exception Shard_degraded of {
     structurally-required full compaction cannot proceed while a shard
     is down. *)
 
+exception Commit_conflict of {
+  session : int;  (** the losing session's id *)
+  oids : Oid.t list;  (** clashing object ids, ascending *)
+  keys : string list;  (** clashing root/blob names, sorted *)
+}
+(** Raised by [Store.Session.commit] when first-committer-wins conflict
+    detection finds that part of this session's write set was committed
+    by someone else after the session's snapshot was pinned.  The losing
+    session is aborted before the raise — none of its buffered writes
+    reached the heap or the journal — so the caller retries by opening a
+    fresh session and re-applying its intent against the new state. *)
+
 val pp : Format.formatter -> t -> unit
 
 val describe : t -> string

@@ -30,13 +30,15 @@ type op =
   | Group_commit
   | Repair
   | Degraded_op
+  | Session_commit
+  | Conflict
 
 let all_ops =
   [
     Get; Set; Alloc; Root_lookup; Stabilise; Journal_append; Compaction;
     Image_save; Image_load; Scrub_step; Retry; Quarantine_hit; Gc; Get_link;
     Compile; Transaction; Cache_hit; Cache_miss; Group_commit; Repair;
-    Degraded_op;
+    Degraded_op; Session_commit; Conflict;
   ]
 
 let op_index = function
@@ -61,6 +63,8 @@ let op_index = function
   | Group_commit -> 18
   | Repair -> 19
   | Degraded_op -> 20
+  | Session_commit -> 21
+  | Conflict -> 22
 
 let n_ops = List.length all_ops
 
@@ -86,6 +90,8 @@ let op_name = function
   | Group_commit -> "group-commit"
   | Repair -> "repair"
   | Degraded_op -> "degraded-op"
+  | Session_commit -> "session-commit"
+  | Conflict -> "conflict"
 
 type event = {
   seq : int;

@@ -39,6 +39,10 @@ type op =
   | Degraded_op
       (** operations touched by a demoted shard: writes refused with
           [Failure.Shard_degraded] plus reads served degraded *)
+  | Session_commit  (** MVCC session commits replayed through the journal *)
+  | Conflict
+      (** session commits refused by first-committer-wins detection
+          ([Failure.Commit_conflict] raised) *)
 
 val all_ops : op list
 val op_name : op -> string

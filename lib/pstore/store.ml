@@ -91,7 +91,53 @@ type t = {
   mutable replayed : int;
   mutable recovered_torn : bool;
   mutable rollback_depth : int; (* compaction is deferred inside with_rollback *)
+  mvcc : mvcc; (* snapshot-session versioning state *)
 }
+
+(* MVCC snapshot-session state.  Populated only while snapshot sessions
+   are open: version chains preserve pre-images for snapshot readers,
+   stamps feed first-committer-wins conflict detection, and everything
+   here is cleared the moment the last session closes — a store without
+   open sessions pays one list-emptiness check per write and nothing
+   else. *)
+and mvcc = {
+  mutable commit_seq : int; (* committed-write epoch, monotone *)
+  mutable direct_dirty : bool;
+      (* default-session writes share one provisional epoch until sealed *)
+  mutable open_sessions : session list; (* snapshot sessions, newest first *)
+  mutable next_session_id : int;
+  mutable implicit : session option; (* the lazily-made default session *)
+  versions : (int * Heap.entry option) list Oid.Table.t;
+      (* per-oid pre-image chain, newest epoch first: [(e, v)] is the
+         entry's state from just before the write at epoch [e]
+         ([None] = the object did not exist yet) *)
+  vstamps : int Oid.Table.t; (* oid -> epoch of its last committed write *)
+  root_versions : (string, (int * Pvalue.t option) list) Hashtbl.t;
+  root_stamps : (string, int) Hashtbl.t;
+  blob_versions : (string, (int * string option) list) Hashtbl.t;
+  blob_stamps : (string, int) Hashtbl.t;
+}
+
+and session_kind =
+  | Direct (* the implicit default session: operations pass straight through *)
+  | Snapshot_session of int (* epoch pinned at [open_session] *)
+
+and session = {
+  s_id : int;
+  s_store : t;
+  s_kind : session_kind;
+  s_overlay : Heap.entry Oid.Table.t;
+      (* read-your-writes: private copies of objects this session wrote *)
+  s_root_over : (string, Pvalue.t option) Hashtbl.t; (* [None] = removed *)
+  s_blob_over : (string, string option) Hashtbl.t;
+  mutable s_ops : Journal.op list; (* buffered writes, newest first *)
+  mutable s_nops : int;
+  mutable s_written : Oid.Set.t; (* pre-existing oids this session wrote *)
+  mutable s_allocated : Oid.Set.t; (* oids reserved by this session's allocs *)
+  mutable s_state : [ `Live | `Committed | `Aborted ];
+}
+
+type store = t
 
 let default_compaction_limit = 4096
 let max_shards = 64
@@ -146,6 +192,21 @@ let make_shard () =
     sremembered = Oid.Set.empty;
   }
 
+let fresh_mvcc () =
+  {
+    commit_seq = 0;
+    direct_dirty = false;
+    open_sessions = [];
+    next_session_id = 1;
+    implicit = None;
+    versions = Oid.Table.create 64;
+    vstamps = Oid.Table.create 64;
+    root_versions = Hashtbl.create 16;
+    root_stamps = Hashtbl.create 16;
+    blob_versions = Hashtbl.create 16;
+    blob_stamps = Hashtbl.create 16;
+  }
+
 let make ?(obs = Obs.create ()) ?(nshards = 1) () =
   if nshards < 1 || nshards > max_shards then
     invalid_arg (Printf.sprintf "Store: shard count must be in 1..%d" max_shards);
@@ -180,6 +241,7 @@ let make ?(obs = Obs.create ()) ?(nshards = 1) () =
     replayed = 0;
     recovered_torn = false;
     rollback_depth = 0;
+    mvcc = fresh_mvcc ();
   }
 
 let heap store = store.heap
@@ -213,7 +275,6 @@ let invalidation_epoch store = store.side_epoch
 let bump_epoch store = store.side_epoch <- store.side_epoch + 1
 
 let backing store = store.backing
-let set_backing store path = store.backing <- Some path
 
 (* -- shard Obs merging ----------------------------------------------------
 
@@ -331,7 +392,6 @@ let set_group_window store n =
   if n < 1 then invalid_arg "Store.set_group_window: window must be >= 1";
   store.group_window <- n
 
-let set_retry_policy store policy = store.retry <- policy
 let retry_policy store = store.retry
 
 (* The policy that governs one I/O class: its override if one is
@@ -562,6 +622,10 @@ let create ?config () =
   store
 
 let mark_dirty store =
+  (* Direct heap surgery happens behind the MVCC hooks' back; a pinned
+     snapshot could not survive it. *)
+  if store.mvcc.open_sessions <> [] then
+    invalid_arg "Store.mark_dirty: open snapshot sessions pin the object graph; commit or abort them first";
   store.needs_full <- true;
   bump_epoch store;
   (* Direct heap surgery invalidates every recorded checksum; the
@@ -586,11 +650,122 @@ let record store op =
 
 let pending_total store = Array.fold_left (fun acc sh -> acc + sh.spending_count) 0 store.shards
 
+(* -- MVCC versioning ------------------------------------------------------
+
+   Snapshot sessions pin the store's committed-write epoch
+   ([mvcc.commit_seq]) at [open_session].  While at least one snapshot
+   session is open, every mutation of shared state first preserves the
+   pre-image of the object / root / blob it is about to change (once per
+   epoch) and stamps the target with the writing epoch.  A snapshot
+   reader resolves a target by walking its version chain for the oldest
+   pre-image whose epoch is newer than its snapshot; commit uses the
+   stamps for first-committer-wins detection.  With no session open the
+   tables are empty and every hook below is one list-emptiness check. *)
+
+let sessions_open store = store.mvcc.open_sessions <> []
+let open_session_count store = List.length store.mvcc.open_sessions
+
+(* Direct (default-session) writes made since the last seal share one
+   provisional epoch, [commit_seq + 1]; sealing closes it off before a
+   session pins a snapshot or a commit claims an epoch of its own. *)
+let seal_epoch store =
+  let m = store.mvcc in
+  if m.direct_dirty then begin
+    m.commit_seq <- m.commit_seq + 1;
+    m.direct_dirty <- false
+  end
+
+let capture_oid store epoch oid ~pre_image =
+  let m = store.mvcc in
+  (match Oid.Table.find_opt m.versions oid with
+  | Some ((e, _) :: _) when e = epoch -> () (* already captured this epoch *)
+  | prior ->
+    let chain = match prior with Some c -> c | None -> [] in
+    let before =
+      if pre_image then Option.map Journal.copy_entry (Heap.find store.heap oid) else None
+    in
+    Oid.Table.replace m.versions oid ((epoch, before) :: chain));
+  Oid.Table.replace m.vstamps oid epoch
+
+let capture_key versions stamps epoch key current =
+  (match Hashtbl.find_opt versions key with
+  | Some ((e, _) :: _) when e = epoch -> ()
+  | prior ->
+    let chain = match prior with Some c -> c | None -> [] in
+    Hashtbl.replace versions key ((epoch, current ()) :: chain));
+  Hashtbl.replace stamps key epoch
+
+(* Hooks on the direct write path: called before the mutation lands
+   (allocation captures an absent pre-image once the oid is known). *)
+let mvcc_note_write store oid =
+  if sessions_open store then begin
+    let m = store.mvcc in
+    m.direct_dirty <- true;
+    capture_oid store (m.commit_seq + 1) oid ~pre_image:true
+  end
+
+let mvcc_note_alloc store oid =
+  if sessions_open store then begin
+    let m = store.mvcc in
+    m.direct_dirty <- true;
+    capture_oid store (m.commit_seq + 1) oid ~pre_image:false
+  end
+
+let mvcc_note_root store key =
+  if sessions_open store then begin
+    let m = store.mvcc in
+    m.direct_dirty <- true;
+    capture_key m.root_versions m.root_stamps (m.commit_seq + 1) key (fun () ->
+        Roots.find store.roots key)
+  end
+
+let mvcc_note_blob store key =
+  if sessions_open store then begin
+    let m = store.mvcc in
+    m.direct_dirty <- true;
+    capture_key m.blob_versions m.blob_stamps (m.commit_seq + 1) key (fun () ->
+        Hashtbl.find_opt store.blobs key)
+  end
+
+(* The chain is newest-first, so the LAST element whose epoch is newer
+   than the snapshot holds the state the snapshot saw. *)
+let chain_pick snap chain =
+  let rec go best = function
+    | [] -> best
+    | (e, v) :: rest -> if e > snap then go (Some v) rest else best
+  in
+  go None chain
+
+let snapshot_entry store snap oid =
+  match Oid.Table.find_opt store.mvcc.versions oid with
+  | None | Some [] -> Heap.find store.heap oid
+  | Some chain -> (
+    match chain_pick snap chain with
+    | Some before -> before
+    | None -> Heap.find store.heap oid)
+
+let snapshot_root_value store snap key =
+  match Hashtbl.find_opt store.mvcc.root_versions key with
+  | None | Some [] -> Roots.find store.roots key
+  | Some chain -> (
+    match chain_pick snap chain with
+    | Some v -> v
+    | None -> Roots.find store.roots key)
+
+let snapshot_blob_value store snap key =
+  match Hashtbl.find_opt store.mvcc.blob_versions key with
+  | None | Some [] -> Hashtbl.find_opt store.blobs key
+  | Some chain -> (
+    match chain_pick snap chain with
+    | Some v -> v
+    | None -> Hashtbl.find_opt store.blobs key)
+
 (* -- roots --------------------------------------------------------------- *)
 
 let set_root store name v =
   guard_write_key store name;
   Obs.incr store.obs Obs.Set;
+  mvcc_note_root store name;
   Roots.set store.roots name v;
   if journalling store then record store (Journal.Set_root (name, v))
 
@@ -602,6 +777,7 @@ let root store name =
 let remove_root store name =
   guard_write_key store name;
   Obs.incr store.obs Obs.Set;
+  mvcc_note_root store name;
   Roots.remove store.roots name;
   if journalling store then record store (Journal.Remove_root name)
 
@@ -621,6 +797,7 @@ let alloc_record store class_name fields =
   guard_alloc store;
   Obs.span store.obs Obs.Alloc ~label:class_name (fun () ->
       let oid = Heap.alloc_record store.heap class_name fields in
+      mvcc_note_alloc store oid;
       if journalling store then journal_alloc store oid;
       oid)
 
@@ -628,6 +805,7 @@ let alloc_array store elem_type elems =
   guard_alloc store;
   Obs.span store.obs Obs.Alloc ~label:elem_type (fun () ->
       let oid = Heap.alloc_array store.heap elem_type elems in
+      mvcc_note_alloc store oid;
       if journalling store then journal_alloc store oid;
       oid)
 
@@ -635,6 +813,7 @@ let alloc_string store s =
   guard_alloc store;
   Obs.span store.obs Obs.Alloc ~label:"string" (fun () ->
       let oid = Heap.alloc_string store.heap s in
+      mvcc_note_alloc store oid;
       if journalling store then journal_alloc store oid;
       oid)
 
@@ -642,6 +821,7 @@ let alloc_weak store target =
   guard_alloc store;
   Obs.span store.obs Obs.Alloc ~label:"weak" (fun () ->
       let oid = Heap.alloc_weak store.heap target in
+      mvcc_note_alloc store oid;
       if journalling store then journal_alloc store oid;
       oid)
 
@@ -719,12 +899,14 @@ let set_field store oid idx v =
   if Obs.enabled store.obs then
     Obs.span store.obs Obs.Set ~oid (fun () ->
         check_q store oid;
+        mvcc_note_write store oid;
         Heap.set_field store.heap oid idx v;
         invalidate_crc store oid;
         if journalling store then record store (Journal.Set_field (oid, idx, v)))
   else begin
     Obs.incr store.obs Obs.Set;
     check_q store oid;
+    mvcc_note_write store oid;
     Heap.set_field store.heap oid idx v;
     invalidate_crc store oid;
     if journalling store then record store (Journal.Set_field (oid, idx, v))
@@ -746,12 +928,14 @@ let set_elem store oid idx v =
   if Obs.enabled store.obs then
     Obs.span store.obs Obs.Set ~oid (fun () ->
         check_q store oid;
+        mvcc_note_write store oid;
         Heap.set_elem store.heap oid idx v;
         invalidate_crc store oid;
         if journalling store then record store (Journal.Set_elem (oid, idx, v)))
   else begin
     Obs.incr store.obs Obs.Set;
     check_q store oid;
+    mvcc_note_write store oid;
     Heap.set_elem store.heap oid idx v;
     invalidate_crc store oid;
     if journalling store then record store (Journal.Set_elem (oid, idx, v))
@@ -843,6 +1027,7 @@ let string_value store = function
 let set_blob store key data =
   guard_write_key store key;
   Obs.incr store.obs Obs.Set;
+  mvcc_note_blob store key;
   Hashtbl.replace store.blobs key data;
   if journalling store then record store (Journal.Set_blob (key, data))
 
@@ -854,6 +1039,7 @@ let blob store key =
 let remove_blob store key =
   guard_write_key store key;
   Obs.incr store.obs Obs.Set;
+  mvcc_note_blob store key;
   Hashtbl.remove store.blobs key;
   if journalling store then record store (Journal.Remove_blob key)
 
@@ -876,6 +1062,10 @@ let quarantine_roots store =
   List.filter (Heap.is_live store.heap) (List.map fst (quarantined store))
 
 let gc store =
+  (* A sweep reclaims objects a pinned snapshot may still see; sessions
+     and GC are therefore mutually exclusive by construction. *)
+  if sessions_open store then
+    invalid_arg "Store.gc: open snapshot sessions pin the object graph; commit or abort them first";
   (* A sweep touches every shard's objects and forces a full compaction,
      which needs every shard writable — refuse while any is down rather
      than silently dropping a demoted shard's garbage analysis. *)
@@ -1976,6 +2166,12 @@ let restore_contents store (restored : Image.contents) =
    gc/direct heap surgery, or sharded — where entry state spans several
    files) pay the original full-image snapshot. *)
 let with_rollback store f =
+  (* Rolling shared state back out from under a pinned snapshot would
+     falsify it (and the versions/stamps describing it). *)
+  if sessions_open store then
+    invalid_arg
+      "Store.with_rollback: open snapshot sessions would observe the rollback; commit or abort \
+       them first";
   let journal_restore =
     nshards store = 1
     && journalling store
@@ -2038,3 +2234,715 @@ let with_rollback store f =
       leave ();
       Error e
   end
+
+(* -- sessions: the handle-first surface ------------------------------------
+
+   [Session.t] is the unit of isolation.  Two kinds share the handle:
+
+   - the implicit DEFAULT session ([default_session]), through which
+     every legacy single-owner call below routes: its operations pass
+     straight through to the shared state, exactly as they always did;
+
+   - SNAPSHOT sessions ([open_session]): each pins the committed-write
+     epoch at open, reads a byte-stable view of that instant (plus its
+     own writes), buffers every write privately, and publishes them all
+     at once at [Session.commit] — replayed through the store's normal
+     guarded mutation path and made durable through the group-commit
+     journal.  First committer wins: a commit whose write set overlaps
+     anything committed after its snapshot raises the typed
+     [Failure.Commit_conflict] and aborts, touching nothing. *)
+
+(* The commit barrier: on a journalled, backed store a committed delta
+   must be durable before control returns — a cheap journal fsync, not a
+   full image write.  Snapshot-mode and unbacked stores stabilise when
+   the owner chooses, as they always have. *)
+let commit_barrier store =
+  match store.durability, store.backing with
+  | Journalled, Some _ -> stabilise store
+  | (Journalled | Snapshot), _ -> ()
+
+module Session = struct
+  type nonrec t = session
+
+  let id s = s.s_id
+  let store s = s.s_store
+
+  let is_snapshot s =
+    match s.s_kind with
+    | Direct -> false
+    | Snapshot_session _ -> true
+
+  let snapshot_epoch s =
+    match s.s_kind with
+    | Direct -> s.s_store.mvcc.commit_seq
+    | Snapshot_session e -> e
+
+  let state s = s.s_state
+  let is_open s = s.s_state = `Live
+  let buffered_ops s = s.s_nops
+
+  let check_live s ctx =
+    match s.s_state with
+    | `Live -> ()
+    | `Committed ->
+      invalid_arg (Printf.sprintf "Store.Session.%s: session %d already committed" ctx s.s_id)
+    | `Aborted ->
+      invalid_arg (Printf.sprintf "Store.Session.%s: session %d already aborted" ctx s.s_id)
+
+  (* -- snapshot reads ----------------------------------------------------- *)
+
+  let dangling oid =
+    raise (Heap.Heap_error (Format.asprintf "dangling reference %a" Oid.pp oid))
+
+  (* How a snapshot session sees one oid: its own overlay first
+     (read-your-writes), then the version chains, then the live heap. *)
+  let resolved s snap oid =
+    match Oid.Table.find_opt s.s_overlay oid with
+    | Some e -> Some e
+    | None -> snapshot_entry s.s_store snap oid
+
+  let resolved_root s snap name =
+    match Hashtbl.find_opt s.s_root_over name with
+    | Some v -> v
+    | None -> snapshot_root_value s.s_store snap name
+
+  let resolved_blob s snap key =
+    match Hashtbl.find_opt s.s_blob_over key with
+    | Some v -> v
+    | None -> snapshot_blob_value s.s_store snap key
+
+  let get s oid =
+    match s.s_kind with
+    | Direct -> get s.s_store oid
+    | Snapshot_session snap -> (
+      check_live s "get";
+      Obs.incr s.s_store.obs Obs.Get;
+      check_q s.s_store oid;
+      match resolved s snap oid with
+      | Some e -> e
+      | None -> dangling oid)
+
+  let find s oid =
+    match s.s_kind with
+    | Direct -> find s.s_store oid
+    | Snapshot_session snap ->
+      check_live s "find";
+      Obs.incr s.s_store.obs Obs.Get;
+      if Quarantine.mem (shard_oid s.s_store oid).sq oid then None else resolved s snap oid
+
+  let is_live s oid =
+    match s.s_kind with
+    | Direct -> is_live s.s_store oid
+    | Snapshot_session snap -> resolved s snap oid <> None
+
+  let entry_record oid = function
+    | Heap.Record r -> r
+    | Heap.Array _ | Heap.Str _ | Heap.Weak _ ->
+      raise (Heap.Heap_error (Format.asprintf "%a is not a record" Oid.pp oid))
+
+  let entry_array oid = function
+    | Heap.Array a -> a
+    | Heap.Record _ | Heap.Str _ | Heap.Weak _ ->
+      raise (Heap.Heap_error (Format.asprintf "%a is not an array" Oid.pp oid))
+
+  let get_record s oid =
+    match s.s_kind with
+    | Direct -> get_record s.s_store oid
+    | Snapshot_session _ -> entry_record oid (get s oid)
+
+  let get_array s oid =
+    match s.s_kind with
+    | Direct -> get_array s.s_store oid
+    | Snapshot_session _ -> entry_array oid (get s oid)
+
+  let get_string s oid =
+    match s.s_kind with
+    | Direct -> get_string s.s_store oid
+    | Snapshot_session _ -> (
+      match get s oid with
+      | Heap.Str str -> str
+      | Heap.Record _ | Heap.Array _ | Heap.Weak _ ->
+        raise (Heap.Heap_error (Format.asprintf "%a is not a string" Oid.pp oid)))
+
+  let get_weak s oid =
+    match s.s_kind with
+    | Direct -> get_weak s.s_store oid
+    | Snapshot_session _ -> (
+      match get s oid with
+      | Heap.Weak c -> c
+      | Heap.Record _ | Heap.Array _ | Heap.Str _ ->
+        raise (Heap.Heap_error (Format.asprintf "%a is not a weak cell" Oid.pp oid)))
+
+  let class_of s oid =
+    match s.s_kind with
+    | Direct -> class_of s.s_store oid
+    | Snapshot_session _ -> (
+      match get s oid with
+      | Heap.Record r -> r.Heap.class_name
+      | Heap.Array a -> a.Heap.elem_type ^ "[]"
+      | Heap.Str _ -> "java.lang.String"
+      | Heap.Weak _ -> "pstore.WeakReference")
+
+  let field s oid idx =
+    match s.s_kind with
+    | Direct -> field s.s_store oid idx
+    | Snapshot_session _ ->
+      let r = entry_record oid (get s oid) in
+      if idx < 0 || idx >= Array.length r.Heap.fields then
+        raise
+          (Heap.Heap_error
+             (Format.asprintf "field index %d out of range for %a (%s)" idx Oid.pp oid
+                r.Heap.class_name));
+      r.Heap.fields.(idx)
+
+  let elem s oid idx =
+    match s.s_kind with
+    | Direct -> elem s.s_store oid idx
+    | Snapshot_session _ ->
+      let a = entry_array oid (get s oid) in
+      if idx < 0 || idx >= Array.length a.Heap.elems then
+        raise
+          (Heap.Heap_error
+             (Format.asprintf "array index %d out of bounds (length %d)" idx
+                (Array.length a.Heap.elems)));
+      a.Heap.elems.(idx)
+
+  let array_length s oid =
+    match s.s_kind with
+    | Direct -> array_length s.s_store oid
+    | Snapshot_session _ -> Array.length (entry_array oid (get s oid)).Heap.elems
+
+  let string_value s v =
+    match s.s_kind with
+    | Direct -> string_value s.s_store v
+    | Snapshot_session _ -> (
+      match v with
+      | Pvalue.Ref oid -> get_string s oid
+      | v ->
+        raise (Heap.Heap_error ("expected a string reference, got " ^ Pvalue.to_string v)))
+
+  let try_get s oid =
+    match s.s_kind with
+    | Direct -> try_get s.s_store oid
+    | Snapshot_session snap -> (
+      check_live s "try_get";
+      note_read s.s_store oid;
+      Obs.incr s.s_store.obs Obs.Get;
+      match Quarantine.find (shard_oid s.s_store oid).sq oid with
+      | Some reason ->
+        Obs.incr s.s_store.obs Obs.Quarantine_hit;
+        Error (Failure.Quarantined { oid; reason })
+      | None -> (
+        match resolved s snap oid with
+        | Some entry -> Ok entry
+        | None -> Error (Failure.Dangling oid)))
+
+  let try_field s oid idx =
+    match s.s_kind with
+    | Direct -> try_field s.s_store oid idx
+    | Snapshot_session _ -> (
+      match try_get s oid with
+      | Error e -> Error e
+      | Ok (Heap.Record r) when idx >= 0 && idx < Array.length r.Heap.fields ->
+        Ok r.Heap.fields.(idx)
+      | Ok entry ->
+        let container =
+          match entry with
+          | Heap.Record r -> r.Heap.class_name
+          | Heap.Array a -> a.Heap.elem_type ^ "[]"
+          | Heap.Str _ -> "string"
+          | Heap.Weak _ -> "weak cell"
+        in
+        Error (Failure.Bad_index { container; index = idx }))
+
+  let root s name =
+    match s.s_kind with
+    | Direct -> root s.s_store name
+    | Snapshot_session snap ->
+      check_live s "root";
+      Obs.incr s.s_store.obs Obs.Root_lookup;
+      resolved_root s snap name
+
+  let root_names s =
+    match s.s_kind with
+    | Direct -> root_names s.s_store
+    | Snapshot_session snap ->
+      check_live s "root_names";
+      let tbl = Hashtbl.create 32 in
+      List.iter (fun n -> Hashtbl.replace tbl n ()) (Roots.names s.s_store.roots);
+      Hashtbl.iter (fun n _ -> Hashtbl.replace tbl n ()) s.s_store.mvcc.root_versions;
+      Hashtbl.iter (fun n _ -> Hashtbl.replace tbl n ()) s.s_root_over;
+      Hashtbl.fold (fun n () acc -> if resolved_root s snap n <> None then n :: acc else acc) tbl []
+      |> List.sort String.compare
+
+  let blob s key =
+    match s.s_kind with
+    | Direct -> blob s.s_store key
+    | Snapshot_session snap ->
+      check_live s "blob";
+      Obs.incr s.s_store.obs Obs.Get;
+      resolved_blob s snap key
+
+  let blob_keys s =
+    match s.s_kind with
+    | Direct -> blob_keys s.s_store
+    | Snapshot_session snap ->
+      check_live s "blob_keys";
+      let tbl = Hashtbl.create 32 in
+      Hashtbl.iter (fun k _ -> Hashtbl.replace tbl k ()) s.s_store.blobs;
+      Hashtbl.iter (fun k _ -> Hashtbl.replace tbl k ()) s.s_store.mvcc.blob_versions;
+      Hashtbl.iter (fun k _ -> Hashtbl.replace tbl k ()) s.s_blob_over;
+      Hashtbl.fold (fun k () acc -> if resolved_blob s snap k <> None then k :: acc else acc) tbl []
+      |> List.sort String.compare
+
+  (* -- buffered writes ---------------------------------------------------- *)
+
+  let push_op s op =
+    s.s_ops <- op :: s.s_ops;
+    s.s_nops <- s.s_nops + 1
+
+  (* A snapshot write mutates a private copy of the object: the session's
+     own allocation, or a copy-on-write of the visible entry (which also
+     enrols the oid in the write set for conflict detection). *)
+  let overlay_entry s oid =
+    match Oid.Table.find_opt s.s_overlay oid with
+    | Some e -> e
+    | None -> (
+      let snap =
+        match s.s_kind with
+        | Snapshot_session e -> e
+        | Direct -> assert false
+      in
+      match snapshot_entry s.s_store snap oid with
+      | Some e ->
+        let copy = Journal.copy_entry e in
+        Oid.Table.replace s.s_overlay oid copy;
+        s.s_written <- Oid.Set.add oid s.s_written;
+        copy
+      | None -> dangling oid)
+
+  let set_field s oid idx v =
+    match s.s_kind with
+    | Direct -> set_field s.s_store oid idx v
+    | Snapshot_session _ ->
+      check_live s "set_field";
+      Obs.incr s.s_store.obs Obs.Set;
+      check_q s.s_store oid;
+      let r = entry_record oid (overlay_entry s oid) in
+      if idx < 0 || idx >= Array.length r.Heap.fields then
+        raise
+          (Heap.Heap_error
+             (Format.asprintf "field index %d out of range for %a (%s)" idx Oid.pp oid
+                r.Heap.class_name));
+      r.Heap.fields.(idx) <- v;
+      push_op s (Journal.Set_field (oid, idx, v))
+
+  let set_elem s oid idx v =
+    match s.s_kind with
+    | Direct -> set_elem s.s_store oid idx v
+    | Snapshot_session _ ->
+      check_live s "set_elem";
+      Obs.incr s.s_store.obs Obs.Set;
+      check_q s.s_store oid;
+      let a = entry_array oid (overlay_entry s oid) in
+      if idx < 0 || idx >= Array.length a.Heap.elems then
+        raise
+          (Heap.Heap_error
+             (Format.asprintf "array index %d out of bounds (length %d)" idx
+                (Array.length a.Heap.elems)));
+      a.Heap.elems.(idx) <- v;
+      push_op s (Journal.Set_elem (oid, idx, v))
+
+  (* Session allocations reserve their oid from the shared allocator (so
+     concurrent sessions and direct allocs never collide) but the entry
+     lives only in the overlay until commit.  An aborted session's
+     reserved oids are simply never used — the allocator is monotone. *)
+  let reserve_oid store =
+    let n = Heap.next_oid store.heap in
+    Heap.set_next_oid store.heap (n + 1);
+    Oid.of_int n
+
+  let session_alloc s label entry =
+    check_live s "alloc";
+    Obs.span s.s_store.obs Obs.Alloc ~label (fun () ->
+        let oid = reserve_oid s.s_store in
+        Oid.Table.replace s.s_overlay oid entry;
+        s.s_allocated <- Oid.Set.add oid s.s_allocated;
+        push_op s (Journal.Alloc (oid, entry));
+        oid)
+
+  let alloc_record s class_name fields =
+    match s.s_kind with
+    | Direct -> alloc_record s.s_store class_name fields
+    | Snapshot_session _ -> session_alloc s class_name (Heap.Record { Heap.class_name; fields })
+
+  let alloc_array s elem_type elems =
+    match s.s_kind with
+    | Direct -> alloc_array s.s_store elem_type elems
+    | Snapshot_session _ -> session_alloc s elem_type (Heap.Array { Heap.elem_type; elems })
+
+  let alloc_string s str =
+    match s.s_kind with
+    | Direct -> alloc_string s.s_store str
+    | Snapshot_session _ -> session_alloc s "string" (Heap.Str str)
+
+  let alloc_weak s target =
+    match s.s_kind with
+    | Direct -> alloc_weak s.s_store target
+    | Snapshot_session _ -> session_alloc s "weak" (Heap.Weak { Heap.target })
+
+  let set_root s name v =
+    match s.s_kind with
+    | Direct -> set_root s.s_store name v
+    | Snapshot_session _ ->
+      check_live s "set_root";
+      Obs.incr s.s_store.obs Obs.Set;
+      Hashtbl.replace s.s_root_over name (Some v);
+      push_op s (Journal.Set_root (name, v))
+
+  let remove_root s name =
+    match s.s_kind with
+    | Direct -> remove_root s.s_store name
+    | Snapshot_session _ ->
+      check_live s "remove_root";
+      Obs.incr s.s_store.obs Obs.Set;
+      Hashtbl.replace s.s_root_over name None;
+      push_op s (Journal.Remove_root name)
+
+  let set_blob s key data =
+    match s.s_kind with
+    | Direct -> set_blob s.s_store key data
+    | Snapshot_session _ ->
+      check_live s "set_blob";
+      Obs.incr s.s_store.obs Obs.Set;
+      Hashtbl.replace s.s_blob_over key (Some data);
+      push_op s (Journal.Set_blob (key, data))
+
+  let remove_blob s key =
+    match s.s_kind with
+    | Direct -> remove_blob s.s_store key
+    | Snapshot_session _ ->
+      check_live s "remove_blob";
+      Obs.incr s.s_store.obs Obs.Set;
+      Hashtbl.replace s.s_blob_over key None;
+      push_op s (Journal.Remove_blob key)
+
+  let write_set s =
+    let keys =
+      List.sort_uniq String.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) s.s_root_over []
+        @ Hashtbl.fold (fun k _ acc -> k :: acc) s.s_blob_over [])
+    in
+    (Oid.Set.elements s.s_written, keys)
+
+  (* -- close-out: commit / abort ------------------------------------------ *)
+
+  let unpin s final_state =
+    let m = s.s_store.mvcc in
+    s.s_state <- final_state;
+    m.open_sessions <- List.filter (fun o -> o != s) m.open_sessions;
+    if m.open_sessions = [] then begin
+      (* no snapshot can observe old versions any more *)
+      Oid.Table.reset m.versions;
+      Oid.Table.reset m.vstamps;
+      Hashtbl.reset m.root_versions;
+      Hashtbl.reset m.root_stamps;
+      Hashtbl.reset m.blob_versions;
+      Hashtbl.reset m.blob_stamps
+    end
+
+  let drop_buffer s =
+    Oid.Table.reset s.s_overlay;
+    Hashtbl.reset s.s_root_over;
+    Hashtbl.reset s.s_blob_over;
+    s.s_ops <- [];
+    s.s_nops <- 0
+
+  let abort s =
+    match s.s_kind with
+    | Direct -> invalid_arg "Store.Session.abort: the default session has no buffered writes"
+    | Snapshot_session _ ->
+      check_live s "abort";
+      (* no journal residue by construction: nothing ever left the buffer *)
+      drop_buffer s;
+      unpin s `Aborted
+
+  let conflicts s snap =
+    let m = s.s_store.mvcc in
+    let oids =
+      Oid.Set.fold
+        (fun oid acc ->
+          match Oid.Table.find_opt m.vstamps oid with
+          | Some e when e > snap -> oid :: acc
+          | _ -> acc)
+        s.s_written []
+      |> List.sort Oid.compare
+    in
+    let key_conflicts stamps over =
+      Hashtbl.fold
+        (fun key _ acc ->
+          match Hashtbl.find_opt stamps key with
+          | Some e when e > snap -> key :: acc
+          | _ -> acc)
+        over []
+    in
+    let keys =
+      List.sort_uniq String.compare
+        (key_conflicts m.root_stamps s.s_root_over @ key_conflicts m.blob_stamps s.s_blob_over)
+    in
+    (oids, keys)
+
+  (* Refuse the whole commit before touching shared state: shard health,
+     quarantine and dangling targets are checked for every buffered op
+     up front, so a refused commit leaves the heap and the journal
+     untouched and the session live for a later retry. *)
+  let validate_ops s =
+    let store = s.s_store in
+    List.iter
+      (fun op ->
+        match op with
+        | Journal.Alloc (oid, _) -> guard_write_oid store oid
+        | Journal.Set_field (oid, _, _) | Journal.Set_elem (oid, _, _) ->
+          guard_write_oid store oid;
+          if not (Oid.Set.mem oid s.s_allocated) then begin
+            check_q store oid;
+            if not (Heap.is_live store.heap oid) then dangling oid
+          end
+        | Journal.Set_root (key, _)
+        | Journal.Remove_root key
+        | Journal.Set_blob (key, _)
+        | Journal.Remove_blob key -> guard_write_key store key)
+      (List.rev s.s_ops)
+
+  (* Publish one buffered op: capture the pre-image for the sessions that
+     remain open, stamp the target with the commit epoch, mutate, and
+     hand the op to the journal buffer exactly like a direct write. *)
+  let apply_op store epoch op =
+    (match op with
+    | Journal.Alloc (oid, entry) ->
+      capture_oid store epoch oid ~pre_image:false;
+      Obs.incr store.obs Obs.Alloc;
+      Heap.insert store.heap oid (Journal.copy_entry entry);
+      invalidate_crc store oid
+    | Journal.Set_field (oid, idx, v) ->
+      capture_oid store epoch oid ~pre_image:true;
+      Obs.incr store.obs Obs.Set;
+      Heap.set_field store.heap oid idx v;
+      invalidate_crc store oid
+    | Journal.Set_elem (oid, idx, v) ->
+      capture_oid store epoch oid ~pre_image:true;
+      Obs.incr store.obs Obs.Set;
+      Heap.set_elem store.heap oid idx v;
+      invalidate_crc store oid
+    | Journal.Set_root (key, v) ->
+      capture_key store.mvcc.root_versions store.mvcc.root_stamps epoch key (fun () ->
+          Roots.find store.roots key);
+      Obs.incr store.obs Obs.Set;
+      Roots.set store.roots key v
+    | Journal.Remove_root key ->
+      capture_key store.mvcc.root_versions store.mvcc.root_stamps epoch key (fun () ->
+          Roots.find store.roots key);
+      Obs.incr store.obs Obs.Set;
+      Roots.remove store.roots key
+    | Journal.Set_blob (key, data) ->
+      capture_key store.mvcc.blob_versions store.mvcc.blob_stamps epoch key (fun () ->
+          Hashtbl.find_opt store.blobs key);
+      Obs.incr store.obs Obs.Set;
+      Hashtbl.replace store.blobs key data
+    | Journal.Remove_blob key ->
+      capture_key store.mvcc.blob_versions store.mvcc.blob_stamps epoch key (fun () ->
+          Hashtbl.find_opt store.blobs key);
+      Obs.incr store.obs Obs.Set;
+      Hashtbl.remove store.blobs key);
+    if journalling store then record store op
+
+  let commit s =
+    match s.s_kind with
+    | Direct -> commit_barrier s.s_store
+    | Snapshot_session snap ->
+      check_live s "commit";
+      let store = s.s_store in
+      seal_epoch store;
+      let oids, keys = conflicts s snap in
+      if oids <> [] || keys <> [] then begin
+        Obs.incr store.obs Obs.Conflict;
+        let session = s.s_id in
+        (* the first committer won: abort, then hand the caller the clash
+           set so it can retry against the new state *)
+        drop_buffer s;
+        unpin s `Aborted;
+        raise (Failure.Commit_conflict { session; oids; keys })
+      end;
+      validate_ops s;
+      let ops = List.rev s.s_ops in
+      Obs.span store.obs Obs.Session_commit
+        ~label:(Printf.sprintf "session %d" s.s_id)
+        (fun () ->
+          (if ops <> [] then begin
+             let epoch = store.mvcc.commit_seq + 1 in
+             List.iter (apply_op store epoch) ops;
+             store.mvcc.commit_seq <- epoch;
+             (* committed writes invalidate side caches: the registry's
+                getLink memo revalidates against this epoch *)
+             bump_epoch store
+           end);
+          drop_buffer s;
+          unpin s `Committed;
+          if ops <> [] then commit_barrier store)
+
+  (* -- snapshot introspection --------------------------------------------- *)
+
+  let live_count s =
+    match s.s_kind with
+    | Direct -> Heap.size s.s_store.heap
+    | Snapshot_session snap ->
+      (* no entry is ever removed while sessions are open (GC is gated),
+         so the visible set is a subset of the live heap *)
+      let n = ref 0 in
+      Heap.iter
+        (fun oid _ -> if snapshot_entry s.s_store snap oid <> None then incr n)
+        s.s_store.heap;
+      !n
+
+  let stats s =
+    match s.s_kind with
+    | Direct -> stats s.s_store
+    | Snapshot_session _ -> { (stats s.s_store) with live = live_count s }
+
+  (* The session's full visible state as store contents — the same shape
+     [Store.contents] has, so [Image.encode] fingerprints a snapshot
+     byte-stably however much the shared store moves on. *)
+  let snapshot_contents s =
+    match s.s_kind with
+    | Direct -> contents s.s_store
+    | Snapshot_session snap ->
+      check_live s "snapshot_contents";
+      let store = s.s_store in
+      let heap' = Heap.create () in
+      let top = ref 0 in
+      Heap.iter
+        (fun oid _ ->
+          match snapshot_entry store snap oid with
+          | Some e ->
+            Heap.insert heap' oid (Journal.copy_entry e);
+            if Oid.to_int oid >= !top then top := Oid.to_int oid + 1
+          | None -> ())
+        store.heap;
+      if !top > Heap.next_oid heap' then Heap.set_next_oid heap' !top;
+      let roots' = Roots.create () in
+      List.iter
+        (fun n ->
+          match snapshot_root_value store snap n with
+          | Some v -> Roots.set roots' n v
+          | None -> ())
+        (let tbl = Hashtbl.create 32 in
+         List.iter (fun n -> Hashtbl.replace tbl n ()) (Roots.names store.roots);
+         Hashtbl.iter (fun n _ -> Hashtbl.replace tbl n ()) store.mvcc.root_versions;
+         Hashtbl.fold (fun n () acc -> n :: acc) tbl []);
+      let blobs' = Hashtbl.create 16 in
+      let blob_keys =
+        let tbl = Hashtbl.create 32 in
+        Hashtbl.iter (fun k _ -> Hashtbl.replace tbl k ()) store.blobs;
+        Hashtbl.iter (fun k _ -> Hashtbl.replace tbl k ()) store.mvcc.blob_versions;
+        Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+      in
+      List.iter
+        (fun k ->
+          match snapshot_blob_value store snap k with
+          | Some data -> Hashtbl.replace blobs' k data
+          | None -> ())
+        blob_keys;
+      let quarantine = Quarantine.create () in
+      Array.iter
+        (fun sh ->
+          List.iter (fun (oid, r) -> Quarantine.add quarantine oid r) (Quarantine.to_list sh.sq))
+        store.shards;
+      { Image.heap = heap'; roots = roots'; blobs = blobs'; quarantine }
+
+  (* -- the single-owner transaction --------------------------------------- *)
+
+  (* Run [f] against the shared store with whole-store rollback on
+     exception, then pay the commit barrier on success.  This is the
+     commit/abort notion [Hyperprog.Transaction] wraps: an atomic block
+     over the default session, not a snapshot session (it sees and
+     mutates live state, and concurrent snapshot sessions are refused by
+     [with_rollback]). *)
+  let atomically store f =
+    match with_rollback store f with
+    | Ok v ->
+      commit_barrier store;
+      Ok v
+    | Error _ as e -> e
+end
+
+let fresh_session store ~id kind =
+  {
+    s_id = id;
+    s_store = store;
+    s_kind = kind;
+    s_overlay = Oid.Table.create 16;
+    s_root_over = Hashtbl.create 8;
+    s_blob_over = Hashtbl.create 8;
+    s_ops = [];
+    s_nops = 0;
+    s_written = Oid.Set.empty;
+    s_allocated = Oid.Set.empty;
+    s_state = `Live;
+  }
+
+(* Pin a snapshot of the committed state as of now.  Any unsealed direct
+   writes are sealed first, so the new session's epoch cleanly separates
+   "before open" from "after open". *)
+let open_session store =
+  let m = store.mvcc in
+  seal_epoch store;
+  let s = fresh_session store ~id:m.next_session_id (Snapshot_session m.commit_seq) in
+  m.next_session_id <- m.next_session_id + 1;
+  m.open_sessions <- s :: m.open_sessions;
+  s
+
+(* The implicit default session (id 0): the handle the legacy
+   single-owner calls below route through. *)
+let default_session store =
+  match store.mvcc.implicit with
+  | Some s -> s
+  | None ->
+    let s = fresh_session store ~id:0 Direct in
+    store.mvcc.implicit <- Some s;
+    s
+
+(* -- the legacy single-owner surface ---------------------------------------
+
+   Thin wrappers over the implicit default session.  Each is exactly one
+   kind-dispatch away from the direct implementation above; code that
+   owns a store alone keeps its old API, code that shares one opens
+   sessions. *)
+
+let set_root store name v = Session.set_root (default_session store) name v
+let root store name = Session.root (default_session store) name
+let remove_root store name = Session.remove_root (default_session store) name
+let root_names store = Session.root_names (default_session store)
+let alloc_record store class_name fields = Session.alloc_record (default_session store) class_name fields
+let alloc_array store elem_type elems = Session.alloc_array (default_session store) elem_type elems
+let alloc_string store s = Session.alloc_string (default_session store) s
+let alloc_weak store target = Session.alloc_weak (default_session store) target
+let get store oid = Session.get (default_session store) oid
+let find store oid = Session.find (default_session store) oid
+let is_live store oid = Session.is_live (default_session store) oid
+let class_of store oid = Session.class_of (default_session store) oid
+let get_record store oid = Session.get_record (default_session store) oid
+let get_array store oid = Session.get_array (default_session store) oid
+let get_string store oid = Session.get_string (default_session store) oid
+let get_weak store oid = Session.get_weak (default_session store) oid
+let field store oid idx = Session.field (default_session store) oid idx
+let set_field store oid idx v = Session.set_field (default_session store) oid idx v
+let elem store oid idx = Session.elem (default_session store) oid idx
+let set_elem store oid idx v = Session.set_elem (default_session store) oid idx v
+let array_length store oid = Session.array_length (default_session store) oid
+let try_get store oid = Session.try_get (default_session store) oid
+let try_field store oid idx = Session.try_field (default_session store) oid idx
+let set_blob store key data = Session.set_blob (default_session store) key data
+let blob store key = Session.blob (default_session store) key
+let remove_blob store key = Session.remove_blob (default_session store) key
+let blob_keys store = Session.blob_keys (default_session store)
+let string_value store v = Session.string_value (default_session store) v

@@ -2,9 +2,22 @@
 
     A store is a heap of objects, a set of named roots, and a blob table,
     with stabilisation to a backing file.  Programs (hyper-programs, class
-    files) live in the same store as the data they manipulate. *)
+    files) live in the same store as the data they manipulate.
+
+    {b The handle-first surface.}  Every read and mutation goes through a
+    {!Session.t} handle.  {!open_session} pins a snapshot-isolated MVCC
+    session: byte-stable reads as of open, privately buffered writes,
+    published atomically by {!Session.commit} with first-committer-wins
+    conflict detection ({!Failure.Commit_conflict}).  Code that owns a
+    store alone can keep calling the single-owner operations below
+    ([get], [set_field], [set_root], ...); each is a thin wrapper over
+    the store's implicit {e default session}, which reads and writes the
+    shared state directly, exactly as the store always behaved. *)
 
 type t
+
+type store = t
+(** Alias so the {!Session} signature can refer to the store type. *)
 
 (** {1 Durability}
 
@@ -21,8 +34,8 @@ type durability =
 
     All store tunables in one record, applied atomically with
     {!configure} or at construction time via [?config] on {!create} and
-    {!open_file}.  The legacy per-knob setters below remain as thin
-    shims over this record. *)
+    {!open_file}.  This record is the only way to retune a live store —
+    the per-knob setters it replaced are gone. *)
 
 module Config : sig
   type t = {
@@ -211,19 +224,7 @@ val repair_all : t -> repair_report list
 (** Repair every unhealthy shard, in shard order. *)
 
 val backing : t -> string option
-
-val set_backing : t -> string -> unit
-(** @deprecated Use {!configure} with [{config with backing = Some p}]. *)
-
 val durability : t -> durability
-
-val set_durability : t -> durability -> unit
-(** @deprecated Use {!configure}. *)
-
-val set_compaction_limit : t -> int -> unit
-(** Journal records tolerated before stabilise compacts (default 4096).
-    @deprecated Use {!configure}. *)
-
 val group_window : t -> int
 
 val set_group_window : t -> int -> unit
@@ -233,7 +234,9 @@ val set_group_window : t -> int -> unit
 val mark_dirty : t -> unit
 (** Tell the store its heap was mutated behind its back (direct record
     surgery, e.g. schema evolution's instance reconstruction): the next
-    stabilise writes a full image rather than trusting the journal. *)
+    stabilise writes a full image rather than trusting the journal.
+    @raise Invalid_argument while snapshot sessions are open — untracked
+    surgery would tear their pinned views. *)
 
 (** {1 Named roots} *)
 
@@ -327,10 +330,7 @@ val scrub_progress : t -> Scrub.state
     compaction commits.  Per-class policies come from
     [Config.retry_overrides]; exhausted budgets feed the per-shard
     circuit breaker.  Off by default so crash-injection tests observe
-    raw failures. *)
-
-val set_retry_policy : t -> Retry.policy option -> unit
-(** @deprecated Use {!configure}. *)
+    raw failures.  Configured via [Config.retry] / [Config.retry_overrides]. *)
 
 val retry_policy : t -> Retry.policy option
 
@@ -355,6 +355,10 @@ val pinned_oids : t -> Oid.t list
 (** {1 Garbage collection and stabilisation} *)
 
 val gc : t -> Gc.stats
+(** Mark-and-sweep from the named roots and pins.
+    @raise Invalid_argument while snapshot sessions are open — they pin
+    the object graph. *)
+
 val reachable : t -> Oid.Set.t
 
 val contents : t -> Image.contents
@@ -422,4 +426,171 @@ val with_rollback : t -> (unit -> 'a) -> ('a, exn) result
     rebuilt from image + journal + entry-time pending ops — O(delta)
     rather than one full store snapshot, and any records the transaction
     stabilised are cut off so the on-disk journal replays to the
-    pre-transaction state.  Other stores pay the full-image snapshot. *)
+    pre-transaction state.  Other stores pay the full-image snapshot.
+    @raise Invalid_argument while snapshot sessions are open — a
+    whole-store rollback would rewrite state under their snapshots. *)
+
+(** {1 Sessions}
+
+    The handle-based concurrency surface.  A snapshot session
+    ({!open_session}) gives one logical client an isolated view of the
+    store:
+
+    - {b snapshot reads} — everything the session reads is the committed
+      state as of open, byte-stable however much the shared store moves
+      on underneath (MVCC pre-image chains, kept only while at least one
+      session is open, so a store with no sessions pays one list check
+      per mutation and nothing more);
+    - {b read-your-writes} — the session's own buffered writes shadow its
+      snapshot;
+    - {b atomic publication} — {!Session.commit} validates the whole
+      buffer against shard health and quarantine, then replays it
+      through the store's normal guarded mutation path and the
+      group-commit journal, so a committed session is exactly as durable
+      as the same writes made directly;
+    - {b first-committer-wins} — if any object or root/blob key this
+      session wrote was committed by someone else after this session's
+      snapshot, commit raises {!Failure.Commit_conflict} carrying the
+      clashing oids and keys, and the session aborts having touched
+      nothing.
+
+    The {e default session} ({!default_session}) is the other kind: the
+    implicit handle the legacy single-owner operations route through.
+    Its reads and writes hit the shared state directly — no snapshot, no
+    buffer — and its [commit] is just the durability barrier.
+
+    GC, [with_rollback] and [mark_dirty] refuse to run while snapshot
+    sessions are open (they would invalidate pinned views); commit or
+    abort every session first. *)
+
+module Session : sig
+  type t
+  (** A session handle.  Not thread-safe itself: one session belongs to
+      one logical client; {e different} sessions on one store are how
+      clients overlap. *)
+
+  val id : t -> int
+  (** Session ids are per-store, starting at 1; the default session is
+      id 0. *)
+
+  val store : t -> store
+  val is_snapshot : t -> bool
+  (** [false] exactly for the default session. *)
+
+  val snapshot_epoch : t -> int
+  (** The commit epoch this session reads as of (the current epoch for
+      the default session). *)
+
+  val state : t -> [ `Live | `Committed | `Aborted ]
+  val is_open : t -> bool
+
+  val buffered_ops : t -> int
+  (** Writes buffered and not yet committed (always [0] for the default
+      session, which never buffers). *)
+
+  (** {2 Reads}
+
+      Same contracts as the single-owner operations of the same name
+      ([get] raises on dangling/quarantined, [find] returns [None],
+      [try_get]/[try_field] return {!Failure.t} as data, ...), evaluated
+      against the session's snapshot plus its own buffered writes.
+      @raise Invalid_argument on a committed or aborted session. *)
+
+  val get : t -> Oid.t -> Heap.entry
+  val find : t -> Oid.t -> Heap.entry option
+  val is_live : t -> Oid.t -> bool
+  val class_of : t -> Oid.t -> string
+  val get_record : t -> Oid.t -> Heap.record
+  val get_array : t -> Oid.t -> Heap.arr
+  val get_string : t -> Oid.t -> string
+  val get_weak : t -> Oid.t -> Heap.weak_cell
+  val field : t -> Oid.t -> int -> Pvalue.t
+  val elem : t -> Oid.t -> int -> Pvalue.t
+  val array_length : t -> Oid.t -> int
+  val string_value : t -> Pvalue.t -> string
+  val try_get : t -> Oid.t -> (Heap.entry, Failure.t) result
+  val try_field : t -> Oid.t -> int -> (Pvalue.t, Failure.t) result
+  val root : t -> string -> Pvalue.t option
+  val root_names : t -> string list
+  val blob : t -> string -> string option
+  val blob_keys : t -> string list
+
+  (** {2 Writes}
+
+      On a snapshot session every write lands in a private buffer
+      (copy-on-write overlay for heap objects) and is invisible to every
+      other session until {!commit}.  Allocations reserve their oid from
+      the shared allocator immediately — so sessions never collide on
+      oids — but the entry stays private until commit; an aborted
+      session's reserved oids are simply never used. *)
+
+  val set_field : t -> Oid.t -> int -> Pvalue.t -> unit
+  val set_elem : t -> Oid.t -> int -> Pvalue.t -> unit
+  val alloc_record : t -> string -> Pvalue.t array -> Oid.t
+  val alloc_array : t -> string -> Pvalue.t array -> Oid.t
+  val alloc_string : t -> string -> Oid.t
+  val alloc_weak : t -> Pvalue.t -> Oid.t
+  val set_root : t -> string -> Pvalue.t -> unit
+  val remove_root : t -> string -> unit
+  val set_blob : t -> string -> string -> unit
+  val remove_blob : t -> string -> unit
+
+  val write_set : t -> Oid.t list * string list
+  (** The oids (pre-existing objects mutated; ascending) and root/blob
+      keys (sorted) this session has written — the set conflict
+      detection will check at commit. *)
+
+  (** {2 Commit and abort} *)
+
+  val commit : t -> unit
+  (** Publish the session's buffered writes atomically and close the
+      session.  On the default session this is just the durability
+      barrier (stabilise a journalled backed store).
+      @raise Failure.Commit_conflict if first-committer-wins detection
+      refuses the commit; the session is aborted first, having changed
+      nothing.
+      @raise Failure.Shard_degraded (or [Quarantine.Quarantined] /
+      [Heap.Heap_error]) if up-front validation refuses an op; the
+      session {e stays live} — nothing was published — so the caller can
+      repair and retry the commit.
+      @raise Invalid_argument on an already-closed session. *)
+
+  val abort : t -> unit
+  (** Discard every buffered write and close the session.  No journal
+      residue by construction: nothing ever left the buffer.
+      @raise Invalid_argument on the default session or an
+      already-closed one. *)
+
+  (** {2 Introspection} *)
+
+  val live_count : t -> int
+  (** Objects visible to this session's snapshot. *)
+
+  val stats : t -> stats
+  (** Store stats with [live] replaced by this session's
+      {!live_count} — counts reflect the snapshot, not the dirty
+      buffer. *)
+
+  val snapshot_contents : t -> Image.contents
+  (** The session's full visible state (snapshot + own writes) as fresh,
+      unshared image contents; [Image.encode] of it is a byte-stable
+      fingerprint of the snapshot however much the shared store has
+      moved on. *)
+
+  val atomically : store -> (unit -> 'a) -> ('a, exn) result
+  (** The single-owner transaction: run the thunk against the shared
+      store under {!with_rollback}, then pay the commit barrier on
+      success.  This is what {!Hyperprog.Transaction.transact} wraps.
+      Refused (by [with_rollback]) while snapshot sessions are open. *)
+end
+
+val open_session : t -> Session.t
+(** Pin a snapshot session on the committed state as of now. *)
+
+val default_session : t -> Session.t
+(** The store's implicit direct-mode session (id 0, one per store) —
+    the handle the single-owner operations route through. *)
+
+val open_session_count : t -> int
+(** Snapshot sessions currently open (the default session is not
+    counted). *)

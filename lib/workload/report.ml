@@ -9,9 +9,13 @@
    Sections are end-to-end op classes (one hpjava subprocess each:
    process start to exit), so the latencies here are what a user at a
    prompt actually waits — dominated by store open + boot, which is
-   precisely the whole-system cost micro-benchmarks cannot see.  The
-   [recovery] object records the injected-crash outcome: how long the
-   first reopen-plus-integrity-check took and how much debris it found. *)
+   precisely the whole-system cost micro-benchmarks cannot see.  Two
+   exceptions: the [session-commit] section is the in-process latency of
+   [Store.Session.commit] parsed from shell transcripts, and the
+   top-level [commit_conflicts] counts commits refused
+   first-committer-wins.  The [recovery] object records the
+   injected-crash outcome: how long the first
+   reopen-plus-integrity-check took and how much debris it found. *)
 
 type section = {
   name : string;
@@ -40,6 +44,8 @@ type t = {
   total_ops : int;
   elapsed_s : float;
   sustained_ops_per_sec : float;
+  commit_conflicts : int;
+      (* session commits refused first-committer-wins across the play *)
   sections : section list;
   recovery : recovery;
 }
@@ -108,6 +114,27 @@ let sections_of_play (play : Scenario.play) =
            p99_ns = percentile ns 0.99;
          })
 
+(* Unlike the subprocess-lifetime sections above, [session-commit] is an
+   IN-PROCESS latency: the shell times [Store.Session.commit] itself
+   (validate + conflict check + journalled apply), parsed out of the
+   shell transcripts.  Absent when the play ran no session scripts. *)
+let session_commit_section (play : Scenario.play) =
+  match play.Scenario.commit_us with
+  | [] -> []
+  | us ->
+    let ns = Array.of_list (List.map (fun u -> u *. 1e3) us) in
+    Array.sort compare ns;
+    let total_s = Array.fold_left (fun acc x -> acc +. (x /. 1e9)) 0. ns in
+    [
+      {
+        name = "session-commit";
+        count = Array.length ns;
+        ops_per_sec = float_of_int (Array.length ns) /. Float.max total_s 1e-9;
+        p50_ns = percentile ns 0.50;
+        p99_ns = percentile ns 0.99;
+      };
+    ]
+
 let of_play ~smoke (play : Scenario.play) =
   let recovery =
     match play.Scenario.crash with
@@ -133,7 +160,8 @@ let of_play ~smoke (play : Scenario.play) =
     total_ops;
     elapsed_s = play.Scenario.elapsed_s;
     sustained_ops_per_sec = float_of_int total_ops /. Float.max play.Scenario.elapsed_s 1e-9;
-    sections = sections_of_play play;
+    commit_conflicts = play.Scenario.commit_conflicts;
+    sections = sections_of_play play @ session_commit_section play;
     recovery;
   }
 
@@ -163,6 +191,7 @@ let render t =
   add "  \"total_ops\": %d,\n" t.total_ops;
   add "  \"elapsed_s\": %.3f,\n" t.elapsed_s;
   add "  \"sustained_ops_per_sec\": %.2f,\n" t.sustained_ops_per_sec;
+  add "  \"commit_conflicts\": %d,\n" t.commit_conflicts;
   add "  \"sections\": [\n";
   List.iteri
     (fun i s ->
@@ -219,6 +248,7 @@ let validate_file ~path t =
          "\"repair_ms\"";
          "\"degraded_ops\"";
          "\"quarantined_after\"";
+         "\"commit_conflicts\"";
        ]
       @ List.map (fun s -> Printf.sprintf "\"name\": \"%s\"" s.name) t.sections)
   in

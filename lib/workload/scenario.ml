@@ -42,6 +42,11 @@ type op =
   | Print_hp of { root : string }
   | Evolve of { cls : string; file : string; source : string }
   | Shell of { script : string; saves : string list }
+  | Sessions of { script : string; saves : string list }
+      (* concurrent snapshot sessions racing in one shell process: two
+         sessions write an overlapping root, the first committer wins,
+         the loser gets a typed conflict and retries under a fresh
+         snapshot (see [sessions_shell_script]) *)
 
 type step = { user : int; op : op }
 type t = { seed : int; users : int; steps : step list }
@@ -62,18 +67,19 @@ let op_class = function
   | Print_hp _ -> "print-hp"
   | Evolve _ -> "evolve"
   | Shell _ -> "shell"
+  | Sessions _ -> "sessions"
 
 (* Roots the op durably binds once its process exits successfully. *)
 let binds_roots = function
   | New { root; _ } -> [ root ]
   | Run_hp { cls; _ } -> [ "hp:" ^ cls ]
-  | Shell { saves; _ } -> saves
+  | Shell { saves; _ } | Sessions { saves; _ } -> saves
   | _ -> []
 
 (* Ops that mutate the store (and therefore stabilise on exit): the
    crash injector only makes sense aimed at one of these. *)
 let mutates = function
-  | Init | Compile _ | Run _ | New _ | Run_hp _ | Evolve _ | Shell _ | Gc -> true
+  | Init | Compile _ | Run _ | New _ | Run_hp _ | Evolve _ | Shell _ | Sessions _ | Gc -> true
   | Browse _ | Census | Roots | Source _ | Check | Export_html | Print_hp _ -> false
 
 (* ---------------------------------------------------------------------- *)
@@ -178,6 +184,44 @@ let maintenance_shell_script budget =
       "";
     ]
 
+(* A concurrent-sessions race, scripted: session 1 buffers writes to a
+   private root and a contended one; session 2 opens against the same
+   snapshot lineage, writes the contended root too and commits first;
+   session 1's commit must then be refused with a typed conflict naming
+   exactly the contended root, and the lost write is retried under a
+   fresh snapshot.  Session ids are per-process, so `session use 1` is
+   deterministic.  Durable outcome: all three roots bound (the contended
+   one holding the FIRST committer's value). *)
+let sessions_shell_script u k =
+  let r suffix = sp "u%dmv%d%s" u k suffix in
+  String.concat "\n"
+    [
+      "session open";
+      sp "bind %s %d" (r "a") (100 + k);
+      sp "bind %s %d" (r "c") (900 + k);
+      "session open";
+      sp "bind %s %d" (r "c") (200 + k);
+      sp "bind %s %d" (r "b") (300 + k);
+      "session status";
+      "stats";
+      "commit";
+      "session use 1";
+      "commit";
+      "session open";
+      sp "bind %s %d" (r "a") (400 + k);
+      "commit";
+      "roots";
+      "quit";
+      "";
+    ]
+
+let sessions_op u k =
+  Sessions
+    {
+      script = sessions_shell_script u k;
+      saves = [ sp "u%dmv%da" u k; sp "u%dmv%db" u k; sp "u%dmv%dc" u k ];
+    }
+
 (* ---------------------------------------------------------------------- *)
 (* Generation                                                              *)
 (* ---------------------------------------------------------------------- *)
@@ -188,6 +232,7 @@ type user_state = {
   mutable apps : int;  (* compiled app classes *)
   mutable marries : int;
   mutable shells : int;
+  mutable msessions : int;  (* concurrent-session race scripts *)
   mutable evolved : bool;
 }
 
@@ -195,7 +240,15 @@ let generate ~seed ~users ~ops =
   let rng = Random.State.make [| 0x6d61_63; seed |] in
   let states =
     Array.init users (fun _ ->
-        { roots = []; next_root = 0; apps = 0; marries = 0; shells = 0; evolved = false })
+        {
+          roots = [];
+          next_root = 0;
+          apps = 0;
+          marries = 0;
+          shells = 0;
+          msessions = 0;
+          evolved = false;
+        })
   in
   let steps = ref [] in
   let emit user op = steps := { user; op } :: !steps in
@@ -225,7 +278,7 @@ let generate ~seed ~users ~ops =
     let op =
       if List.length st.roots < 2 then new_person u
       else begin
-        match Random.State.int rng 18 with
+        match Random.State.int rng 19 with
         | 0 | 1 -> new_person u
         | 2 | 3 ->
           let k = st.apps in
@@ -262,6 +315,10 @@ let generate ~seed ~users ~ops =
         | 14 -> Source { cls = person_cls u }
         | 15 -> Gc
         | 16 -> if Random.State.bool rng then Check else Export_html
+        | 17 ->
+          let k = st.msessions in
+          st.msessions <- k + 1;
+          sessions_op u k
         | _ ->
           let k = st.marries in
           st.marries <- k + 1;
@@ -276,6 +333,13 @@ let generate ~seed ~users ~ops =
     in
     emit u op
   done;
+  (* every scenario carries at least one concurrent-sessions race — even
+     the smoke slice measures session-commit latency and records a
+     first-committer-wins conflict *)
+  let st0 = states.(0) in
+  let k = st0.msessions in
+  st0.msessions <- k + 1;
+  emit 0 (sessions_op 0 k);
   (* every scenario ends with the read-back trio, so a play always
      finishes on a whole-store verification *)
   emit 0 Census;
@@ -327,6 +391,10 @@ type play = {
   execs : exec list;  (* chronological *)
   crash : crash_report option;
   elapsed_s : float;  (* whole play, wall clock *)
+  commit_us : float list;
+      (* every session commit's in-process latency, as printed by the
+         shell ("committed session N: M ops in T us"), chronological *)
+  commit_conflicts : int;  (* commits refused first-committer-wins *)
 }
 
 let failures play = List.filter (fun e -> not e.ok) play.execs
@@ -358,6 +426,35 @@ let int_after ~default prefix out =
            int_of_string_opt (String.trim (String.sub line n (String.length line - n)))
          else None)
   |> Option.value ~default
+
+(* Session-commit telemetry out of a shell transcript: the in-process
+   latency of every "committed session N: M ops in T us" line (the
+   shell times [Store.Session.commit] itself, so this is the MVCC
+   validate-and-apply cost, not process startup), plus the number of
+   "commit conflict:" refusals.  Chronological within the transcript. *)
+let session_commits_of out =
+  String.split_on_char '\n' out
+  |> List.fold_left
+       (fun (us, conflicts) line ->
+         if String.starts_with ~prefix:"commit conflict: session " line then
+           (us, conflicts + 1)
+         else if String.starts_with ~prefix:"committed session " line then begin
+           match String.rindex_opt line ' ' with
+           | Some sp_pos when String.ends_with ~suffix:" us" line -> begin
+             let tail = String.sub line 0 sp_pos in
+             match String.rindex_opt tail ' ' with
+             | Some p -> begin
+               match float_of_string_opt (String.sub tail (p + 1) (sp_pos - p - 1)) with
+               | Some v -> (v :: us, conflicts)
+               | None -> (us, conflicts)
+             end
+             | None -> (us, conflicts)
+           end
+           | _ -> (us, conflicts)
+         end
+         else (us, conflicts))
+       ([], 0)
+  |> fun (us, conflicts) -> (List.rev us, conflicts)
 
 (* First token of every line: the root names in `hpjava roots` output. *)
 let root_names_of out =
@@ -399,7 +496,7 @@ let play ?crash_at ?(kill_byte = 256) ?(shards = 1) ~bin ~dir scenario =
     | Run_hp { file; source; _ } -> ([ "run-hp"; store; "--go"; write_src file source ], None)
     | Print_hp { root } -> ([ "print-hp"; store; root ], None)
     | Evolve { cls; file; source } -> ([ "evolve"; store; cls; write_src file source ], None)
-    | Shell { script; _ } -> ([ "shell"; store ], Some script)
+    | Shell { script; _ } | Sessions { script; _ } -> ([ "shell"; store ], Some script)
   in
   let t0 = Unix.gettimeofday () in
   let execs = ref [] in
@@ -452,9 +549,26 @@ let play ?crash_at ?(kill_byte = 256) ?(shards = 1) ~bin ~dir scenario =
         end
       end)
     scenario.steps;
-  { scenario; execs = List.rev !execs; crash = !crash; elapsed_s = Unix.gettimeofday () -. t0 }
+  let execs = List.rev !execs in
+  let commit_us, commit_conflicts =
+    List.fold_left
+      (fun (us, n) e ->
+        let u, c = session_commits_of e.result.Subproc.stdout in
+        (us @ u, n + c))
+      ([], 0) execs
+  in
+  {
+    scenario;
+    execs;
+    crash = !crash;
+    elapsed_s = Unix.gettimeofday () -. t0;
+    commit_us;
+    commit_conflicts;
+  }
 
 (* The one-line replay recipe printed whenever a randomized run fails. *)
 let replay_line t =
+  (* steps = Init + per-user compiles + ops + the fixed sessions race +
+     the final census/roots/check trio *)
   sp "replay exactly with: dune exec bench/macro_main.exe -- --seed %d --users %d --ops %d" t.seed
-    t.users (List.length t.steps - 1 - t.users - 3)
+    t.users (List.length t.steps - 1 - t.users - 4)

@@ -122,9 +122,9 @@ let exec store records note op =
 
 let make_store dir =
   let store = Store.create () in
-  Store.set_durability store Store.Journalled;
-  Store.set_compaction_limit store 8 (* small: exercise compaction crashes *);
-  Store.set_backing store (Filename.concat dir "store.img");
+  Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
+  Store.configure store { (Store.config store) with Store.Config.compaction_limit = 8 } (* small: exercise compaction crashes *);
+  Store.configure store { (Store.config store) with Store.Config.backing = (Some (Filename.concat dir "store.img")) };
   store
 
 (* The reference run doubles as a clean-recovery check. *)

@@ -36,7 +36,7 @@ type fixture = {
 let build_fixture dir =
   let path = Filename.concat dir "store.img" in
   let store = Store.create () in
-  Store.set_durability store Store.Journalled;
+  Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
   let anchor = Store.alloc_string store "anchor-contents" in
   Store.set_root store "anchor" (Pvalue.Ref anchor);
   let rec0 = Store.alloc_record store "Base" [| Pvalue.Int 1l; Pvalue.Null |] in
@@ -98,8 +98,8 @@ let run_scenario ~mode ~fault_name ~fault ~mutate () =
   with_dir @@ fun dir ->
   let fx = build_fixture dir in
   (match mode with
-  | `Append -> Store.set_compaction_limit fx.store 1_000_000
-  | `Compact -> Store.set_compaction_limit fx.store 0);
+  | `Append -> Store.configure fx.store { (Store.config fx.store) with Store.Config.compaction_limit = 1_000_000 }
+  | `Compact -> Store.configure fx.store { (Store.config fx.store) with Store.Config.compaction_limit = 0 });
   (* one mutation, stabilised: this is the durable pre-crash state *)
   mutate fx 1;
   Store.stabilise fx.store;
@@ -155,7 +155,7 @@ let truncation_at_every_offset () =
   with_dir @@ fun dir ->
   let path = Filename.concat dir "store.img" in
   let store = Store.create () in
-  Store.set_durability store Store.Journalled;
+  Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
   let r = Store.alloc_record store "Node" [| Pvalue.Null; Pvalue.Null |] in
   Store.set_root store "node" (Pvalue.Ref r);
   Store.stabilise ~path store;
@@ -213,7 +213,7 @@ let stats_report_recovery () =
   with_dir @@ fun dir ->
   let path = Filename.concat dir "store.img" in
   let store = Store.create () in
-  Store.set_durability store Store.Journalled;
+  Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
   Store.set_root store "a" (Pvalue.Int 1l);
   Store.stabilise ~path store;
   Store.set_root store "b" (Pvalue.Int 2l);
@@ -253,7 +253,7 @@ let stale_journal_discarded () =
   with_dir @@ fun dir ->
   let path = Filename.concat dir "store.img" in
   let store = Store.create () in
-  Store.set_durability store Store.Journalled;
+  Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
   Store.set_root store "a" (Pvalue.Int 1l);
   Store.stabilise ~path store;
   Store.set_root store "b" (Pvalue.Int 2l);
@@ -339,7 +339,7 @@ let registry_links_survive_crash () =
   with_dir @@ fun dir ->
   let path = Filename.concat dir "store.img" in
   let store = Store.create () in
-  Store.set_durability store Store.Journalled;
+  Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
   let vm = Minijava.Boot.vm_for store in
   Hyperprog.Dynamic_compiler.install vm;
   let target = Store.alloc_string store "hyper-linked target" in

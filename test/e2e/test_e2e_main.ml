@@ -3,5 +3,6 @@ let () =
     [
       ("cli", Test_cli.suite);
       ("shell-cmds", Test_shell_cmds.suite);
+      ("shell-sessions", Test_shell_sessions.suite);
       ("scenarios", Test_scenarios.suite);
     ]

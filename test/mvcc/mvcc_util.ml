@@ -1,0 +1,3 @@
+(* Per-suite shim over the shared test-support library, mirroring the
+   crash/scrub/obs sub-suites. *)
+include Test_support.Support

@@ -1,0 +1,308 @@
+(* Seeded interleaving property for snapshot sessions.
+
+   For each seed: one store holding a pool of integer roots and one
+   shared record, a random interleaving of direct (default-session)
+   writes and up to three concurrent snapshot sessions opening, reading,
+   writing, committing and aborting — checked continuously against a
+   pure model of snapshot isolation:
+
+   - every session read must equal the model's overlay-then-snapshot
+     view (read-your-writes over the pinned epoch), whatever the other
+     writers have done since;
+   - every direct read must see the latest committed/direct state;
+   - a commit must succeed exactly when the model says no written key or
+     field was stamped after the session's snapshot (first committer
+     wins), and a refused commit must name exactly the clashing
+     oids/keys the model predicts;
+   - after the schedule drains (every session committed or aborted), the
+     store must agree with the model key for key and field for field,
+     and the MVCC bookkeeping must be torn down.
+
+   Generation consults only the seed; any failure prints the MVCC_SEED
+   replay recipe.  The default runtest runs a smoke slice; the @mvcc
+   alias (MVCC_FULL=1) runs the whole matrix. *)
+
+open Pstore
+open Mvcc_util
+
+let sp = Printf.sprintf
+
+let nroots = 6
+let nfields = 4
+let root_name i = sp "r%d" i
+
+let ival n = Pvalue.Int (Int32.of_int n)
+
+let int_of = function
+  | Pvalue.Int v -> Int32.to_int v
+  | v -> Alcotest.failf "expected an int, got %s" (Pvalue.to_string v)
+
+(* -- the model ------------------------------------------------------------ *)
+
+(* Mirrors the store's epoch machinery: committed state plus per-key /
+   per-field stamps, a provisional epoch shared by direct writes, and
+   per-session snapshots with overlays. *)
+type model = {
+  mutable m_epoch : int;
+  mutable m_dirty : bool;
+  roots : int option array;  (* committed root values *)
+  fields : int array;  (* committed fields of the shared record *)
+  root_stamp : int array;
+  mutable rec_stamp : int;
+      (* conflict detection is oid-granular: one stamp for the whole
+         shared record, matching the store's write-set semantics *)
+}
+
+type msession = {
+  snap : int;
+  snap_roots : int option array;
+  snap_fields : int array;
+  over_roots : int option array;  (* session overlay: None = untouched *)
+  over_fields : int option array;
+  handle : Store.Session.t;
+}
+
+let seal m =
+  if m.m_dirty then begin
+    m.m_epoch <- m.m_epoch + 1;
+    m.m_dirty <- false
+  end
+
+let model_direct_root m i v =
+  m.root_stamp.(i) <- m.m_epoch + 1;
+  m.m_dirty <- true;
+  m.roots.(i) <- Some v
+
+let model_direct_field m i v =
+  m.rec_stamp <- m.m_epoch + 1;
+  m.m_dirty <- true;
+  m.fields.(i) <- v
+
+let model_open m handle =
+  seal m;
+  {
+    snap = m.m_epoch;
+    snap_roots = Array.copy m.roots;
+    snap_fields = Array.copy m.fields;
+    over_roots = Array.make nroots None;
+    over_fields = Array.make nfields None;
+    handle;
+  }
+
+let msession_root s i =
+  match s.over_roots.(i) with Some _ as v -> v | None -> s.snap_roots.(i)
+
+let msession_field s i =
+  match s.over_fields.(i) with Some v -> v | None -> s.snap_fields.(i)
+
+(* The clashing keys/fields a commit of [s] would be refused over. *)
+let model_conflicts m s =
+  let keys = ref [] in
+  for i = nroots - 1 downto 0 do
+    if s.over_roots.(i) <> None && m.root_stamp.(i) > s.snap then
+      keys := root_name i :: !keys
+  done;
+  let wrote_fields = Array.exists Option.is_some s.over_fields in
+  (wrote_fields && m.rec_stamp > s.snap, !keys)
+
+let model_commit m s =
+  seal m;
+  let epoch = m.m_epoch + 1 in
+  let wrote = ref false in
+  Array.iteri
+    (fun i -> function
+      | Some v ->
+        wrote := true;
+        m.roots.(i) <- Some v;
+        m.root_stamp.(i) <- epoch
+      | None -> ())
+    s.over_roots;
+  Array.iteri
+    (fun i -> function
+      | Some v ->
+        wrote := true;
+        m.fields.(i) <- v;
+        m.rec_stamp <- epoch
+      | None -> ())
+    s.over_fields;
+  if !wrote then m.m_epoch <- epoch
+
+(* -- the schedule --------------------------------------------------------- *)
+
+let run_seed seed =
+  let store = Store.create () in
+  let rec_oid = Store.alloc_record store "Shared" (Array.make nfields (ival 0)) in
+  Store.set_root store "shared" (Pvalue.Ref rec_oid);
+  let m =
+    {
+      m_epoch = 0;
+      m_dirty = false;
+      roots = Array.make nroots None;
+      fields = Array.make nfields 0;
+      root_stamp = Array.make nroots 0;
+      rec_stamp = 0;
+    }
+  in
+  let rng = Random.State.make [| 0x5e5510; seed |] in
+  let live = ref [] in
+  let next_v = ref 0 in
+  let fresh_v () =
+    incr next_v;
+    !next_v
+  in
+  let pick_live () =
+    match !live with
+    | [] -> None
+    | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+  in
+  let drop s = live := List.filter (fun o -> o != s) !live in
+  let check_session_view ctx s =
+    let i = Random.State.int rng nroots in
+    let expect = msession_root s i in
+    let got = Option.map int_of (Store.Session.root s.handle (root_name i)) in
+    if got <> expect then
+      Alcotest.failf "seed %d %s: session %d root %s: model %s, store %s" seed ctx
+        (Store.Session.id s.handle) (root_name i)
+        (match expect with Some v -> string_of_int v | None -> "-")
+        (match got with Some v -> string_of_int v | None -> "-");
+    let j = Random.State.int rng nfields in
+    check_int
+      (sp "seed %d %s: session %d field %d" seed ctx (Store.Session.id s.handle) j)
+      (msession_field s j)
+      (int_of (Store.Session.field s.handle rec_oid j))
+  in
+  let commit_session s =
+    let expect_field_clash, expect_keys = model_conflicts m s in
+    match Store.Session.commit s.handle with
+    | () ->
+      if expect_field_clash || expect_keys <> [] then
+        Alcotest.failf "seed %d: commit of session %d succeeded but the model expected \
+                        a conflict on [%s]%s"
+          seed (Store.Session.id s.handle) (String.concat "," expect_keys)
+          (if expect_field_clash then " and the shared record" else "");
+      model_commit m s;
+      drop s
+    | exception Failure.Commit_conflict { oids; keys; _ } ->
+      if not (expect_field_clash || expect_keys <> []) then
+        Alcotest.failf "seed %d: commit of session %d conflicted but the model expected \
+                        success"
+          seed (Store.Session.id s.handle);
+      check_bool
+        (sp "seed %d: conflict keys match the model" seed)
+        true (keys = expect_keys);
+      check_bool
+        (sp "seed %d: conflict oids name the shared record iff a field clashed" seed)
+        true
+        (oids = if expect_field_clash then [ rec_oid ] else []);
+      drop s
+  in
+  for _step = 1 to 120 do
+    match Random.State.int rng 10 with
+    | 0 when List.length !live < 3 ->
+      let s = model_open m (Store.open_session store) in
+      live := s :: !live
+    | 1 -> begin
+      (* direct root write *)
+      let i = Random.State.int rng nroots in
+      let v = fresh_v () in
+      Store.set_root store (root_name i) (ival v);
+      model_direct_root m i v
+    end
+    | 2 -> begin
+      (* direct field write *)
+      let i = Random.State.int rng nfields in
+      let v = fresh_v () in
+      Store.set_field store rec_oid i (ival v);
+      model_direct_field m i v
+    end
+    | 3 -> begin
+      (* direct read agrees with the committed state *)
+      let i = Random.State.int rng nroots in
+      let got = Option.map int_of (Store.root store (root_name i)) in
+      if got <> m.roots.(i) then
+        Alcotest.failf "seed %d: direct root %s diverged" seed (root_name i);
+      let j = Random.State.int rng nfields in
+      check_int (sp "seed %d: direct field %d" seed j) m.fields.(j)
+        (int_of (Store.field store rec_oid j))
+    end
+    | 4 | 5 -> begin
+      (* session write *)
+      match pick_live () with
+      | None -> ()
+      | Some s ->
+        if Random.State.bool rng then begin
+          let i = Random.State.int rng nroots in
+          let v = fresh_v () in
+          Store.Session.set_root s.handle (root_name i) (ival v);
+          s.over_roots.(i) <- Some v
+        end
+        else begin
+          let i = Random.State.int rng nfields in
+          let v = fresh_v () in
+          Store.Session.set_field s.handle rec_oid i (ival v);
+          s.over_fields.(i) <- Some v
+        end
+    end
+    | 6 | 7 -> begin
+      match pick_live () with
+      | None -> ()
+      | Some s -> check_session_view "mid-run" s
+    end
+    | 8 -> begin
+      match pick_live () with
+      | None -> ()
+      | Some s -> if Random.State.int rng 3 = 0 then begin
+          Store.Session.abort s.handle;
+          drop s
+        end
+        else commit_session s
+    end
+    | _ -> begin
+      (* every open session's view must hold at any moment *)
+      List.iter (check_session_view "sweep") !live
+    end
+  done;
+  (* drain: close every session, checking its view one last time *)
+  List.iter (fun s -> check_session_view "drain" s) !live;
+  List.iter (fun s -> commit_session s) !live;
+  check_int (sp "seed %d: no sessions left open" seed) 0 (Store.open_session_count store);
+  (* the store and the model agree on the final committed state *)
+  for i = 0 to nroots - 1 do
+    let got = Option.map int_of (Store.root store (root_name i)) in
+    if got <> m.roots.(i) then
+      Alcotest.failf "seed %d: final root %s diverged" seed (root_name i)
+  done;
+  for j = 0 to nfields - 1 do
+    check_int (sp "seed %d: final field %d" seed j) m.fields.(j)
+      (int_of (Store.field store rec_oid j))
+  done;
+  (* with every session closed, the gated operations work again *)
+  ignore (Store.gc store)
+
+let run_seed seed =
+  try run_seed seed
+  with e ->
+    Printf.eprintf
+      "mvcc interleaving failed at seed %d\n\
+       replay exactly with: MVCC_SEED=%d dune build @mvcc\n"
+      seed seed;
+    raise e
+
+(* The @mvcc alias (MVCC_FULL=1) runs the whole matrix; plain `dune
+   runtest` keeps a smoke slice in the default loop.  MVCC_SEED=N pins
+   one seed. *)
+let full = Sys.getenv_opt "MVCC_FULL" <> None
+let seeds = if full then 120 else 24
+let batch = 12
+
+let suite =
+  match Option.bind (Sys.getenv_opt "MVCC_SEED") int_of_string_opt with
+  | Some seed -> [ test (sp "seed %d (MVCC_SEED)" seed) (fun () -> run_seed seed) ]
+  | None ->
+    List.init (seeds / batch) (fun b ->
+        let lo = b * batch in
+        let hi = lo + batch - 1 in
+        test (sp "seeds %d-%d" lo hi) (fun () ->
+            for seed = lo to hi do
+              run_seed seed
+            done))

@@ -89,7 +89,8 @@ let new_ops_have_names_and_order () =
   check_output "cache-miss name" "cache-miss" (Obs.op_name Obs.Cache_miss);
   check_output "group-commit name" "group-commit" (Obs.op_name Obs.Group_commit);
   match List.rev Obs.all_ops with
-  | Obs.Degraded_op :: Obs.Repair :: Obs.Group_commit :: Obs.Cache_miss :: Obs.Cache_hit :: _ -> ()
+  | Obs.Conflict :: Obs.Session_commit :: Obs.Degraded_op :: Obs.Repair :: Obs.Group_commit
+    :: Obs.Cache_miss :: Obs.Cache_hit :: _ -> ()
   | _ -> Alcotest.fail "new op classes must sit at the end of all_ops"
 
 let tracing_off_path_unchanged () =

@@ -1,15 +1,18 @@
-(* The unified Store.Config record: equivalent to the legacy per-knob
-   setters, round-trippable, and authoritative over recovery on
+(* The unified Store.Config record — the only way to retune a live
+   store: incremental single-knob updates compose, the record
+   round-trips, and an explicit config is authoritative over recovery on
    open_file. *)
 
 open Pstore
 open Obs_util
 
-let config_matches_legacy_setters () =
-  let legacy = Store.create () in
-  Store.set_durability legacy Store.Journalled;
-  Store.set_compaction_limit legacy 128;
-  Store.set_retry_policy legacy (Some Retry.default_policy);
+let incremental_updates_compose () =
+  (* three one-knob [{ config with ... }] updates land on the same state
+     as one whole-record configure *)
+  let stepwise = Store.create () in
+  Store.configure stepwise { (Store.config stepwise) with Store.Config.durability = Store.Journalled };
+  Store.configure stepwise { (Store.config stepwise) with Store.Config.compaction_limit = 128 };
+  Store.configure stepwise { (Store.config stepwise) with Store.Config.retry = (Some Retry.default_policy) };
   let unified = Store.create () in
   Store.configure unified
     {
@@ -25,15 +28,15 @@ let config_matches_legacy_setters () =
       tracing = false;
       shards = 1;
     };
-  check_bool "one record equals four setter calls" true
-    (Store.config legacy = Store.config unified)
+  check_bool "three one-knob updates equal one record" true
+    (Store.config stepwise = Store.config unified)
 
 let configure_config_is_identity () =
   with_store_file (fun path ->
       let store = Store.create () in
-      Store.set_backing store path;
-      Store.set_durability store Store.Journalled;
-      Store.set_retry_policy store (Some Retry.default_policy);
+      Store.configure store { (Store.config store) with Store.Config.backing = Some path };
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
+      Store.configure store { (Store.config store) with Store.Config.retry = (Some Retry.default_policy) };
       let before = Store.config store in
       Store.configure store before;
       check_bool "configure (config s) changes nothing" true
@@ -44,7 +47,7 @@ let configure_config_is_identity () =
 let default_config_leaves_backing_alone () =
   with_store_file (fun path ->
       let store = Store.create () in
-      Store.set_backing store path;
+      Store.configure store { (Store.config store) with Store.Config.backing = Some path };
       Store.configure store Store.Config.default;
       check_bool "backing = None means keep, not clear" true
         (Store.backing store = Some path))
@@ -52,7 +55,7 @@ let default_config_leaves_backing_alone () =
 let open_file_config_wins_over_recovery () =
   with_store_file (fun path ->
       let store = Store.create () in
-      Store.set_durability store Store.Journalled;
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
       let a = Store.alloc_record store "A" [| Pvalue.Int 1l |] in
       Store.set_root store "a" (Pvalue.Ref a);
       Store.stabilise ~path store;
@@ -93,7 +96,7 @@ let construction_config_reaches_obs () =
 
 let suite =
   [
-    test "a config record equals the legacy setters" config_matches_legacy_setters;
+    test "incremental one-knob updates compose" incremental_updates_compose;
     test "configure (config s) is the identity" configure_config_is_identity;
     test "the default config leaves backing alone" default_config_leaves_backing_alone;
     test "open_file applies an explicit config after recovery"

@@ -101,8 +101,8 @@ let dangling_target_quarantined () =
 let quarantine_survives_reopen () =
   with_store_file (fun path ->
       let store = Store.create () in
-      Store.set_backing store path;
-      Store.set_durability store Store.Journalled;
+      Store.configure store { (Store.config store) with Store.Config.backing = Some path };
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
       let victim = Store.alloc_string store "victim" in
       let sibling = Store.alloc_string store "sibling" in
       Store.set_root store "s" (Pvalue.Ref sibling);
@@ -147,12 +147,12 @@ let bit_flip_during_save_salvaged_on_load () =
 let transient_fsync_absorbed () =
   with_store_file (fun path ->
       let store = Store.create () in
-      Store.set_backing store path;
-      Store.set_durability store Store.Journalled;
+      Store.configure store { (Store.config store) with Store.Config.backing = Some path };
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
       ignore (Store.alloc_string store "first");
       Store.stabilise store;
       (* arm a transient failure *)
-      Store.set_retry_policy store (Some Retry.default_policy);
+      Store.configure store { (Store.config store) with Store.Config.retry = (Some Retry.default_policy) };
       Retry.reset_stats ();
       ignore (Store.alloc_string store "second");
       Faults.arm Faults.Fsync_fails;
@@ -173,11 +173,11 @@ let transient_fsync_absorbed () =
 let short_write_absorbed () =
   with_store_file (fun path ->
       let store = Store.create () in
-      Store.set_backing store path;
-      Store.set_durability store Store.Journalled;
+      Store.configure store { (Store.config store) with Store.Config.backing = Some path };
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
       ignore (Store.alloc_string store "first");
       Store.stabilise store;
-      Store.set_retry_policy store (Some Retry.default_policy);
+      Store.configure store { (Store.config store) with Store.Config.retry = (Some Retry.default_policy) };
       ignore (Store.alloc_string store "second");
       (* the journal append tears mid-record; the retry compacts *)
       Faults.arm (Faults.Short_write 3);
@@ -193,8 +193,8 @@ let short_write_absorbed () =
 let rename_failure_absorbed_in_snapshot_mode () =
   with_store_file (fun path ->
       let store = Store.create () in
-      Store.set_backing store path;
-      Store.set_retry_policy store (Some Retry.default_policy);
+      Store.configure store { (Store.config store) with Store.Config.backing = Some path };
+      Store.configure store { (Store.config store) with Store.Config.retry = (Some Retry.default_policy) };
       ignore (Store.alloc_string store "snapshot payload");
       Faults.arm Faults.Rename_fails;
       Store.stabilise store;
@@ -205,8 +205,8 @@ let rename_failure_absorbed_in_snapshot_mode () =
 let no_policy_means_raw_failures () =
   with_store_file (fun path ->
       let store = Store.create () in
-      Store.set_backing store path;
-      Store.set_durability store Store.Journalled;
+      Store.configure store { (Store.config store) with Store.Config.backing = Some path };
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
       ignore (Store.alloc_string store "x");
       Store.stabilise store;
       check_bool "retry is opt-in" true (Store.retry_policy store = None);
@@ -230,8 +230,8 @@ let close_and_crash_are_idempotent () =
   (* journalled, backed store: double close, crash after close, reopen *)
   with_store_file (fun path ->
       let store = Store.create () in
-      Store.set_backing store path;
-      Store.set_durability store Store.Journalled;
+      Store.configure store { (Store.config store) with Store.Config.backing = Some path };
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
       ignore (Store.alloc_string store "durable");
       Store.stabilise store;
       Store.close store;

@@ -258,7 +258,7 @@ let with_store_files f =
 let journalled_roundtrip () =
   with_store_files (fun path ->
       let store = fresh_store () in
-      Store.set_durability store Store.Journalled;
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
       let s = Store.alloc_string store "persist me" in
       Store.set_root store "s" (Pvalue.Ref s);
       Store.stabilise ~path store;
@@ -283,8 +283,8 @@ let journalled_roundtrip () =
 let journal_compaction_bounds_depth () =
   with_store_files (fun path ->
       let store = fresh_store () in
-      Store.set_durability store Store.Journalled;
-      Store.set_compaction_limit store 10;
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
+      Store.configure store { (Store.config store) with Store.Config.compaction_limit = 10 };
       Store.stabilise ~path store;
       for i = 1 to 50 do
         Store.set_root store "x" (Pvalue.Int (Int32.of_int i));
@@ -301,7 +301,7 @@ let journal_compaction_bounds_depth () =
 let rollback_truncates_journal () =
   with_store_files (fun path ->
       let store = fresh_store () in
-      Store.set_durability store Store.Journalled;
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
       let keep = Store.alloc_string store "keep" in
       Store.set_root store "keep" (Pvalue.Ref keep);
       Store.stabilise ~path store;
@@ -344,7 +344,7 @@ let rollback_truncates_journal () =
 let rollback_restores_after_gc_compaction_refused () =
   with_store_files (fun path ->
       let store = fresh_store () in
-      Store.set_durability store Store.Journalled;
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
       let junk = Store.alloc_string store "junk" in
       Store.stabilise ~path store;
       let result =
@@ -368,8 +368,8 @@ let rollback_restores_after_gc_compaction_refused () =
 let rollback_defers_over_limit_compaction () =
   with_store_files (fun path ->
       let store = fresh_store () in
-      Store.set_durability store Store.Journalled;
-      Store.set_compaction_limit store 0;
+      Store.configure store { (Store.config store) with Store.Config.durability = Store.Journalled };
+      Store.configure store { (Store.config store) with Store.Config.compaction_limit = 0 };
       Store.stabilise ~path store;
       let compactions () = (Store.stats store).Store.compactions in
       let before = compactions () in

@@ -34,7 +34,7 @@ let repeated_stabilise_cycles () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       let store = ref (fresh_store ()) in
-      Store.set_backing !store path;
+      Store.configure !store { (Store.config !store) with Store.Config.backing = Some path };
       for round = 1 to 5 do
         let s = Store.alloc_string !store (Printf.sprintf "round%d" round) in
         Store.set_root !store (Printf.sprintf "r%d" round) (Pvalue.Ref s);
