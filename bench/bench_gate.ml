@@ -21,6 +21,13 @@
 
 let tolerance = 2.0
 
+(* Sections with sub-millisecond p50s (the wire-protocol net-* RTTs,
+   in-process session commits) are scheduler-noise-dominated at smoke
+   sample counts: a 2x swing there is tens of microseconds.  Ratio
+   failures only count when the fresh p50 is also above this floor, so
+   the gate still catches any microsecond op degrading to milliseconds. *)
+let noise_floor_ns = 1e6
+
 (* -- minimal parsing of the BENCH_pstore.json shape ----------------------- *)
 
 let read_file path =
@@ -130,6 +137,8 @@ let schema_errors ~kind json =
         {|"quarantined_after"|};
         {|"commit_conflicts"|};
         {|"total_ops"|};
+        {|"net"|};
+        {|"connections_per_sec"|};
       ]
     | _ ->
       (* a pstore trajectory must carry the sharded-stabilise scaling
@@ -180,8 +189,9 @@ let () =
       | None -> Printf.printf "  %-20s %12.1f ns   (new section, not gated)\n" name p50
       | Some base_p50 ->
           let ratio = p50 /. Float.max base_p50 1e-9 in
-          let verdict = if ratio > tolerance then "FAIL" else "ok" in
-          if ratio > tolerance then incr failures;
+          let failed = ratio > tolerance && p50 > noise_floor_ns in
+          let verdict = if failed then "FAIL" else "ok" in
+          if failed then incr failures;
           Printf.printf "  %-20s %12.1f ns   baseline %12.1f ns   %5.2fx  %s\n"
             name p50 base_p50 ratio verdict)
     fresh;

@@ -135,6 +135,74 @@ let () =
     Printf.eprintf "macro: expected at least one session commit conflict, saw none — %s\n" replay;
     exit 1
   end;
+  (* The served slice: a fresh store under `hpjava serve`, K in-process
+     wire clients racing edits on one root.  Connection figures land in
+     the `net` object; per-request RTT classes join `sections` and are
+     gated like every other op class. *)
+  let net_clients = if !smoke then 4 else 8 in
+  let net_rounds = if !smoke then 3 else 10 in
+  let net_dir = Filename.concat dir "netstore" in
+  let socket = Filename.concat dir "net.sock" in
+  let init = Workload.Subproc.run ~bin [ "init"; net_dir; "--journalled" ] in
+  if not (Workload.Subproc.ok init) then begin
+    Printf.eprintf "macro: net slice store init failed:\n%s\n— %s\n"
+      (Workload.Subproc.describe init) replay;
+    exit 1
+  end;
+  let server = Workload.Subproc.spawn ~bin [ "serve"; net_dir; "--socket"; socket ] in
+  if not (Workload.Subproc.wait_output ~timeout_s:30. server "listening on") then begin
+    Printf.eprintf "macro: `hpjava serve` never came up:\n%s\n— %s\n"
+      (Workload.Subproc.describe (Workload.Subproc.terminate server))
+      replay;
+    exit 1
+  end;
+  let load =
+    match Workload.Netload.run ~socket ~clients:net_clients ~rounds:net_rounds () with
+    | load ->
+      ignore (Workload.Subproc.terminate server);
+      load
+    | exception e ->
+      Printf.eprintf "macro: netload failed: %s\nserver transcript:\n%s\n— %s\n"
+        (Printexc.to_string e)
+        (Workload.Subproc.describe (Workload.Subproc.terminate server))
+        replay;
+      exit 1
+  in
+  Printf.printf
+    "  net: %d clients x %d rounds — %d connections (%.1f conn/s), %d commits, %d conflicts, %d \
+     errors\n\
+     %!"
+    load.Workload.Netload.clients load.Workload.Netload.rounds load.Workload.Netload.connections
+    (Workload.Netload.connections_per_sec load)
+    load.Workload.Netload.commits load.Workload.Netload.conflicts load.Workload.Netload.errors;
+  List.iter
+    (fun (s : Workload.Report.section) ->
+      Printf.printf "  %-12s %4d ops   %8.2f ops/s   p50 %8.1f ms   p99 %8.1f ms\n%!"
+        s.Workload.Report.name s.Workload.Report.count s.Workload.Report.ops_per_sec
+        (s.Workload.Report.p50_ns /. 1e6)
+        (s.Workload.Report.p99_ns /. 1e6))
+    (Workload.Report.net_sections_of_load load);
+  (* K clients contending one root every round: anything less than one
+     conflict per round means the server stopped detecting races *)
+  if load.Workload.Netload.conflicts < net_rounds * (net_clients - 1) then begin
+    Printf.eprintf "macro: expected >= %d wire commit conflicts, saw %d — %s\n"
+      (net_rounds * (net_clients - 1))
+      load.Workload.Netload.conflicts replay;
+    exit 1
+  end;
+  if load.Workload.Netload.errors > 0 then begin
+    Printf.eprintf "macro: %d wire requests answered with typed errors — %s\n"
+      load.Workload.Netload.errors replay;
+    exit 1
+  end;
+  let report =
+    {
+      report with
+      Workload.Report.sections =
+        report.Workload.Report.sections @ Workload.Report.net_sections_of_load load;
+      net = Some (Workload.Report.net_of_load load);
+    }
+  in
   match Workload.Report.write ~path:output_file report with
   | Ok () -> Printf.printf "  wrote %s (%d sections, validated)\n%!" output_file
                (List.length report.Workload.Report.sections)

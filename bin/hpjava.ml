@@ -374,6 +374,95 @@ let shell_cmd =
     (Cmd.info "shell" ~doc:"Interactive hyper-programming session (also pipe-scriptable)")
     Term.(const run $ store_arg $ echo_arg)
 
+(* -- serve / connect: the multi-client server front-end --------------------------- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket to listen on (default: STORE.sock)")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Also listen on loopback TCP port $(docv)")
+  in
+  let run path socket tcp =
+    (* No silent store creation: serving a store that is not there is
+       the operator error `init` exists to fix. *)
+    let store, vm = session_of path in
+    let socket = Option.value socket ~default:(path ^ ".sock") in
+    Server.Serve.run ?tcp_port:tcp ~socket ~store ~vm ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the store to wire-protocol clients (snapshot-isolated sessions, one per \
+          connection) and the read-only live HTML dashboard")
+    Term.(const run $ store_arg $ socket_arg $ tcp_arg)
+
+let connect_cmd =
+  let socket_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"SOCKET" ~doc:"Server Unix socket (as printed by `hpjava serve`)")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP instead of a Unix socket")
+  in
+  let password_arg =
+    Arg.(
+      value
+      & opt string Registry.built_in_password
+      & info [ "password" ] ~docv:"PW" ~doc:"Registry password presented at hello")
+  in
+  let run socket tcp password =
+    let target, addr =
+      match (socket, tcp) with
+      | Some path, None -> (path, Server.Client.unix_addr path)
+      | None, Some hostport -> begin
+        match String.rindex_opt hostport ':' with
+        | Some i -> begin
+          let host = String.sub hostport 0 i in
+          let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          match int_of_string_opt port with
+          | Some port -> begin
+            try (hostport, Server.Client.tcp_addr host port)
+            with Stdlib.Failure _ ->
+              Printf.eprintf "hpjava: %s is not an address (need a numeric host)\n" host;
+              exit 2
+          end
+          | None ->
+            Printf.eprintf "hpjava: bad port in --tcp %s\n" hostport;
+            exit 2
+        end
+        | None ->
+          Printf.eprintf "hpjava: --tcp needs HOST:PORT, got %s\n" hostport;
+          exit 2
+      end
+      | _ ->
+        Printf.eprintf "hpjava: connect needs a SOCKET path or --tcp HOST:PORT (not both)\n";
+        exit 2
+    in
+    match Server.Client.connect ~password addr with
+    | client -> Hyperui.Remote_shell.run ~client ~input:stdin
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "hpjava: cannot reach server at %s: %s (is `hpjava serve` running?)\n"
+        target (Unix.error_message e);
+      exit 2
+    | exception Server.Client.Server_refused { code; message } ->
+      Printf.eprintf "hpjava: connection refused (%s): %s\n" code message;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "connect" ~doc:"Connect to a running `hpjava serve` (interactive or piped)")
+    Term.(const run $ socket_arg $ tcp_arg $ password_arg)
+
 (* -- source: the stored source of a persistent class ------------------------------ *)
 
 let source_cmd =
@@ -461,7 +550,7 @@ let demo_cmd =
 let main =
   Cmd.group
     (Cmd.info "hpjava" ~version:"1.0.0" ~doc:"Hyper-programming in Java, reproduced in OCaml")
-    [ init_cmd; compile_cmd; run_cmd; new_cmd; run_hp_cmd; print_hp_cmd; evolve_cmd; shell_cmd; source_cmd; browse_cmd; census_cmd; roots_cmd; gc_cmd; check_cmd; export_cmd; demo_cmd ]
+    [ init_cmd; compile_cmd; run_cmd; new_cmd; run_hp_cmd; print_hp_cmd; evolve_cmd; shell_cmd; serve_cmd; connect_cmd; source_cmd; browse_cmd; census_cmd; roots_cmd; gc_cmd; check_cmd; export_cmd; demo_cmd ]
 
 (* The macro-workload harness's crash injector: with HPJAVA_KILL_AT_BYTE=N
    in the environment, the process SIGKILLs itself after N bytes of store

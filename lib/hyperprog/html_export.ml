@@ -21,10 +21,12 @@ let escape s =
     s;
   Buffer.contents buf
 
-(* The URL a hyper-link is rendered as. *)
+(* The URL a hyper-link is rendered as.  Components (class names, member
+   names, descriptors, printed values) are raw data here; whoever embeds
+   the URL in markup must escape it — [render_anchor] does. *)
 let link_url = function
   | Hyperlink.L_object oid -> Printf.sprintf "store://object/%d" (Oid.to_int oid)
-  | Hyperlink.L_primitive v -> Printf.sprintf "store://value/%s" (escape (Pvalue.to_string v))
+  | Hyperlink.L_primitive v -> Printf.sprintf "store://value/%s" (Pvalue.to_string v)
   | Hyperlink.L_type ty -> Printf.sprintf "store://type/%s" (Jtype.descriptor ty)
   | Hyperlink.L_static_method { cls; name; desc } ->
     Printf.sprintf "store://method/%s.%s%s" cls name desc
@@ -37,15 +39,20 @@ let link_url = function
   | Hyperlink.L_array_element { array; index } ->
     Printf.sprintf "store://element/%d/%d" (Oid.to_int array) index
 
-let render_anchor link label =
-  Printf.sprintf "<a class=\"hyperlink\" href=\"%s\">%s</a>" (link_url link) (escape label)
+(* Class names, descriptors and printed values are user-controlled text:
+   escaping the whole href closes the attribute-breakout a quote in a
+   class name would otherwise open. *)
+let render_anchor ?(href = fun _ link -> link_url link) i link label =
+  Printf.sprintf "<a class=\"hyperlink\" href=\"%s\">%s</a>" (escape (href i link))
+    (escape label)
 
 (* Render a hyper-program body: text with anchors spliced in at link
-   positions. *)
-let render_body (flat : Editing_form.flat) =
+   positions.  [href] maps (link number, link) to the URL to emit —
+   the live dashboard points links at its own pages. *)
+let render_body ?href (flat : Editing_form.flat) =
   let expansions =
-    List.map
-      (fun (pos, link, label) -> (pos, render_anchor link label))
+    List.mapi
+      (fun i (pos, link, label) -> (pos, render_anchor ?href i link label))
       flat.Editing_form.flat_links
     |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b)
   in
@@ -78,18 +85,17 @@ let export_form form =
   let flat = Editing_form.to_flat form in
   page ~title:form.Editing_form.class_name (render_body flat)
 
-let export vm hp_oid =
-  let flat =
-    {
-      Editing_form.text = Storage_form.text vm hp_oid;
-      flat_links =
-        List.map
-          (fun (s : Storage_form.link_spec) ->
-            (s.Storage_form.pos, s.Storage_form.link, s.Storage_form.label))
-          (Storage_form.links vm hp_oid);
-    }
-  in
-  page ~title:(Storage_form.class_name vm hp_oid) (render_body flat)
+let flat_of vm hp_oid =
+  {
+    Editing_form.text = Storage_form.text vm hp_oid;
+    flat_links =
+      List.map
+        (fun (s : Storage_form.link_spec) ->
+          (s.Storage_form.pos, s.Storage_form.link, s.Storage_form.label))
+        (Storage_form.links vm hp_oid);
+  }
+
+let export vm hp_oid = page ~title:(Storage_form.class_name vm hp_oid) (render_body (flat_of vm hp_oid))
 
 (* An index page over several hyper-programs. *)
 let index_page (entries : (string * string) list) =
@@ -123,6 +129,96 @@ let export_all vm ~dir =
   output_string oc (index_page entries);
   close_out oc;
   List.map fst entries
+
+(* -- the live dashboard (served by the hyper-programming server) ------------
+
+   The same Section 6 publishing, but rendered on demand over the open
+   store instead of exported to files: hyper-links become URLs into the
+   dashboard itself, and each page carries a broken-link census computed
+   with the registry's salvage reads.  Every string that reaches these
+   pages — class names, labels, program text, failure reasons (including
+   the BrokenLink placeholder's) — is user-controlled and escaped. *)
+
+let html_page ~title body_html =
+  Printf.sprintf
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>\n<style>\n%s</style></head>\n\
+     <body>\n<h1>%s</h1>\n%s\n<p><a href=\"/\">index</a></p>\n</body></html>\n"
+    (escape title) page_style (escape title) body_html
+
+let display_name vm uid hp_oid =
+  let name = Storage_form.class_name vm hp_oid in
+  if name = "" then Printf.sprintf "hp%d" uid else name
+
+(* One salvage read per link: Ok with the printed value, or the typed
+   Failure — never an exception (the built-in password is always
+   accepted). *)
+let link_census vm ~uid hp_oid =
+  Storage_form.links vm hp_oid
+  |> List.mapi (fun i (s : Storage_form.link_spec) ->
+         ( i,
+           s.Storage_form.label,
+           Registry.try_get_link vm ~password:Registry.built_in_password ~hp:uid ~link:i ))
+
+let live_page vm ~uid =
+  match List.assoc_opt uid (Registry.live_programs vm) with
+  | None -> None
+  | Some hp_oid ->
+    let href i _link = Printf.sprintf "/hp/%d/link/%d" uid i in
+    let census = link_census vm ~uid hp_oid in
+    let rows =
+      census
+      |> List.map (fun (i, label, status) ->
+             Printf.sprintf "<li><a href=\"/hp/%d/link/%d\">link %d</a> <code>%s</code> — %s</li>"
+               uid i i (escape label)
+               (match status with
+               | Ok v -> Printf.sprintf "ok: <code>%s</code>" (escape (Pvalue.to_string v))
+               | Error f ->
+                 Printf.sprintf "<b>broken</b>: %s" (escape (Failure.describe f))))
+      |> String.concat "\n"
+    in
+    let broken = List.length (List.filter (fun (_, _, s) -> Result.is_error s) census) in
+    Some
+      (html_page
+         ~title:(Printf.sprintf "hyper-program %d: %s" uid (display_name vm uid hp_oid))
+         (Printf.sprintf "<pre>%s</pre>\n<h2>hyper-links (%d, %d broken)</h2>\n<ul>\n%s\n</ul>"
+            (render_body ~href (flat_of vm hp_oid))
+            (List.length census) broken rows))
+
+let live_link_page vm ~uid ~link =
+  let title = Printf.sprintf "hyper-program %d, link %d" uid link in
+  match Registry.try_get_link vm ~password:Registry.built_in_password ~hp:uid ~link with
+  | Ok v ->
+    html_page ~title
+      (Printf.sprintf "<p>value: <code>%s</code></p>\n<p><a href=\"/hp/%d\">back to the program</a></p>"
+         (escape (Pvalue.to_string v)) uid)
+  | Error f ->
+    html_page ~title
+      (Printf.sprintf "<p><b>broken link</b>: %s</p>\n<p><a href=\"/hp/%d\">back to the program</a></p>"
+         (escape (Failure.describe f)) uid)
+
+let live_index vm =
+  let programs = Registry.live_programs vm in
+  let total_broken = ref 0 in
+  let rows =
+    programs
+    |> List.map (fun (uid, hp_oid) ->
+           let census = link_census vm ~uid hp_oid in
+           let broken = List.length (List.filter (fun (_, _, s) -> Result.is_error s) census) in
+           total_broken := !total_broken + broken;
+           Printf.sprintf "<li><a href=\"/hp/%d\">%s</a> — %d link%s%s</li>" uid
+             (escape (display_name vm uid hp_oid))
+             (List.length census)
+             (if List.length census = 1 then "" else "s")
+             (if broken > 0 then Printf.sprintf ", <b>%d broken</b>" broken else ""))
+    |> String.concat "\n"
+  in
+  html_page ~title:"Live hyper-programs"
+    (Printf.sprintf "<p>%d program%s, %d broken link%s</p>\n<ul>\n%s\n</ul>"
+       (List.length programs)
+       (if List.length programs = 1 then "" else "s")
+       !total_broken
+       (if !total_broken = 1 then "" else "s")
+       rows)
 
 (* Plain-text printing (the paper's §6 "printing of hyper-programs is
    hindered by the presence of hyper-links"): links become bracketed

@@ -1,0 +1,12 @@
+(** The [hpjava connect] client shell: a line-oriented (interactive and
+    pipe-scriptable) front-end over the wire protocol.
+
+    Builds hyper-source in a local buffer, sends it as an edit buffered
+    in the connection's server-side session, and surfaces commit races
+    as the typed conflict line — [retry] re-sends the last edit under
+    the fresh snapshot the server has already opened. *)
+
+val run : client:Server.Client.t -> input:in_channel -> unit
+(** Drive the connected client from [input] until [quit]/EOF.  Exits
+    with code 1 (one-line stderr) if the server hangs up or breaks
+    framing mid-session. *)

@@ -32,13 +32,15 @@ type op =
   | Degraded_op
   | Session_commit
   | Conflict
+  | Net_request
+  | Net_error
 
 let all_ops =
   [
     Get; Set; Alloc; Root_lookup; Stabilise; Journal_append; Compaction;
     Image_save; Image_load; Scrub_step; Retry; Quarantine_hit; Gc; Get_link;
     Compile; Transaction; Cache_hit; Cache_miss; Group_commit; Repair;
-    Degraded_op; Session_commit; Conflict;
+    Degraded_op; Session_commit; Conflict; Net_request; Net_error;
   ]
 
 let op_index = function
@@ -65,6 +67,8 @@ let op_index = function
   | Degraded_op -> 20
   | Session_commit -> 21
   | Conflict -> 22
+  | Net_request -> 23
+  | Net_error -> 24
 
 let n_ops = List.length all_ops
 
@@ -92,6 +96,8 @@ let op_name = function
   | Degraded_op -> "degraded-op"
   | Session_commit -> "session-commit"
   | Conflict -> "conflict"
+  | Net_request -> "net-request"
+  | Net_error -> "net-error"
 
 type event = {
   seq : int;

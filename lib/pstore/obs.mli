@@ -43,6 +43,10 @@ type op =
   | Conflict
       (** session commits refused by first-committer-wins detection
           ([Failure.Commit_conflict] raised) *)
+  | Net_request  (** wire-protocol requests dispatched by the server *)
+  | Net_error
+      (** wire-protocol requests answered with a typed error frame
+          (malformed frames, auth refusals, failed operations) *)
 
 val all_ops : op list
 val op_name : op -> string

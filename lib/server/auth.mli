@@ -1,0 +1,18 @@
+(** Connection authentication: the wire protocol's Hello gate.
+
+    A connection earns a session by presenting the hyper-program
+    registry's password (paper Section 4.2) in its first request.
+    Protocol-version skew is refused as a "proto" error before the
+    password is examined. *)
+
+open Minijava
+
+type refusal = {
+  code : string;
+  message : string;
+}
+
+val validate : Rt.t -> version:int -> password:string -> (unit, refusal) result
+
+val refusal_count : unit -> int
+(** Hello refusals since process start (surfaced by the stats request). *)

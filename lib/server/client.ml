@@ -1,0 +1,57 @@
+(* Blocking wire-protocol client: what `hpjava connect`, the netload
+   workload and the test probes speak.
+
+   connect performs the Hello handshake; a Refused answer (bad password,
+   version skew) raises the typed [Server_refused], while an unreachable
+   server surfaces as the Unix error it is — callers map the two onto
+   different exit codes. *)
+
+type t = {
+  fd : Unix.file_descr;
+  session : int;  (* the session id granted at Hello *)
+  server : string;
+}
+
+exception Server_refused of {
+  code : string;
+  message : string;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Server_refused { code; message } ->
+      Some (Printf.sprintf "server refused (%s): %s" code message)
+    | _ -> None)
+
+let unix_addr path = Unix.ADDR_UNIX path
+let tcp_addr host port = Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let rpc_fd fd req =
+  Frame.write_frame fd (Protocol.encode_request req);
+  match Protocol.decode_response (Frame.read_frame fd) with
+  | Ok r -> r
+  | Error msg -> failwith ("malformed response frame: " ^ msg)
+
+let connect ?(password = Hyperprog.Registry.built_in_password) addr =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  match rpc_fd fd (Protocol.Hello { version = Protocol.version; password }) with
+  | Protocol.Hello_ok { session; server } -> { fd; session; server }
+  | Protocol.Refused { code; message } ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Server_refused { code; message })
+  | r ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    failwith ("unexpected hello answer: " ^ Protocol.describe_response r)
+
+let rpc t req = rpc_fd t.fd req
+
+let close t =
+  (try ignore (rpc t Protocol.Bye) with _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let session t = t.session
+let server t = t.server

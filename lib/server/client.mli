@@ -1,0 +1,33 @@
+(** Blocking wire-protocol client (what [hpjava connect], the netload
+    workload and the test probes speak). *)
+
+type t
+
+exception Server_refused of {
+  code : string;
+  message : string;
+}
+(** The server answered Hello with a typed refusal (bad password,
+    protocol-version skew).  An {e unreachable} server raises
+    [Unix.Unix_error] instead — callers map the two onto different exit
+    codes. *)
+
+val unix_addr : string -> Unix.sockaddr
+val tcp_addr : string -> int -> Unix.sockaddr
+
+val connect : ?password:string -> Unix.sockaddr -> t
+(** Dial and perform the Hello handshake (password defaults to the
+    registry's built-in one). *)
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** One request, one answer.
+    @raise Frame.Closed if the server hung up.
+    @raise Stdlib.Failure on a framing/decoding violation. *)
+
+val close : t -> unit
+(** Send Bye (best-effort) and close the socket. *)
+
+val session : t -> int
+(** The session id granted at Hello. *)
+
+val server : t -> string

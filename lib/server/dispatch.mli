@@ -1,0 +1,35 @@
+(** Per-connection request dispatch.
+
+    Each authenticated connection owns one {!Pstore.Store.Session}
+    (snapshot isolation); commit/abort/conflict consume it and a fresh
+    one is opened immediately, so clients retry a lost commit race by
+    re-sending their edit on the same connection.  Every failure is
+    answered as one typed frame — no request may kill the server or
+    leak a session. *)
+
+open Pstore
+open Minijava
+
+type conn = {
+  vm : Rt.t;
+  store : Store.t;
+  server_name : string;
+  mutable password : string option;
+  mutable session : Store.Session.t option;
+  mutable closing : bool;  (** Bye received: close once the answer is written *)
+}
+
+val create : vm:Rt.t -> store:Store.t -> name:string -> conn
+
+val handle : conn -> string -> string
+(** One decoded-frame body in, one encoded response body out.  Total:
+    malformed bodies and failed operations come back as typed error
+    frames, never exceptions. *)
+
+val framing_error : conn -> Frame.error -> string
+(** The one typed answer sent before closing a connection whose stream
+    violated framing. *)
+
+val teardown : conn -> unit
+(** Abort any open session — called whenever the connection dies, on
+    every path. *)

@@ -1,0 +1,127 @@
+(* Wire framing for the hyper-programming server.
+
+   Every message in either direction travels as one frame:
+
+     offset 0   4 bytes   magic "hpw1"
+     offset 4   4 bytes   u32 big-endian body length N (0 <= N <= max_body)
+     offset 8   4 bytes   u32 big-endian CRC32 of the body
+     offset 12  N bytes   body (opcode byte + operands, see Protocol)
+
+   The magic makes protocol sniffing deterministic: a connection whose
+   first bytes are not "hpw1" is either an HTTP request for the live
+   dashboard ("GET "/"HEAD") or garbage, and the server can tell which
+   from the very first read.  The CRC is the same polynomial the store's
+   on-disk records use (Pstore.Codec.crc32), so a corrupted frame is
+   rejected before any field is decoded. *)
+
+let magic = "hpw1"
+let header_len = 12
+
+(* Generous for hyper-source bodies, small enough that a hostile length
+   field cannot make the server allocate unboundedly. *)
+let max_body = 1 lsl 20
+
+type error =
+  | Bad_magic
+  | Too_large of int
+  | Bad_crc
+
+let describe_error = function
+  | Bad_magic -> "bad frame magic"
+  | Too_large n -> Printf.sprintf "frame body of %d bytes exceeds the %d-byte limit" n max_body
+  | Bad_crc -> "frame checksum mismatch"
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let crc body = Int32.to_int (Pstore.Codec.crc32 body) land 0xffffffff
+
+let encode body =
+  let buf = Buffer.create (header_len + String.length body) in
+  Buffer.add_string buf magic;
+  put_u32 buf (String.length body);
+  put_u32 buf (crc body);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+(* -- incremental extraction (the server's read path) ----------------------- *)
+
+(* Examine the accumulated input prefix.  [Got (body, consumed)] hands
+   back one complete verified frame; [Need n] asks for at least [n] more
+   bytes; [Bad e] means the stream is unrecoverable (framing gives no
+   resynchronisation point, so the connection must die after one typed
+   error answer). *)
+type extract =
+  | Got of string * int
+  | Need of int
+  | Bad of error
+
+let extract data =
+  let have = String.length data in
+  if have < 4 then
+    if data = String.sub magic 0 have then Need (header_len - have) else Bad Bad_magic
+  else if String.sub data 0 4 <> magic then Bad Bad_magic
+  else if have < header_len then Need (header_len - have)
+  else begin
+    let len = get_u32 data 4 in
+    if len > max_body then Bad (Too_large len)
+    else if have < header_len + len then Need (header_len + len - have)
+    else begin
+      let body = String.sub data header_len len in
+      if get_u32 data 8 <> crc body then Bad Bad_crc else Got (body, header_len + len)
+    end
+  end
+
+(* -- blocking I/O (the client's path, and test probes) --------------------- *)
+
+exception Closed
+
+let really_write fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let rec go off =
+    if off < len then begin
+      match Unix.write fd bytes off (len - off) with
+      | 0 -> raise Closed
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Closed
+    end
+  in
+  go 0
+
+let really_read fd n =
+  let bytes = Bytes.create n in
+  let rec go off =
+    if off < n then begin
+      match Unix.read fd bytes off (n - off) with
+      | 0 -> raise Closed
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise Closed
+    end
+  in
+  go 0;
+  Bytes.to_string bytes
+
+let write_frame fd body = really_write fd (encode body)
+
+(* Read one whole frame off a blocking socket.
+   @raise Closed on EOF mid-frame.
+   @raise Stdlib.Failure via [failwith] on a framing violation — the
+   peer is broken, there is nothing to resynchronise to. *)
+let read_frame fd =
+  let header = really_read fd header_len in
+  if String.sub header 0 4 <> magic then failwith (describe_error Bad_magic);
+  let len = get_u32 header 4 in
+  if len > max_body then failwith (describe_error (Too_large len));
+  let body = really_read fd len in
+  if get_u32 header 8 <> crc body then failwith (describe_error Bad_crc);
+  body

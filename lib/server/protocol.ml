@@ -1,0 +1,223 @@
+(* The hyper-programming wire protocol: request and response bodies.
+
+   A body is [opcode byte][operands]; operands are u32 big-endian
+   integers and u32-length-prefixed strings, in a fixed order per
+   opcode.  Decoding is total: any violation (unknown opcode, truncated
+   operand, trailing garbage, oversized count) comes back as [Error
+   Malformed], never an exception — the fuzz suite feeds this decoder
+   arbitrary bytes.
+
+   Protocol version 1.  The client states its version in [Hello]; the
+   server refuses anything else with a "proto" error, so both sides can
+   evolve without silent misparses. *)
+
+let version = 1
+
+(* Cap on decoded list lengths: a conflict can only name as many oids
+   and keys as a session buffered, and no session buffers millions. *)
+let max_list = 65536
+
+type browse =
+  | Roots
+  | Census
+  | Root of string
+  | Programs
+
+type request =
+  | Hello of { version : int; password : string }
+  | Browse of browse
+  | Get_link of { hp : int; link : int }
+  | Edit of { root : string; source : string }
+  | Compile of { source : string }
+  | Commit
+  | Abort
+  | Stats
+  | Health
+  | Bye
+
+type response =
+  | Hello_ok of { session : int; server : string }
+  | Ok_text of string
+  | Conflict of { session : int; oids : int list; keys : string list }
+  | Refused of { code : string; message : string }
+
+(* Error codes: the typed vocabulary clients may dispatch on. *)
+let code_proto = "proto" (* framing/decoding/sequencing violation *)
+let code_auth = "auth" (* hello refused: wrong registry password *)
+let code_bad_source = "bad-source" (* hyper-source parse failure *)
+let code_compile = "compile" (* MiniJava compile error *)
+let code_broken_link = "broken-link" (* getLink degraded: typed Failure *)
+let code_not_found = "not-found"
+let code_degraded = "degraded" (* write refused by a demoted shard *)
+let code_refused = "refused" (* store refused the operation (Invalid_argument) *)
+let code_vm = "vm" (* a Java-level error escaped the operation *)
+let code_internal = "internal"
+
+(* -- encoding --------------------------------------------------------------- *)
+
+let put_u32 = Frame.put_u32
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_list buf put xs =
+  put_u32 buf (List.length xs);
+  List.iter (put buf) xs
+
+let with_op op fill =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr op);
+  fill buf;
+  Buffer.contents buf
+
+let encode_request = function
+  | Hello { version; password } ->
+    with_op 1 (fun b ->
+        put_u32 b version;
+        put_str b password)
+  | Browse Roots -> with_op 2 (fun b -> Buffer.add_char b '\000')
+  | Browse Census -> with_op 2 (fun b -> Buffer.add_char b '\001')
+  | Browse (Root name) ->
+    with_op 2 (fun b ->
+        Buffer.add_char b '\002';
+        put_str b name)
+  | Browse Programs -> with_op 2 (fun b -> Buffer.add_char b '\003')
+  | Get_link { hp; link } ->
+    with_op 3 (fun b ->
+        put_u32 b hp;
+        put_u32 b link)
+  | Edit { root; source } ->
+    with_op 4 (fun b ->
+        put_str b root;
+        put_str b source)
+  | Compile { source } -> with_op 5 (fun b -> put_str b source)
+  | Commit -> with_op 6 ignore
+  | Abort -> with_op 7 ignore
+  | Stats -> with_op 8 ignore
+  | Health -> with_op 9 ignore
+  | Bye -> with_op 10 ignore
+
+let encode_response = function
+  | Hello_ok { session; server } ->
+    with_op 0x80 (fun b ->
+        put_u32 b session;
+        put_str b server)
+  | Ok_text text -> with_op 0x81 (fun b -> put_str b text)
+  | Conflict { session; oids; keys } ->
+    with_op 0x82 (fun b ->
+        put_u32 b session;
+        put_list b put_u32 oids;
+        put_list b put_str keys)
+  | Refused { code; message } ->
+    with_op 0x83 (fun b ->
+        put_str b code;
+        put_str b message)
+
+(* -- decoding --------------------------------------------------------------- *)
+
+exception Malformed of string
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then raise (Malformed "truncated operand")
+
+let u32 c =
+  need c 4;
+  let v = Frame.get_u32 c.data c.pos in
+  c.pos <- c.pos + 4;
+  v
+
+let str c =
+  let n = u32 c in
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let list c item =
+  let n = u32 c in
+  if n > max_list then raise (Malformed "oversized list");
+  List.init n (fun _ -> item c)
+
+let finish c v =
+  if c.pos <> String.length c.data then raise (Malformed "trailing garbage");
+  v
+
+(* NB: [finish] must raise inside the [try] — an [exception] case on the
+   inner match would only cover the opcode handler itself, and trailing
+   garbage would escape as an exception (caught by the fuzz suite). *)
+let decode body opcodes =
+  if body = "" then Error "empty body"
+  else
+    try
+      let c = { data = body; pos = 1 } in
+      match opcodes (Char.code body.[0]) c with
+      | Some v -> Ok (finish c v)
+      | None -> Error (Printf.sprintf "unknown opcode %d" (Char.code body.[0]))
+    with Malformed m -> Error m
+
+let decode_request body =
+  decode body (fun op c ->
+      match op with
+      | 1 ->
+        let version = u32 c in
+        let password = str c in
+        Some (Hello { version; password })
+      | 2 -> begin
+        need c 1;
+        let tag = Char.code c.data.[c.pos] in
+        c.pos <- c.pos + 1;
+        match tag with
+        | 0 -> Some (Browse Roots)
+        | 1 -> Some (Browse Census)
+        | 2 -> Some (Browse (Root (str c)))
+        | 3 -> Some (Browse Programs)
+        | n -> raise (Malformed (Printf.sprintf "unknown browse target %d" n))
+      end
+      | 3 ->
+        let hp = u32 c in
+        let link = u32 c in
+        Some (Get_link { hp; link })
+      | 4 ->
+        let root = str c in
+        let source = str c in
+        Some (Edit { root; source })
+      | 5 -> Some (Compile { source = str c })
+      | 6 -> Some Commit
+      | 7 -> Some Abort
+      | 8 -> Some Stats
+      | 9 -> Some Health
+      | 10 -> Some Bye
+      | _ -> None)
+
+let decode_response body =
+  decode body (fun op c ->
+      match op with
+      | 0x80 ->
+        let session = u32 c in
+        let server = str c in
+        Some (Hello_ok { session; server })
+      | 0x81 -> Some (Ok_text (str c))
+      | 0x82 ->
+        let session = u32 c in
+        let oids = list c u32 in
+        let keys = list c str in
+        Some (Conflict { session; oids; keys })
+      | 0x83 ->
+        let code = str c in
+        let message = str c in
+        Some (Refused { code; message })
+      | _ -> None)
+
+(* -- rendering -------------------------------------------------------------- *)
+
+let describe_response = function
+  | Hello_ok { session; server } -> Printf.sprintf "connected: session %d on %s" session server
+  | Ok_text text -> text
+  | Conflict { session; oids; keys } ->
+    Printf.sprintf "commit conflict: session %d lost (first committer wins); clashes: %s"
+      session
+      (String.concat ", " (List.map (fun o -> "@" ^ string_of_int o) oids @ keys))
+  | Refused { code; message } -> Printf.sprintf "error (%s): %s" code message

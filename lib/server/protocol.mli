@@ -1,0 +1,61 @@
+(** The hyper-programming wire protocol: request/response bodies carried
+    inside {!Frame} frames.
+
+    Decoding is total — any violation comes back as [Error], never an
+    exception — because the fuzz suite feeds it arbitrary bytes.  The
+    protocol is versioned through [Hello]. *)
+
+val version : int
+
+type browse =
+  | Roots
+  | Census
+  | Root of string
+  | Programs
+
+type request =
+  | Hello of { version : int; password : string }
+      (** must be the first request on a connection; authenticates
+          against the hyper-program registry password *)
+  | Browse of browse
+  | Get_link of { hp : int; link : int }
+  | Edit of { root : string; source : string }
+      (** parse [source] as hyper-source, register the program, and bind
+          [root] to it through this connection's session (buffered until
+          [Commit]) *)
+  | Compile of { source : string }
+  | Commit
+  | Abort
+  | Stats
+  | Health
+  | Bye
+
+type response =
+  | Hello_ok of { session : int; server : string }
+  | Ok_text of string
+  | Conflict of { session : int; oids : int list; keys : string list }
+      (** the typed first-committer-wins refusal: [Failure.Commit_conflict]
+          end to end.  The server has already reopened a fresh-snapshot
+          session for the connection, so the client retries immediately. *)
+  | Refused of { code : string; message : string }
+
+(** {1 Error codes} *)
+
+val code_proto : string
+val code_auth : string
+val code_bad_source : string
+val code_compile : string
+val code_broken_link : string
+val code_not_found : string
+val code_degraded : string
+val code_refused : string
+val code_vm : string
+val code_internal : string
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val describe_response : response -> string
+(** One-line human rendering (what [hpjava connect] prints). *)

@@ -1,0 +1,18 @@
+(** The hyper-programming server: a long-lived multi-client front-end
+    over one open store.
+
+    A single-threaded select loop — per-client isolation comes from MVCC
+    sessions, not threads.  Connections are sniffed on their first
+    bytes: the wire protocol announces itself with the frame magic,
+    HTTP-looking openings are routed to the read-only live dashboard
+    ([/], [/hp/<uid>], [/hp/<uid>/link/<i>]), and anything else is
+    answered with one typed proto-error frame and closed. *)
+
+open Pstore
+open Minijava
+
+val run : ?tcp_port:int -> socket:string -> store:Store.t -> vm:Rt.t -> unit -> unit
+(** Serve until SIGTERM/SIGINT, listening on the Unix-domain [socket]
+    (and loopback [tcp_port] if given).  On shutdown: every connection's
+    session is aborted, the store is stabilised, and the socket path is
+    removed. *)

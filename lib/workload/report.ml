@@ -37,6 +37,19 @@ type recovery = {
   lost_roots : int;
 }
 
+(* The many-client server slice (lib/workload/netload.ml): wire-protocol
+   RTT sections ride in [sections] as net-* entries; the headline
+   connection figures and the contended-commit outcome live here. *)
+type net = {
+  net_clients : int;
+  net_rounds : int;
+  net_connections : int;
+  connections_per_sec : float;
+  net_commits : int;
+  net_conflicts : int;  (* typed conflict frames answered (first committer wins) *)
+  net_errors : int;  (* typed error frames answered *)
+}
+
 type t = {
   smoke : bool;
   seed : int;
@@ -48,6 +61,7 @@ type t = {
       (* session commits refused first-committer-wins across the play *)
   sections : section list;
   recovery : recovery;
+  net : net option;
 }
 
 let no_recovery =
@@ -135,6 +149,37 @@ let session_commit_section (play : Scenario.play) =
       };
     ]
 
+(* One section from raw nanosecond samples — how the netload RTT classes
+   enter the same sections array (and so the same p50 gate) as the
+   subprocess op classes. *)
+let section_of_ns ~name ns_list =
+  let ns = Array.of_list ns_list in
+  Array.sort compare ns;
+  let total_s = Array.fold_left (fun acc x -> acc +. (x /. 1e9)) 0. ns in
+  {
+    name;
+    count = Array.length ns;
+    ops_per_sec = float_of_int (Array.length ns) /. Float.max total_s 1e-9;
+    p50_ns = percentile ns 0.50;
+    p99_ns = percentile ns 0.99;
+  }
+
+let net_of_load (load : Netload.result) =
+  {
+    net_clients = load.Netload.clients;
+    net_rounds = load.Netload.rounds;
+    net_connections = load.Netload.connections;
+    connections_per_sec = Netload.connections_per_sec load;
+    net_commits = load.Netload.commits;
+    net_conflicts = load.Netload.conflicts;
+    net_errors = load.Netload.errors;
+  }
+
+let net_sections_of_load (load : Netload.result) =
+  List.filter_map
+    (fun (op, ns) -> if ns = [] then None else Some (section_of_ns ~name:op ns))
+    load.Netload.samples
+
 let of_play ~smoke (play : Scenario.play) =
   let recovery =
     match play.Scenario.crash with
@@ -163,6 +208,7 @@ let of_play ~smoke (play : Scenario.play) =
     commit_conflicts = play.Scenario.commit_conflicts;
     sections = sections_of_play play @ session_commit_section play;
     recovery;
+    net = None;
   }
 
 (* -- JSON out ---------------------------------------------------------------- *)
@@ -209,6 +255,14 @@ let render t =
     t.recovery.injected t.recovery.killed (json_escape t.recovery.crashed_class)
     t.recovery.kill_byte t.recovery.recovery_ms t.recovery.repair_ms t.recovery.degraded_ops
     t.recovery.quarantined_after t.recovery.lost_roots;
+  (match t.net with
+  | None -> add "  ,\"net\": null\n"
+  | Some n ->
+    add
+      "  ,\"net\": { \"clients\": %d, \"rounds\": %d, \"connections\": %d, \
+       \"connections_per_sec\": %.2f, \"commits\": %d, \"conflicts\": %d, \"errors\": %d }\n"
+      n.net_clients n.net_rounds n.net_connections n.connections_per_sec n.net_commits
+      n.net_conflicts n.net_errors);
   add "}\n";
   Buffer.contents buf
 
@@ -249,7 +303,9 @@ let validate_file ~path t =
          "\"degraded_ops\"";
          "\"quarantined_after\"";
          "\"commit_conflicts\"";
+         "\"net\"";
        ]
+      @ (if t.net = None then [] else [ "\"connections_per_sec\"" ])
       @ List.map (fun s -> Printf.sprintf "\"name\": \"%s\"" s.name) t.sections)
   in
   if (not !balanced) || !depth <> 0 || !in_string then Error "unbalanced structure"

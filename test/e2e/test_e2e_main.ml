@@ -5,4 +5,5 @@ let () =
       ("shell-cmds", Test_shell_cmds.suite);
       ("shell-sessions", Test_shell_sessions.suite);
       ("scenarios", Test_scenarios.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -88,9 +88,11 @@ let new_ops_have_names_and_order () =
   check_output "cache-hit name" "cache-hit" (Obs.op_name Obs.Cache_hit);
   check_output "cache-miss name" "cache-miss" (Obs.op_name Obs.Cache_miss);
   check_output "group-commit name" "group-commit" (Obs.op_name Obs.Group_commit);
+  check_output "net-request name" "net-request" (Obs.op_name Obs.Net_request);
+  check_output "net-error name" "net-error" (Obs.op_name Obs.Net_error);
   match List.rev Obs.all_ops with
-  | Obs.Conflict :: Obs.Session_commit :: Obs.Degraded_op :: Obs.Repair :: Obs.Group_commit
-    :: Obs.Cache_miss :: Obs.Cache_hit :: _ -> ()
+  | Obs.Net_error :: Obs.Net_request :: Obs.Conflict :: Obs.Session_commit :: Obs.Degraded_op
+    :: Obs.Repair :: Obs.Group_commit :: Obs.Cache_miss :: Obs.Cache_hit :: _ -> ()
   | _ -> Alcotest.fail "new op classes must sit at the end of all_ops"
 
 let tracing_off_path_unchanged () =

@@ -1,0 +1,172 @@
+(* Codec unit tests: the frame layer and the protocol body codec, no
+   server involved.  These pin the invariants the fuzzer relies on —
+   encode/decode roundtrips, total decoding (Error, never an
+   exception), and the framing state machine over partial input. *)
+
+open Server_util
+
+let check_extract = Alcotest.(check bool)
+
+(* -- frames ----------------------------------------------------------------- *)
+
+let test_roundtrip () =
+  List.iter
+    (fun body ->
+      match Frame.extract (Frame.encode body) with
+      | Frame.Got (got, used) ->
+        check_output "body" body got;
+        check_int "consumed" (Frame.header_len + String.length body) used
+      | Frame.Need _ | Frame.Bad _ -> Alcotest.fail "roundtrip did not extract")
+    [ ""; "x"; "hello"; String.make 65536 '\xab'; "\x00\x01\x02\xff" ]
+
+let test_partial_feed () =
+  let frame = Frame.encode "partial-body" in
+  for cut = 0 to String.length frame - 1 do
+    match Frame.extract (String.sub frame 0 cut) with
+    | Frame.Need n -> check_extract "asks for more" true (n > 0)
+    | Frame.Got _ -> Alcotest.failf "cut %d: extracted from a partial frame" cut
+    | Frame.Bad e -> Alcotest.failf "cut %d: %s" cut (Frame.describe_error e)
+  done
+
+let test_trailing_preserved () =
+  let frame = Frame.encode "first" in
+  match Frame.extract (frame ^ "leftover") with
+  | Frame.Got (body, used) ->
+    check_output "body" "first" body;
+    check_int "consumed only the frame" (String.length frame) used
+  | _ -> Alcotest.fail "did not extract the first frame"
+
+let test_bad_magic () =
+  match Frame.extract "nope-this-is-not-a-frame" with
+  | Frame.Bad Frame.Bad_magic -> ()
+  | _ -> Alcotest.fail "bad magic not rejected"
+
+let test_too_large () =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf Frame.magic;
+  Frame.put_u32 buf (Frame.max_body + 1);
+  Frame.put_u32 buf 0;
+  match Frame.extract (Buffer.contents buf) with
+  | Frame.Bad (Frame.Too_large n) -> check_int "claimed size" (Frame.max_body + 1) n
+  | _ -> Alcotest.fail "oversized length not rejected"
+
+let test_bad_crc () =
+  let frame = Bytes.of_string (Frame.encode "checksummed") in
+  let last = Bytes.length frame - 1 in
+  Bytes.set frame last (Char.chr (Char.code (Bytes.get frame last) lxor 0x01));
+  match Frame.extract (Bytes.to_string frame) with
+  | Frame.Bad Frame.Bad_crc -> ()
+  | _ -> Alcotest.fail "corrupted body not rejected"
+
+let test_u32_roundtrip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 4 in
+      Frame.put_u32 buf n;
+      check_int "u32" n (Frame.get_u32 (Buffer.contents buf) 0))
+    [ 0; 1; 255; 256; 65535; 0xdeadbe; 0xffffffff ]
+
+(* -- protocol bodies -------------------------------------------------------- *)
+
+let requests =
+  [
+    Protocol.Hello { version = Protocol.version; password = "passwd" };
+    Protocol.Browse Protocol.Roots;
+    Protocol.Browse Protocol.Census;
+    Protocol.Browse (Protocol.Root "shared");
+    Protocol.Browse Protocol.Programs;
+    Protocol.Get_link { hp = 3; link = 0 };
+    Protocol.Edit { root = "r"; source = "//! class: A\npublic class A {}\n" };
+    Protocol.Compile { source = "public class B {}" };
+    Protocol.Commit;
+    Protocol.Abort;
+    Protocol.Stats;
+    Protocol.Health;
+    Protocol.Bye;
+  ]
+
+let responses =
+  [
+    Protocol.Hello_ok { session = 7; server = "store.hpj" };
+    Protocol.Ok_text "committed session 7: 2 ops";
+    Protocol.Conflict { session = 9; oids = [ 4; 5 ]; keys = [ "shared"; "other" ] };
+    Protocol.Conflict { session = 0; oids = []; keys = [] };
+    Protocol.Refused { code = Protocol.code_auth; message = "registry password refused" };
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match Protocol.decode_request (Protocol.encode_request r) with
+      | Ok got -> check_bool "request survives the wire" true (got = r)
+      | Error e -> Alcotest.failf "request did not decode: %s" e)
+    requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun r ->
+      match Protocol.decode_response (Protocol.encode_response r) with
+      | Ok got -> check_bool "response survives the wire" true (got = r)
+      | Error e -> Alcotest.failf "response did not decode: %s" e)
+    responses
+
+let expect_request_error body =
+  match Protocol.decode_request body with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "malformed request body decoded: %S" body
+
+let test_decode_total () =
+  (* none of these may decode, and none may raise *)
+  expect_request_error "";
+  expect_request_error "\x2a";
+  (* unknown opcode *)
+  expect_request_error "\x00";
+  (* truncated operands *)
+  expect_request_error "\x01\x00\x00";
+  expect_request_error "\x04\x00\x00\x00\x05ab";
+  (* string length beyond the body *)
+  expect_request_error "\x05\xff\xff\xff\xff";
+  (* unknown browse subtag *)
+  expect_request_error "\x02\x09";
+  (* trailing garbage after a valid request *)
+  expect_request_error (Protocol.encode_request Protocol.Commit ^ "x")
+
+let test_oversized_list () =
+  (* a Conflict claiming 2^24 oids must be refused before allocation *)
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf '\x82';
+  Frame.put_u32 buf 1;
+  Frame.put_u32 buf (1 lsl 24);
+  match Protocol.decode_response (Buffer.contents buf) with
+  | Error e -> check_bool "names the oversized list" true (contains e "oversized")
+  | Ok _ -> Alcotest.fail "oversized list count decoded"
+
+let test_decode_response_total () =
+  (* every 1-byte and a spread of mangled multi-byte bodies: Error, not exception *)
+  for op = 0 to 255 do
+    ignore (Protocol.decode_response (String.make 1 (Char.chr op)))
+  done;
+  List.iter
+    (fun r ->
+      let body = Protocol.encode_response r in
+      for cut = 0 to String.length body - 1 do
+        ignore (Protocol.decode_response (String.sub body 0 cut))
+      done)
+    responses
+
+let suite =
+  ( "framing",
+    [
+      test "frame roundtrip" test_roundtrip;
+      test "partial frames ask for more" test_partial_feed;
+      test "trailing bytes stay buffered" test_trailing_preserved;
+      test "bad magic rejected" test_bad_magic;
+      test "oversized length rejected" test_too_large;
+      test "corrupted body rejected" test_bad_crc;
+      test "u32 codec" test_u32_roundtrip;
+      test "request roundtrip" test_request_roundtrip;
+      test "response roundtrip" test_response_roundtrip;
+      test "malformed requests decode to Error" test_decode_total;
+      test "oversized list rejected" test_oversized_list;
+      test "response decoding is total" test_decode_response_total;
+    ] )

@@ -51,6 +51,25 @@ let export_all_to_directory () =
       check_bool "page written" true (Sys.file_exists (Filename.concat dir "MarryExample.html"));
       check_bool "index written" true (Sys.file_exists (Filename.concat dir "index.html")))
 
+(* Regression: user-controlled text (source body, link labels, class
+   names, primitive link values) must come out inert everywhere it is
+   embedded — body text, anchor labels, and href attributes alike. *)
+let export_escapes_hostile_text () =
+  let form =
+    Editing_form.of_flat ~class_name:"Evil<script>"
+      {
+        Editing_form.text = "// <script>alert(document.cookie)</script>\nint x = ;";
+        flat_links =
+          [ (52, Hyperlink.L_primitive (Pvalue.Int 5l), "<b>label</b> \"quoted\"") ];
+      }
+  in
+  let html = Html_export.export_form form in
+  check_bool "body script escaped" true (contains html "&lt;script&gt;alert");
+  check_bool "label escaped" true (contains html "&lt;b&gt;label&lt;/b&gt;");
+  check_bool "label quotes escaped" true (contains html "&quot;quoted&quot;");
+  check_bool "class name escaped" true (contains html "Evil&lt;script&gt;");
+  check_bool "no live script tag" false (contains html "<script>")
+
 let per_kind_urls () =
   let p = Oid.of_int 9 in
   let checks =
@@ -73,6 +92,7 @@ let suite =
     test "export MarryExample" export_marry;
     test "HTML escaping" escaping;
     test "export an editing form directly" export_form_direct;
+    test "hostile text exports inert" export_escapes_hostile_text;
     test "export-all writes pages and index" export_all_to_directory;
     test "per-kind URLs" per_kind_urls;
   ]
